@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the reproduced rows/series so that ``pytest benchmarks/ --benchmark-only -s``
+doubles as the artifact that EXPERIMENTS.md is written from.
+"""
+
+from __future__ import annotations
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

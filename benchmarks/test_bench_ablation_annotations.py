@@ -1,0 +1,41 @@
+"""Ablation — annotation coverage.
+
+PaSh's parallelization is driven entirely by the annotation library: with the
+full standard library the one-liners parallelize, while with conservative
+defaults (no annotations) nothing is touched.  This quantifies the value of
+the §3 study and the annotation DSL.
+"""
+
+from conftest import print_header
+
+from repro.annotations.library import AnnotationLibrary, standard_library
+from repro.dfg.builder import translate_script
+from repro.workloads.oneliners import ONE_LINERS
+
+
+def _region_counts(library):
+    accepted = 0
+    rejected = 0
+    for one_liner in ONE_LINERS:
+        result = translate_script(one_liner.script_for_width(4), library=library)
+        accepted += len(result.regions)
+        rejected += len(result.rejected)
+    return accepted, rejected
+
+
+def test_bench_ablation_annotation_coverage(benchmark):
+    full, empty = benchmark.pedantic(
+        lambda: (_region_counts(standard_library()), _region_counts(AnnotationLibrary())),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header("Ablation — annotation library coverage (one-liner corpus)")
+    print(f"{'library':<22}{'regions translated':<22}{'regions rejected'}")
+    print(f"{'standard library':<22}{full[0]:<22}{full[1]}")
+    print(f"{'no annotations':<22}{empty[0]:<22}{empty[1]}")
+
+    assert full[0] >= 12  # every benchmark contributes at least one region
+    assert full[1] == 0
+    assert empty[0] == 0  # without annotations PaSh conservatively does nothing
+    assert empty[1] > 0

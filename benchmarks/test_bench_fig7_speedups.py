@@ -1,0 +1,50 @@
+"""EXP-F7 — Figure 7: one-liner speedups for 2-64x under five configurations."""
+
+import pytest
+from conftest import print_header
+
+from repro.evaluation.figures import FIG7_WIDTHS, best_configuration_speedups, figure7_series
+from repro.workloads.oneliners import ONE_LINERS, get_one_liner
+
+#: Paper: average best-configuration speedups for 2..64x parallelism.
+PAPER_AVERAGE_BEST = {2: 1.97, 4: 3.5, 8: 5.78, 16: 8.83, 32: 10.96, 64: 13.47}
+
+
+@pytest.mark.parametrize("name", [b.name for b in ONE_LINERS])
+def test_bench_fig7_per_script(benchmark, name):
+    one_liner = get_one_liner(name)
+    series = benchmark.pedantic(
+        lambda: figure7_series(one_liner, widths=FIG7_WIDTHS), rounds=1, iterations=1
+    )
+
+    print_header(f"Figure 7 — {name}: speedup vs parallelism")
+    for configuration, points in series.items():
+        rendered = "  ".join(f"{width}x:{points[width]:6.2f}" for width in FIG7_WIDTHS)
+        print(f"  {configuration:<16} {rendered}")
+
+    best = series["Par + Split"]
+    lazy = series["No Eager"]
+    # Shape checks: speedup never decreases catastrophically with width, the
+    # eager configuration is at least as good as the lazy one, and large
+    # scripts improve over the sequential baseline.
+    assert best[64] >= best[2] * 0.9
+    assert all(best[width] >= lazy[width] * 0.95 for width in FIG7_WIDTHS)
+    if name not in ("grep-light",):
+        assert best[16] > 1.5
+
+
+def test_bench_fig7_average_best_speedup(benchmark):
+    averages = benchmark.pedantic(
+        lambda: best_configuration_speedups(widths=FIG7_WIDTHS), rounds=1, iterations=1
+    )
+    print_header("Figure 7 — average best-configuration speedup per width")
+    print(f"{'width':<8}{'paper':<10}{'measured'}")
+    for width in FIG7_WIDTHS:
+        print(f"{width:<8}{PAPER_AVERAGE_BEST[width]:<10}{averages[width]}")
+    # The averages grow monotonically with width and land in the same regime
+    # as the paper (single digits at 8x, 10-20x at 64x).
+    values = [averages[width] for width in FIG7_WIDTHS]
+    assert all(later >= earlier for earlier, later in zip(values, values[1:]))
+    assert 1.2 <= averages[2] <= 3.0
+    assert 4.0 <= averages[16] <= 16.0
+    assert 6.0 <= averages[64] <= 30.0

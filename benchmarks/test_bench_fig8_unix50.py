@@ -1,0 +1,39 @@
+"""EXP-F8 — Figure 8: Unix50 pipeline speedups at 16x parallelism."""
+
+from conftest import print_header
+
+from repro.evaluation.figures import figure8_series, figure8_summary
+
+#: Paper: average 5.49, median 6.07, weighted average 5.75 at 16x.
+PAPER_SUMMARY = {"average": 5.49, "median": 6.07, "weighted_average": 5.75}
+
+
+def test_bench_fig8_unix50(benchmark):
+    points = benchmark.pedantic(lambda: figure8_series(width=16), rounds=1, iterations=1)
+    summary = figure8_summary(points)
+
+    print_header("Figure 8 — Unix50 speedups at 16x (reproduced)")
+    print(f"{'idx':<5}{'speedup':<10}{'seq (s)':<12}{'group':<12}description")
+    for point in points:
+        print(
+            f"{point['index']:<5}{point['speedup']:<10}{point['sequential_seconds']:<12}"
+            f"{point['expected_group']:<12}{point['description']}"
+        )
+    print()
+    print(f"{'metric':<20}{'paper':<10}{'measured'}")
+    for key, value in PAPER_SUMMARY.items():
+        print(f"{key:<20}{value:<10}{summary[key]}")
+
+    assert len(points) == 34
+    # Group-level shape: most pipelines accelerate, the awk/sed group stays
+    # around 1x, and the tiny head-bound group slows down.
+    for point in points:
+        if point["expected_group"] == "speedup":
+            assert point["speedup"] > 1.5, point
+        elif point["expected_group"] == "nospeedup":
+            assert 0.7 <= point["speedup"] <= 1.3, point
+        else:
+            assert point["speedup"] < 1.0, point
+    # Aggregate statistics land near the paper's.
+    assert 3.0 <= summary["average"] <= 9.0
+    assert 3.0 <= summary["median"] <= 9.0

@@ -1,0 +1,29 @@
+"""EXP-SORT — §6.5: PaSh-parallelized sort vs `sort --parallel`."""
+
+from conftest import print_header
+
+from repro.evaluation.microbench import parallel_sort_comparison
+
+
+def test_bench_micro_parallel_sort(benchmark):
+    rows = benchmark.pedantic(
+        lambda: parallel_sort_comparison(widths=(4, 8, 16, 32, 64), total_lines=100_000_000),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header("Micro-benchmark — parallel sort (§6.5)")
+    print(f"{'width':<8}{'PaSh':<10}{'PaSh no-eager':<15}{'sort --parallel'}")
+    for row in rows:
+        print(f"{row['width']:<8}{row['pash']:<10}{row['pash_no_eager']:<15}{row['sort_parallel']}")
+
+    final = rows[-1]
+    # Paper's qualitative claims: no-eager PaSh is comparable to sort
+    # --parallel, eager PaSh outperforms it, and GNU sort's own scalability
+    # saturates.
+    assert final["pash"] > final["pash_no_eager"]
+    assert final["pash"] >= final["sort_parallel"]
+    gnu_values = [row["sort_parallel"] for row in rows]
+    assert max(gnu_values) - gnu_values[-1] < 2.0  # saturation
+    pash_values = [row["pash"] for row in rows]
+    assert all(later >= earlier for earlier, later in zip(pash_values, pash_values[1:]))

@@ -1,0 +1,30 @@
+"""EXP-NOAA — §6.3: temperature analysis use case."""
+
+from conftest import print_header
+
+from repro.evaluation.usecases import noaa_correctness, noaa_usecase
+
+#: Paper: 1.86x / 2.44x end-to-end at 2x / 10x; the max-temperature phase
+#: alone reaches 2.30x / 10.79x.
+PAPER = {2: 1.86, 10: 2.44}
+PAPER_MAX_PHASE = {2: 2.30, 10: 10.79}
+
+
+def test_bench_noaa_usecase(benchmark):
+    results = benchmark.pedantic(
+        lambda: noaa_usecase(widths=(2, 10), stations_per_year=2000), rounds=1, iterations=1
+    )
+
+    print_header("Use case — NOAA temperature analysis (Fig. 1 pipeline)")
+    print(f"{'width':<8}{'paper (end-to-end)':<20}{'paper (max phase)':<20}{'measured'}")
+    for width, data in results["widths"].items():
+        print(f"{width:<8}{PAPER[width]:<20}{PAPER_MAX_PHASE[width]:<20}{data['speedup']}")
+
+    two = results["widths"][2]["speedup"]
+    ten = results["widths"][10]["speedup"]
+    assert 1.5 <= two <= 2.5
+    assert two < ten <= 12.0
+
+    correctness = noaa_correctness(years=[2015], stations=4)
+    print("parallel output identical to sequential:", correctness["identical"])
+    assert correctness["identical"]

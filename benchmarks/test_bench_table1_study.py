@@ -1,0 +1,24 @@
+"""EXP-T1 — Table 1: parallelizability classes of POSIX and GNU Coreutils."""
+
+from conftest import print_header
+
+from repro.annotations.study import PAPER_TABLE1_COUNTS, standard_study
+from repro.evaluation.tables import format_table1, table1_rows
+
+
+def test_bench_table1_study(benchmark):
+    rows = benchmark(table1_rows)
+
+    print_header("Table 1 — Parallelizability classes (reproduced)")
+    print(format_table1())
+    print()
+    print("Paper-reported counts:")
+    study = standard_study()
+    for (suite, parallelizability), expected in sorted(
+        PAPER_TABLE1_COUNTS.items(), key=lambda item: (item[0][0], item[0][1].rank)
+    ):
+        measured = study.count(suite, parallelizability)
+        print(f"  {suite:<10} {parallelizability.symbol}: paper={expected:<4} measured={measured}")
+        assert measured == expected
+
+    assert len(rows) == 4

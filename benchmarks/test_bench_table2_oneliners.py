@@ -1,0 +1,27 @@
+"""EXP-T2 — Table 2: one-liner summary (structure, node counts, compile time)."""
+
+from conftest import print_header
+
+from repro.evaluation.tables import format_table2, table2_rows
+from repro.workloads.oneliners import PAPER_TABLE2
+
+
+def test_bench_table2_oneliners(benchmark):
+    rows = benchmark.pedantic(lambda: table2_rows(widths=(16, 64)), rounds=1, iterations=1)
+
+    print_header("Table 2 — One-liner summary at widths 16 and 64 (reproduced)")
+    print(format_table2(rows, widths=(16, 64)))
+    print()
+    print(f"{'script':<18}{'paper #nodes(16/64)':<24}{'measured #nodes(16/64)'}")
+    for row in rows:
+        paper = PAPER_TABLE2[row["script"]]
+        print(
+            f"{row['script']:<18}{paper['nodes_16']}/{paper['nodes_64']:<18}"
+            f"{row['nodes_16']}/{row['nodes_64']}"
+        )
+
+    assert len(rows) == 12
+    # Compilation stays in the milliseconds range reported by the paper.
+    assert all(row["compile_time_64"] < 2.0 for row in rows)
+    # Node counts grow roughly linearly with the parallelism width.
+    assert all(row["nodes_64"] > 2 * row["nodes_16"] for row in rows)

@@ -1,0 +1,28 @@
+"""EXP-WIKI — §6.4: Wikipedia web-indexing use case."""
+
+from conftest import print_header
+
+from repro.evaluation.usecases import wikipedia_correctness, wikipedia_usecase
+
+#: Paper: 1.97x at 2x and 12.7x at 16x parallelism.
+PAPER = {2: 1.97, 16: 12.7}
+
+
+def test_bench_wikipedia_usecase(benchmark):
+    results = benchmark.pedantic(
+        lambda: wikipedia_usecase(widths=(2, 16), url_count=6000), rounds=1, iterations=1
+    )
+
+    print_header("Use case — Wikipedia web indexing")
+    print(f"{'width':<8}{'paper':<10}{'measured'}")
+    for width, data in results["widths"].items():
+        print(f"{width:<8}{PAPER[width]:<10}{data['speedup']}")
+
+    two = results["widths"][2]["speedup"]
+    sixteen = results["widths"][16]["speedup"]
+    assert 1.5 <= two <= 2.5
+    assert 8.0 <= sixteen <= 16.0
+
+    correctness = wikipedia_correctness(pages=12, width=4)
+    print("parallel index identical to sequential:", correctness["identical"])
+    assert correctness["identical"]

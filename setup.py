@@ -1,0 +1,6 @@
+"""Setup shim for environments with an older setuptools (no PEP 660 wheel)."""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

@@ -1,0 +1,42 @@
+"""Reproduction of "PaSh: Light-touch Data-Parallel Shell Processing"
+(EuroSys 2021).
+
+The package exposes the end-to-end compiler plus the subsystems it is built
+from:
+
+* :mod:`repro.shell` — POSIX shell parser / expander / unparser,
+* :mod:`repro.annotations` — parallelizability classes and the annotation DSL,
+* :mod:`repro.dfg` — the dataflow-graph IR and the AST→DFG front-end,
+* :mod:`repro.transform` — the parallelization and auxiliary transformations,
+* :mod:`repro.backend` — DFG→shell back-end,
+* :mod:`repro.runtime` — eager relays, split, aggregators, and the in-process
+  executor used for correctness checking,
+* :mod:`repro.commands` — pure-Python UNIX command implementations,
+* :mod:`repro.simulator` — the performance model behind the evaluation,
+* :mod:`repro.workloads` and :mod:`repro.evaluation` — benchmark scripts,
+  synthetic datasets, and the table/figure harnesses.
+
+Quick start::
+
+    from repro import compile_script, ParallelizationConfig
+
+    compiled = compile_script(
+        "cat a.txt b.txt | grep error | sort | uniq -c",
+        ParallelizationConfig.paper_default(width=8),
+    )
+    print(compiled.text)
+"""
+
+from repro.backend.compiler import CompiledScript, compile_script
+from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CompiledScript",
+    "EagerMode",
+    "ParallelizationConfig",
+    "SplitMode",
+    "compile_script",
+    "__version__",
+]

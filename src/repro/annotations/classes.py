@@ -1,0 +1,97 @@
+"""The four parallelizability classes of §3.1.
+
+Classes form a hierarchy ordered by how hard a command is to parallelize:
+
+``STATELESS < PARALLELIZABLE_PURE < NON_PARALLELIZABLE_PURE < SIDE_EFFECTFUL``
+
+A command that is classified differently under different flags ends up in the
+least parallelizable class among its active clauses (§3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+
+
+@functools.total_ordering
+class ParallelizabilityClass(enum.Enum):
+    """Parallelizability class of a command invocation (Table 1)."""
+
+    STATELESS = "stateless"
+    PARALLELIZABLE_PURE = "pure"
+    NON_PARALLELIZABLE_PURE = "non-parallelizable"
+    SIDE_EFFECTFUL = "side-effectful"
+
+    @property
+    def rank(self) -> int:
+        """Position in the hierarchy; larger means harder to parallelize."""
+        return _RANKS[self]
+
+    @property
+    def symbol(self) -> str:
+        """Single-letter symbol used in the paper's tables (S, P, N, E)."""
+        return _SYMBOLS[self]
+
+    @property
+    def is_data_parallelizable(self) -> bool:
+        """True for classes whose invocations PaSh can parallelize."""
+        return self in (
+            ParallelizabilityClass.STATELESS,
+            ParallelizabilityClass.PARALLELIZABLE_PURE,
+        )
+
+    def __lt__(self, other: "ParallelizabilityClass") -> bool:
+        if not isinstance(other, ParallelizabilityClass):
+            return NotImplemented
+        return self.rank < other.rank
+
+    @classmethod
+    def least_parallelizable(cls, *classes: "ParallelizabilityClass") -> "ParallelizabilityClass":
+        """Return the hardest-to-parallelize class among ``classes``."""
+        if not classes:
+            raise ValueError("at least one class is required")
+        return max(classes)
+
+    @classmethod
+    def from_keyword(cls, keyword: str) -> "ParallelizabilityClass":
+        """Map an annotation-DSL keyword (or symbol) to a class."""
+        normalized = keyword.strip().lower()
+        if normalized in _KEYWORDS:
+            return _KEYWORDS[normalized]
+        raise ValueError(f"unknown parallelizability class keyword {keyword!r}")
+
+
+_RANKS = {
+    ParallelizabilityClass.STATELESS: 0,
+    ParallelizabilityClass.PARALLELIZABLE_PURE: 1,
+    ParallelizabilityClass.NON_PARALLELIZABLE_PURE: 2,
+    ParallelizabilityClass.SIDE_EFFECTFUL: 3,
+}
+
+_SYMBOLS = {
+    ParallelizabilityClass.STATELESS: "S",
+    ParallelizabilityClass.PARALLELIZABLE_PURE: "P",
+    ParallelizabilityClass.NON_PARALLELIZABLE_PURE: "N",
+    ParallelizabilityClass.SIDE_EFFECTFUL: "E",
+}
+
+_KEYWORDS = {
+    "stateless": ParallelizabilityClass.STATELESS,
+    "s": ParallelizabilityClass.STATELESS,
+    "pure": ParallelizabilityClass.PARALLELIZABLE_PURE,
+    "parallelizable_pure": ParallelizabilityClass.PARALLELIZABLE_PURE,
+    "p": ParallelizabilityClass.PARALLELIZABLE_PURE,
+    "non-parallelizable": ParallelizabilityClass.NON_PARALLELIZABLE_PURE,
+    "non_parallelizable": ParallelizabilityClass.NON_PARALLELIZABLE_PURE,
+    "n": ParallelizabilityClass.NON_PARALLELIZABLE_PURE,
+    "side-effectful": ParallelizabilityClass.SIDE_EFFECTFUL,
+    "side_effectful": ParallelizabilityClass.SIDE_EFFECTFUL,
+    "e": ParallelizabilityClass.SIDE_EFFECTFUL,
+}
+
+#: Short aliases used throughout the code base and tests.
+STATELESS = ParallelizabilityClass.STATELESS
+PARALLELIZABLE_PURE = ParallelizabilityClass.PARALLELIZABLE_PURE
+NON_PARALLELIZABLE_PURE = ParallelizabilityClass.NON_PARALLELIZABLE_PURE
+SIDE_EFFECTFUL = ParallelizabilityClass.SIDE_EFFECTFUL

@@ -1,0 +1,273 @@
+"""Parser for the textual annotation language (Appendix A).
+
+Example record::
+
+    comm {
+    | -1 /\\ -3 => (S, [args[1]], [stdout])
+    | -2 /\\ -3 => (S, [args[0]], [stdout])
+    | otherwise => (P, [args[0], args[1]], [stdout])
+    }
+
+Both the paper's ``/\\`` / ``\\/`` connectives and the keywords ``and`` /
+``or`` / ``not`` are accepted; ``_`` is a synonym for ``otherwise``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.annotations.classes import ParallelizabilityClass
+from repro.annotations.model import (
+    And,
+    AnnotationRecord,
+    Assignment,
+    Clause,
+    IOSpec,
+    NoOptions,
+    Not,
+    OptionPresent,
+    OptionValueEquals,
+    Or,
+    Otherwise,
+    Predicate,
+)
+
+
+class AnnotationParseError(ValueError):
+    """Raised when an annotation record cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>=>)
+  | (?P<and>/\\|\band\b)
+  | (?P<or>\\/|\bor\b)
+  | (?P<not>\bnot\b)
+  | (?P<value>\bvalue\b)
+  | (?P<otherwise>\botherwise\b|_)
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<comma>,)
+  | (?P<pipe>\|)
+  | (?P<colon>:)
+  | (?P<equals>=)
+  | (?P<option>-[A-Za-z0-9][A-Za-z0-9-]*|--[A-Za-z0-9][A-Za-z0-9-]*)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<word>args?\[\d*:?\d*\]|[A-Za-z_][A-Za-z0-9_-]*|\d+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise AnnotationParseError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    def _peek(self) -> Tuple[str, str]:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self.tokens[self.index]
+        if token[0] != "eof":
+            self.index += 1
+        return token
+
+    def _expect(self, kind: str) -> Tuple[str, str]:
+        token = self._peek()
+        if token[0] != kind:
+            raise AnnotationParseError(f"expected {kind}, found {token[1]!r}")
+        return self._advance()
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_command_list(self) -> List[AnnotationRecord]:
+        records = []
+        while self._peek()[0] != "eof":
+            records.append(self.parse_command())
+        return records
+
+    def parse_command(self) -> AnnotationRecord:
+        name_token = self._expect("word")
+        self._expect("lbrace")
+        clauses: List[Clause] = []
+        while self._peek()[0] == "pipe":
+            self._advance()
+            clauses.append(self.parse_predicate_clause())
+        self._expect("rbrace")
+        if not clauses:
+            raise AnnotationParseError(f"record for {name_token[1]!r} has no clauses")
+        return AnnotationRecord(name_token[1], clauses)
+
+    def parse_predicate_clause(self) -> Clause:
+        predicate = self.parse_option_pred()
+        self._expect("arrow")
+        assignment = self.parse_assignment()
+        return Clause(predicate, assignment)
+
+    def parse_option_pred(self) -> Predicate:
+        left = self.parse_option_conjunct()
+        while self._peek()[0] == "or":
+            self._advance()
+            right = self.parse_option_conjunct()
+            left = Or(left, right)
+        return left
+
+    def parse_option_conjunct(self) -> Predicate:
+        left = self.parse_option_atom()
+        while self._peek()[0] == "and":
+            self._advance()
+            right = self.parse_option_atom()
+            left = And(left, right)
+        return left
+
+    def parse_option_atom(self) -> Predicate:
+        kind, text = self._peek()
+        if kind == "not":
+            self._advance()
+            return Not(self.parse_option_atom())
+        if kind == "otherwise":
+            self._advance()
+            return Otherwise()
+        if kind == "value":
+            self._advance()
+            option = self._expect("option")[1]
+            self._expect("equals")
+            value_kind, value_text = self._advance()
+            if value_kind == "string":
+                value_text = value_text[1:-1]
+            return OptionValueEquals(option, value_text)
+        if kind == "option":
+            self._advance()
+            return OptionPresent(text)
+        if kind == "word" and text == "no_options":
+            self._advance()
+            return NoOptions()
+        if kind == "lparen":
+            self._advance()
+            inner = self.parse_option_pred()
+            self._expect("rparen")
+            return inner
+        raise AnnotationParseError(f"expected an option predicate, found {text!r}")
+
+    def parse_assignment(self) -> Assignment:
+        self._expect("lparen")
+        category_token = self._advance()
+        category = ParallelizabilityClass.from_keyword(category_token[1])
+        self._expect("comma")
+        inputs = self.parse_io_list()
+        self._expect("comma")
+        outputs = self.parse_io_list()
+        self._expect("rparen")
+        return Assignment(category, inputs, outputs)
+
+    def parse_io_list(self) -> List[IOSpec]:
+        self._expect("lbracket")
+        specs: List[IOSpec] = []
+        while self._peek()[0] != "rbracket":
+            specs.append(self.parse_io())
+            if self._peek()[0] == "comma":
+                self._advance()
+        self._expect("rbracket")
+        return specs
+
+    def parse_io(self) -> IOSpec:
+        kind, text = self._advance()
+        if kind != "word":
+            raise AnnotationParseError(f"expected an input/output, found {text!r}")
+        return parse_io_spec(text)
+
+
+_ARG_RE = re.compile(r"^args?\[(\d*)(:?)(\d*)\]$")
+
+
+def parse_io_spec(text: str) -> IOSpec:
+    """Parse a single IO spec such as ``stdin``, ``stdout`` or ``args[1:]``."""
+    if text == "stdin":
+        return IOSpec.stdin()
+    if text == "stdout":
+        return IOSpec.stdout()
+    match = _ARG_RE.match(text)
+    if not match:
+        raise AnnotationParseError(f"cannot parse io spec {text!r}")
+    first, colon, second = match.groups()
+    if not colon:
+        if first == "":
+            raise AnnotationParseError(f"missing index in {text!r}")
+        return IOSpec.arg(int(first))
+    start = int(first) if first else None
+    end = int(second) if second else None
+    return IOSpec.args_slice(start, end)
+
+
+def parse_annotation(text: str) -> AnnotationRecord:
+    """Parse a single annotation record."""
+    records = parse_annotations(text)
+    if len(records) != 1:
+        raise AnnotationParseError(f"expected one record, found {len(records)}")
+    return records[0]
+
+
+def parse_annotations(text: str) -> List[AnnotationRecord]:
+    """Parse a list of annotation records."""
+    return _Parser(_tokenize(text)).parse_command_list()
+
+
+def render_annotation(record: AnnotationRecord) -> str:
+    """Render a record back to the DSL (used for documentation and tests)."""
+    lines = [f"{record.command} {{"]
+    for clause in record.clauses:
+        predicate = _render_predicate(clause.predicate)
+        inputs = ", ".join(str(spec) for spec in clause.assignment.inputs)
+        outputs = ", ".join(str(spec) for spec in clause.assignment.outputs)
+        symbol = clause.assignment.parallelizability.symbol
+        lines.append(f"| {predicate} => ({symbol}, [{inputs}], [{outputs}])")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_predicate(predicate: Predicate) -> str:
+    if isinstance(predicate, Otherwise):
+        return "otherwise"
+    if isinstance(predicate, NoOptions):
+        return "no_options"
+    if isinstance(predicate, OptionPresent):
+        return predicate.flag
+    if isinstance(predicate, OptionValueEquals):
+        return f'value {predicate.flag} = "{predicate.value}"'
+    if isinstance(predicate, Not):
+        return f"not {_render_predicate(predicate.inner)}"
+    if isinstance(predicate, And):
+        return f"{_render_predicate(predicate.left)} and {_render_predicate(predicate.right)}"
+    if isinstance(predicate, Or):
+        return f"{_render_predicate(predicate.left)} or {_render_predicate(predicate.right)}"
+    raise AnnotationParseError(f"cannot render predicate {predicate!r}")
+
+
+def load_annotation_map(text: str) -> Dict[str, AnnotationRecord]:
+    """Parse a command list and index the records by command name."""
+    return {record.command: record for record in parse_annotations(text)}

@@ -1,0 +1,244 @@
+"""The parallelizability study behind Table 1.
+
+The paper classifies every command of GNU Coreutils and of the POSIX utility
+set into the four parallelizability classes.  This module records that
+inventory and computes the per-class counts and percentages that make up
+Table 1:
+
+=======================  =========  =========
+Class                    Coreutils  POSIX
+=======================  =========  =========
+Stateless                22 (21.1%) 28 (18%)
+Parallelizable pure       8 (7.6%)   9 (5%)
+Non-parallelizable pure  13 (12.4%) 13 (8.3%)
+Side-effectful           57 (58.8%) 105 (67.8%)
+=======================  =========  =========
+
+The paper's percentages are computed against slightly larger denominators
+than the row sums (the study also covered a handful of commands outside both
+suites); this module reports both the raw counts — which match the paper
+exactly — and percentages over the suite sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.annotations.classes import ParallelizabilityClass
+
+S = ParallelizabilityClass.STATELESS
+P = ParallelizabilityClass.PARALLELIZABLE_PURE
+N = ParallelizabilityClass.NON_PARALLELIZABLE_PURE
+E = ParallelizabilityClass.SIDE_EFFECTFUL
+
+
+# ---------------------------------------------------------------------------
+# GNU Coreutils inventory (100 commands)
+# ---------------------------------------------------------------------------
+
+COREUTILS_STATELESS: Tuple[str, ...] = (
+    "base32", "base64", "basename", "cat", "cut", "dirname", "echo", "expand",
+    "expr", "fold", "fmt", "join", "numfmt", "od", "paste", "pathchk",
+    "printf", "realpath", "seq", "tr", "unexpand", "yes",
+)
+
+COREUTILS_PURE: Tuple[str, ...] = (
+    "comm", "head", "nl", "sort", "tac", "tail", "uniq", "wc",
+)
+
+COREUTILS_NON_PARALLELIZABLE: Tuple[str, ...] = (
+    "b2sum", "cksum", "factor", "md5sum", "ptx", "sha1sum", "sha224sum",
+    "sha256sum", "sha384sum", "sha512sum", "shuf", "sum", "tsort",
+)
+
+COREUTILS_SIDE_EFFECTFUL: Tuple[str, ...] = (
+    "arch", "chcon", "chgrp", "chmod", "chown", "chroot", "cp", "dd", "df",
+    "dir", "dircolors", "du", "env", "false", "groups", "hostid", "id",
+    "install", "link", "ln", "logname", "ls", "mkdir", "mkfifo", "mknod",
+    "mktemp", "mv", "nice", "nohup", "nproc", "pinky", "pr", "pwd",
+    "readlink", "rm", "rmdir", "runcon", "shred", "sleep", "split", "stat",
+    "stdbuf", "stty", "sync", "tee", "test", "timeout", "touch", "true",
+    "tty", "uname", "unlink", "uptime", "users", "vdir", "who", "whoami",
+)
+
+
+# ---------------------------------------------------------------------------
+# POSIX utility inventory (155 commands)
+# ---------------------------------------------------------------------------
+
+POSIX_STATELESS: Tuple[str, ...] = (
+    "asa", "basename", "cat", "cut", "dirname", "echo", "egrep", "expand",
+    "expr", "fgrep", "fold", "grep", "iconv", "join", "od", "paste",
+    "printf", "sed", "seq", "strings", "tr", "unexpand", "uudecode",
+    "uuencode", "xargs", "zcat", "col", "rev",
+)
+
+POSIX_PURE: Tuple[str, ...] = (
+    "comm", "head", "nl", "pr", "sort", "tail", "tsort", "uniq", "wc",
+)
+
+POSIX_NON_PARALLELIZABLE: Tuple[str, ...] = (
+    "cksum", "cmp", "csplit", "diff", "md5sum", "patch", "sha1sum", "sum",
+    "dd", "ed", "ex", "pack", "compress",
+)
+
+POSIX_SIDE_EFFECTFUL: Tuple[str, ...] = (
+    "admin", "alias", "ar", "at", "awk", "batch", "bc", "bg", "c99", "cal",
+    "cd", "cflow", "chgrp", "chmod", "chown", "cp", "crontab", "ctags",
+    "cxref", "date", "delta", "df", "du", "env", "eval", "exec", "exit",
+    "export", "false", "fc", "fg", "file", "find", "fuser", "gencat", "get",
+    "getconf", "getopts", "hash", "id", "ipcrm", "ipcs", "jobs", "kill",
+    "lex", "link", "ln", "locale", "localedef", "logger", "logname", "lp",
+    "ls", "m4", "mailx", "make", "man", "mesg", "mkdir", "mkfifo", "more",
+    "mv", "newgrp", "nice", "nm", "nohup", "printenv", "prs", "ps", "pwd",
+    "qstat", "qsub", "read", "renice", "rm", "rmdel", "rmdir",
+    "sact", "sccs", "sh", "sleep", "split", "stty", "tabs", "talk", "tee",
+    "time", "touch", "tput", "tty", "type", "ulimit", "umask", "unalias",
+    "uname", "unget", "unlink", "uustat", "uux", "val", "vi", "wait",
+    "what", "who", "write",
+)
+
+
+@dataclass
+class CommandClassification:
+    """Classification of one command within one suite."""
+
+    command: str
+    suite: str
+    parallelizability: ParallelizabilityClass
+
+
+class ParallelizabilityStudy:
+    """Aggregated classification results for a set of command suites."""
+
+    def __init__(self, classifications: Iterable[CommandClassification]) -> None:
+        self.classifications: List[CommandClassification] = list(classifications)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_suites(
+        cls, suites: Mapping[str, Mapping[ParallelizabilityClass, Iterable[str]]]
+    ) -> "ParallelizabilityStudy":
+        """Build a study from ``{suite: {class: [command, ...]}}``."""
+        classifications = []
+        for suite, by_class in suites.items():
+            for parallelizability, commands in by_class.items():
+                for command in commands:
+                    classifications.append(
+                        CommandClassification(command, suite, parallelizability)
+                    )
+        return cls(classifications)
+
+    # -- queries --------------------------------------------------------------
+
+    def suites(self) -> List[str]:
+        """Suite names in first-appearance order."""
+        seen: List[str] = []
+        for classification in self.classifications:
+            if classification.suite not in seen:
+                seen.append(classification.suite)
+        return seen
+
+    def suite_size(self, suite: str) -> int:
+        return sum(1 for c in self.classifications if c.suite == suite)
+
+    def count(self, suite: str, parallelizability: ParallelizabilityClass) -> int:
+        return sum(
+            1
+            for c in self.classifications
+            if c.suite == suite and c.parallelizability == parallelizability
+        )
+
+    def percentage(self, suite: str, parallelizability: ParallelizabilityClass) -> float:
+        size = self.suite_size(suite)
+        if size == 0:
+            return 0.0
+        return 100.0 * self.count(suite, parallelizability) / size
+
+    def counts(self, suite: str) -> Dict[ParallelizabilityClass, int]:
+        return {cls_: self.count(suite, cls_) for cls_ in ParallelizabilityClass}
+
+    def classify(self, command: str, suite: str) -> ParallelizabilityClass:
+        for classification in self.classifications:
+            if classification.command == command and classification.suite == suite:
+                return classification.parallelizability
+        raise KeyError(f"{command!r} is not part of suite {suite!r}")
+
+    def commands_in_class(
+        self, suite: str, parallelizability: ParallelizabilityClass
+    ) -> List[str]:
+        return sorted(
+            c.command
+            for c in self.classifications
+            if c.suite == suite and c.parallelizability == parallelizability
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def table_rows(self) -> List[Dict[str, object]]:
+        """Rows of Table 1: one per class, columns per suite."""
+        rows = []
+        labels = {
+            S: "Stateless",
+            P: "Parallelizable Pure",
+            N: "Non-parallelizable Pure",
+            E: "Side-effectful",
+        }
+        for parallelizability in (S, P, N, E):
+            row: Dict[str, object] = {
+                "class": labels[parallelizability],
+                "symbol": parallelizability.symbol,
+            }
+            for suite in self.suites():
+                row[suite] = self.count(suite, parallelizability)
+                row[f"{suite}_pct"] = round(self.percentage(suite, parallelizability), 1)
+            rows.append(row)
+        return rows
+
+    def format_table(self) -> str:
+        """Render Table 1 as plain text."""
+        rows = self.table_rows()
+        suites = self.suites()
+        header = ["Class".ljust(26)] + [suite.ljust(18) for suite in suites]
+        lines = ["".join(header)]
+        for row in rows:
+            cells = [f"{row['class']} ({row['symbol']})".ljust(26)]
+            for suite in suites:
+                cells.append(f"{row[suite]} ({row[f'{suite}_pct']}%)".ljust(18))
+            lines.append("".join(cells))
+        return "\n".join(lines)
+
+
+def standard_study() -> ParallelizabilityStudy:
+    """The study over GNU Coreutils and POSIX used for Table 1."""
+    return ParallelizabilityStudy.from_suites(
+        {
+            "coreutils": {
+                S: COREUTILS_STATELESS,
+                P: COREUTILS_PURE,
+                N: COREUTILS_NON_PARALLELIZABLE,
+                E: COREUTILS_SIDE_EFFECTFUL,
+            },
+            "posix": {
+                S: POSIX_STATELESS,
+                P: POSIX_PURE,
+                N: POSIX_NON_PARALLELIZABLE,
+                E: POSIX_SIDE_EFFECTFUL,
+            },
+        }
+    )
+
+
+#: Paper-reported counts for Table 1, used by tests and EXPERIMENTS.md.
+PAPER_TABLE1_COUNTS = {
+    ("coreutils", S): 22,
+    ("coreutils", P): 8,
+    ("coreutils", N): 13,
+    ("coreutils", E): 57,
+    ("posix", S): 28,
+    ("posix", P): 9,
+    ("posix", N): 13,
+    ("posix", E): 105,
+}

@@ -1,0 +1,112 @@
+"""``pash-compile`` — the command-line front door.
+
+Usage examples::
+
+    pash-compile --width 16 script.sh            # print the parallel script
+    pash-compile --width 8 --report script.sh    # also print what was done
+    pash-compile --width 4 --no-eager script.sh  # ablate the eager relays
+    echo 'cat a b | grep x | sort' | pash-compile --width 4 -
+
+The tool never executes anything; like the paper's system it emits a new
+shell script that the user's own shell runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.backend.compiler import compile_script
+from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pash-compile",
+        description="Compile a POSIX shell script into its data-parallel equivalent.",
+    )
+    parser.add_argument("script", help="path to the script, or '-' for stdin")
+    parser.add_argument("--width", type=int, default=2, help="parallelism width (default 2)")
+    parser.add_argument(
+        "--no-eager", action="store_true", help="disable eager relay insertion"
+    )
+    parser.add_argument(
+        "--blocking-eager", action="store_true", help="use blocking relays instead of eager ones"
+    )
+    parser.add_argument(
+        "--split",
+        choices=("general", "input-aware", "none"),
+        default="general",
+        help="split strategy for single-input parallelizable commands",
+    )
+    parser.add_argument(
+        "--fan-in", type=int, default=2, help="aggregation tree fan-in (default 2)"
+    )
+    parser.add_argument(
+        "--report", action="store_true", help="print a compilation report to stderr"
+    )
+    parser.add_argument(
+        "--output", "-o", default=None, help="write the parallel script to this file"
+    )
+    return parser
+
+
+def _config_from_arguments(arguments: argparse.Namespace) -> ParallelizationConfig:
+    if arguments.no_eager:
+        eager = EagerMode.NONE
+    elif arguments.blocking_eager:
+        eager = EagerMode.BLOCKING
+    else:
+        eager = EagerMode.EAGER
+    split = {
+        "general": SplitMode.GENERAL,
+        "input-aware": SplitMode.INPUT_AWARE,
+        "none": SplitMode.NONE,
+    }[arguments.split]
+    return ParallelizationConfig(
+        width=arguments.width,
+        eager=eager,
+        split=split,
+        aggregation_fan_in=arguments.fan_in,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+
+    if arguments.script == "-":
+        source = sys.stdin.read()
+    else:
+        with open(arguments.script) as handle:
+            source = handle.read()
+
+    compiled = compile_script(source, _config_from_arguments(arguments))
+
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            handle.write(compiled.text + "\n")
+    else:
+        print(compiled.text)
+
+    if arguments.report:
+        stats = compiled.stats
+        print(
+            f"# regions: {stats.regions_found} found, "
+            f"{stats.regions_parallelized} parallelized, "
+            f"{stats.regions_rejected} left sequential",
+            file=sys.stderr,
+        )
+        print(f"# runtime processes: {compiled.node_count}", file=sys.stderr)
+        print(
+            f"# compile time: {stats.compile_time_seconds * 1000:.1f} ms",
+            file=sys.stderr,
+        )
+        for command in stats.parallelized_commands:
+            print(f"#   parallelized: {command}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Pure-Python implementations of the UNIX commands used by the evaluation.
+
+PaSh's correctness claim is that the parallel script produces byte-identical
+output to the sequential script.  To check that claim without depending on
+the host system's coreutils, this package provides line-stream
+implementations of every command the benchmark scripts use.  The in-process
+executor (:mod:`repro.runtime.executor`) resolves DFG nodes against the
+registry defined here.
+
+The implementations intentionally cover only the flag subsets exercised by
+the paper's scripts; unsupported flags raise :class:`CommandError` so that
+tests fail loudly rather than silently diverging from UNIX semantics.
+"""
+
+from repro.commands.base import CommandError, CommandImplementation, CommandRegistry
+from repro.commands.registry import standard_registry
+
+__all__ = [
+    "CommandError",
+    "CommandImplementation",
+    "CommandRegistry",
+    "standard_registry",
+]

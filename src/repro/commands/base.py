@@ -1,0 +1,141 @@
+"""Command implementation protocol and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+
+class CommandError(ValueError):
+    """Raised when a command is invoked with unsupported arguments."""
+
+
+#: A stream is a list of lines without trailing newlines.
+Stream = List[str]
+
+
+@dataclass
+class CommandImplementation:
+    """A single command implementation.
+
+    ``function`` receives the argument vector (options and operands, already
+    expanded) and the list of input streams in the order dictated by the
+    command's annotation, and returns the output stream.
+    """
+
+    name: str
+    function: Callable[[List[str], List[Stream]], Stream]
+    description: str = ""
+
+    def run(self, arguments: Sequence[str], inputs: Sequence[Stream]) -> Stream:
+        """Execute the command over ``inputs`` and return its output lines."""
+        return self.function(list(arguments), [list(stream) for stream in inputs])
+
+
+class CommandRegistry:
+    """Name-indexed collection of command implementations."""
+
+    def __init__(self, implementations: Optional[Iterable[CommandImplementation]] = None) -> None:
+        self._implementations: Dict[str, CommandImplementation] = {}
+        for implementation in implementations or ():
+            self.register(implementation)
+
+    def register(self, implementation: CommandImplementation) -> None:
+        """Add or replace an implementation."""
+        self._implementations[implementation.name] = implementation
+
+    def register_function(
+        self,
+        name: str,
+        function: Callable[[List[str], List[Stream]], Stream],
+        description: str = "",
+    ) -> CommandImplementation:
+        """Convenience wrapper to register a bare function."""
+        implementation = CommandImplementation(name, function, description)
+        self.register(implementation)
+        return implementation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._implementations
+
+    def __len__(self) -> int:
+        return len(self._implementations)
+
+    def names(self) -> List[str]:
+        return sorted(self._implementations)
+
+    def lookup(self, name: str) -> CommandImplementation:
+        """Return the implementation for ``name``.
+
+        Accepts both plain names and paths (``./avg.py`` resolves to
+        ``avg.py``); raises :class:`CommandError` when unknown.
+        """
+        if name in self._implementations:
+            return self._implementations[name]
+        basename = name.rsplit("/", 1)[-1]
+        if basename in self._implementations:
+            return self._implementations[basename]
+        raise CommandError(f"no implementation registered for command {name!r}")
+
+    def run(self, name: str, arguments: Sequence[str], inputs: Sequence[Stream]) -> Stream:
+        """Look up and run a command in one step."""
+        return self.lookup(name).run(arguments, inputs)
+
+    def copy(self) -> "CommandRegistry":
+        return CommandRegistry(self._implementations.values())
+
+
+# ---------------------------------------------------------------------------
+# Argument-parsing helpers shared by the implementations
+# ---------------------------------------------------------------------------
+
+
+def split_flags(arguments: Sequence[str]) -> (List[str], List[str]):  # type: ignore[valid-type]
+    """Split an argument vector into (options, operands)."""
+    options: List[str] = []
+    operands: List[str] = []
+    for argument in arguments:
+        if argument.startswith("-") and argument != "-":
+            options.append(argument)
+        else:
+            operands.append(argument)
+    return options, operands
+
+
+def flag_value(arguments: Sequence[str], flag: str, default: Optional[str] = None) -> Optional[str]:
+    """Return the value following ``flag`` (``-n 5`` or ``-n5`` or ``--n=5``)."""
+    args = list(arguments)
+    for index, argument in enumerate(args):
+        if argument == flag:
+            if index + 1 < len(args):
+                return args[index + 1]
+            return default
+        if argument.startswith(flag) and len(argument) > len(flag) and not flag.startswith("--"):
+            return argument[len(flag):]
+        if argument.startswith(flag + "="):
+            return argument[len(flag) + 1:]
+    return default
+
+
+def has_flag(arguments: Sequence[str], *flags: str) -> bool:
+    """True when any of ``flags`` appears (including combined short options)."""
+    short_letters = {flag[1] for flag in flags if len(flag) == 2 and flag[1] != "-"}
+    for argument in arguments:
+        if argument in flags:
+            return True
+        if (
+            argument.startswith("-")
+            and not argument.startswith("--")
+            and argument != "-"
+            and short_letters.intersection(argument[1:])
+        ):
+            return True
+    return False
+
+
+def concat_streams(streams: Sequence[Stream]) -> Stream:
+    """Concatenate input streams in order (the shell's ``cat`` semantics)."""
+    combined: Stream = []
+    for stream in streams:
+        combined.extend(stream)
+    return combined

@@ -1,0 +1,284 @@
+"""Remaining commands: cat, head, tail, tac, wc, seq, hashing, and the
+custom annotated commands used by the web-indexing and NOAA use cases."""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import List
+
+from repro.commands.base import (
+    CommandError,
+    Stream,
+    concat_streams,
+    flag_value,
+    has_flag,
+    split_flags,
+)
+
+
+# ---------------------------------------------------------------------------
+# Concatenation and selection
+# ---------------------------------------------------------------------------
+
+
+def cat(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``cat [-n]``: concatenate inputs, optionally numbering lines."""
+    data = concat_streams(inputs)
+    if has_flag(arguments, "-n"):
+        return [f"{index:6d}\t{line}" for index, line in enumerate(data, start=1)]
+    return data
+
+
+def head(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``head [-n N]`` (default 10)."""
+    count_text = flag_value(arguments, "-n", "10")
+    count = int(count_text) if count_text else 10
+    return concat_streams(inputs)[:count]
+
+
+def tail(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``tail [-n N]`` (default 10); supports the ``-n +K`` skip form."""
+    count_text = flag_value(arguments, "-n", "10") or "10"
+    data = concat_streams(inputs)
+    if count_text.startswith("+"):
+        start = int(count_text[1:])
+        return data[max(start - 1, 0):]
+    count = int(count_text)
+    if count == 0:
+        return []
+    return data[-count:]
+
+
+def tac(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Reverse the order of lines."""
+    return list(reversed(concat_streams(inputs)))
+
+
+def wc(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``wc [-l] [-w] [-c]``: line/word/character counts."""
+    data = concat_streams(inputs)
+    lines = len(data)
+    words = sum(len(line.split()) for line in data)
+    characters = sum(len(line) + 1 for line in data)
+
+    want_lines = has_flag(arguments, "-l")
+    want_words = has_flag(arguments, "-w")
+    want_chars = has_flag(arguments, "-c") or has_flag(arguments, "-m")
+    if not (want_lines or want_words or want_chars):
+        want_lines = want_words = want_chars = True
+
+    fields: List[str] = []
+    if want_lines:
+        fields.append(str(lines))
+    if want_words:
+        fields.append(str(words))
+    if want_chars:
+        fields.append(str(characters))
+    return [" ".join(fields)]
+
+
+def seq(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``seq [first [increment]] last`` (negative increments included)."""
+    numbers = []
+    for argument in arguments:
+        try:
+            numbers.append(int(argument))
+        except ValueError:
+            continue
+    if len(numbers) == 1:
+        first, increment, last = 1, 1, numbers[0]
+    elif len(numbers) == 2:
+        first, increment, last = numbers[0], 1, numbers[1]
+    elif len(numbers) == 3:
+        first, increment, last = numbers
+    else:
+        raise CommandError("seq requires one to three numeric operands")
+    out: Stream = []
+    value = first
+    while (increment > 0 and value <= last) or (increment < 0 and value >= last):
+        out.append(str(value))
+        value += increment
+    return out
+
+
+def echo(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``echo [-n] words...``."""
+    _, operands = split_flags(arguments)
+    return [" ".join(operands)]
+
+
+def basename(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``basename path [suffix]`` or line-wise when reading a stream."""
+    _, operands = split_flags(arguments)
+    if operands:
+        name = operands[0].rstrip("/").rsplit("/", 1)[-1]
+        if len(operands) > 1 and name.endswith(operands[1]):
+            name = name[: -len(operands[1])]
+        return [name]
+    return [line.rstrip("/").rsplit("/", 1)[-1] for line in concat_streams(inputs)]
+
+
+def dirname(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``dirname path`` or line-wise when reading a stream."""
+    _, operands = split_flags(arguments)
+
+    def compute(path: str) -> str:
+        trimmed = path.rstrip("/")
+        if "/" not in trimmed:
+            return "."
+        parent = trimmed.rsplit("/", 1)[0]
+        return parent or "/"
+
+    if operands:
+        return [compute(operands[0])]
+    return [compute(line) for line in concat_streams(inputs)]
+
+
+# ---------------------------------------------------------------------------
+# Hashing / diffing (non-parallelizable pure)
+# ---------------------------------------------------------------------------
+
+
+def sha1sum(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Hash the concatenated input stream."""
+    digest = hashlib.sha1()
+    for line in concat_streams(inputs):
+        digest.update(line.encode("utf-8", errors="replace"))
+        digest.update(b"\n")
+    return [f"{digest.hexdigest()}  -"]
+
+
+def md5sum(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """MD5 of the concatenated input stream."""
+    digest = hashlib.md5()
+    for line in concat_streams(inputs):
+        digest.update(line.encode("utf-8", errors="replace"))
+        digest.update(b"\n")
+    return [f"{digest.hexdigest()}  -"]
+
+
+def diff_command(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """A minimal ``diff``: report added/removed lines between two inputs."""
+    if len(inputs) < 2:
+        raise CommandError("diff requires two input streams")
+    import difflib
+
+    first, second = list(inputs[0]), list(inputs[1])
+    out: Stream = []
+    for line in difflib.unified_diff(first, second, lineterm="", n=0):
+        if line.startswith(("---", "+++", "@@")):
+            continue
+        out.append(line)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Custom annotated commands used by the use cases (§6.3, §6.4)
+# ---------------------------------------------------------------------------
+
+_TAG_RE = re.compile(r"<[^>]+>")
+_URL_RE = re.compile(r"https?://[^\s\"'<>]+")
+_PUNCT_RE = re.compile(r"[^\w\s]")
+
+
+def html_to_text(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Strip HTML tags from every line (stateless)."""
+    out: Stream = []
+    for line in concat_streams(inputs):
+        text = _TAG_RE.sub(" ", line)
+        text = re.sub(r"\s+", " ", text).strip()
+        if text:
+            out.append(text)
+    return out
+
+
+def url_extract(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Extract URLs from every line (stateless)."""
+    out: Stream = []
+    for line in concat_streams(inputs):
+        out.extend(_URL_RE.findall(line))
+    return out
+
+
+def word_stem(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """A toy Porter-style stemmer applied word-by-word (stateless)."""
+    suffixes = ("ingly", "edly", "ing", "ed", "ly", "es", "s")
+
+    def stem(word: str) -> str:
+        lowered = word.lower()
+        for suffix in suffixes:
+            if lowered.endswith(suffix) and len(lowered) - len(suffix) >= 3:
+                return lowered[: -len(suffix)]
+        return lowered
+
+    out: Stream = []
+    for line in concat_streams(inputs):
+        out.append(" ".join(stem(word) for word in line.split()))
+    return out
+
+
+def strip_punct(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Remove punctuation characters (stateless)."""
+    return [_PUNCT_RE.sub("", line) for line in concat_streams(inputs)]
+
+
+def lowercase(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Lower-case every line (stateless)."""
+    return [line.lower() for line in concat_streams(inputs)]
+
+
+def bigrams(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Emit word bigrams of every line, one per output line (stateless).
+
+    The optimized bi-grams benchmark (§6.1) uses this helper instead of the
+    stream-shifting ``tail -n +2`` / ``paste`` trick; because it never crosses
+    line boundaries it stays in the stateless class and parallelizes without
+    a split barrier.
+    """
+    out: Stream = []
+    for line in concat_streams(inputs):
+        words = line.split()
+        out.extend(f"{first} {second}" for first, second in zip(words, words[1:]))
+    return out
+
+
+def trigrams(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Emit word trigrams of the concatenated input (pure)."""
+    words: List[str] = []
+    for line in concat_streams(inputs):
+        words.extend(line.split())
+    return [
+        " ".join(words[index : index + 3])
+        for index in range(len(words) - 2)
+    ]
+
+
+def fetch_station(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Stand-in for ``curl`` in the NOAA pipeline (§6.3).
+
+    Deterministically synthesizes fixed-width temperature records for the
+    station/year identifiers given as operands or on the input stream.  The
+    substitution keeps the pipeline's DFG identical while removing the
+    network dependency.
+    """
+    from repro.workloads.noaa import station_records
+
+    _, operands = split_flags(arguments)
+    identifiers = operands or concat_streams(inputs)
+    out: Stream = []
+    for identifier in identifiers:
+        out.extend(station_records(identifier))
+    return out
+
+
+def fetch_page(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Stand-in for the page download stage of the web-indexing use case."""
+    from repro.workloads.wikipedia import page_html
+
+    _, operands = split_flags(arguments)
+    identifiers = operands or concat_streams(inputs)
+    out: Stream = []
+    for identifier in identifiers:
+        out.extend(page_html(identifier))
+    return out

@@ -1,0 +1,454 @@
+"""Text-processing commands: grep, tr, cut, sed, awk subset, and friends."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.commands.base import (
+    CommandError,
+    Stream,
+    concat_streams,
+    flag_value,
+    has_flag,
+    split_flags,
+)
+
+
+# ---------------------------------------------------------------------------
+# grep
+# ---------------------------------------------------------------------------
+
+
+def grep(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``grep [-i] [-v] [-c] [-E|-F] [-w] [-x] pattern [file...]``."""
+    options, operands = split_flags(arguments)
+    if not operands:
+        raise CommandError("grep requires a pattern")
+    pattern_text, *_ = operands
+    data = concat_streams(inputs)
+
+    flags = re.IGNORECASE if has_flag(options, "-i") else 0
+    fixed = has_flag(options, "-F")
+    if fixed:
+        pattern_text = re.escape(pattern_text)
+    if has_flag(options, "-w"):
+        pattern_text = r"\b(?:%s)\b" % pattern_text
+    try:
+        pattern = re.compile(pattern_text, flags)
+    except re.error as exc:
+        raise CommandError(f"grep: bad pattern {pattern_text!r}: {exc}") from exc
+
+    invert = has_flag(options, "-v")
+    whole_line = has_flag(options, "-x")
+
+    def matches(line: str) -> bool:
+        if whole_line:
+            found = pattern.fullmatch(line) is not None
+        else:
+            found = pattern.search(line) is not None
+        return found != invert
+
+    selected = [line for line in data if matches(line)]
+    if has_flag(options, "-c"):
+        return [str(len(selected))]
+    if has_flag(options, "-o"):
+        out: Stream = []
+        for line in data:
+            for match in pattern.finditer(line):
+                if bool(match.group(0)) != invert or not invert:
+                    out.append(match.group(0))
+        return out
+    return selected
+
+
+# ---------------------------------------------------------------------------
+# tr
+# ---------------------------------------------------------------------------
+
+_TR_CLASSES = {
+    "[:space:]": " \t\n\r\v\f",
+    "[:upper:]": "ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+    "[:lower:]": "abcdefghijklmnopqrstuvwxyz",
+    "[:digit:]": "0123456789",
+    "[:alpha:]": "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz",
+    "[:alnum:]": "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+    "[:punct:]": r"""!"#$%&'()*+,-./:;<=>?@[\]^_`{|}~""",
+}
+
+
+def _expand_tr_set(text: str) -> str:
+    """Expand character classes, ranges, and escapes in a tr SET."""
+    if text in _TR_CLASSES:
+        return _TR_CLASSES[text]
+    expanded: List[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            escape = text[index + 1]
+            expanded.append({"n": "\n", "t": "\t", "\\": "\\"}.get(escape, escape))
+            index += 2
+        elif index + 2 < len(text) and text[index + 1] == "-":
+            start, end = ord(char), ord(text[index + 2])
+            expanded.extend(chr(code) for code in range(start, end + 1))
+            index += 3
+        else:
+            expanded.append(char)
+            index += 1
+    return "".join(expanded)
+
+
+def tr(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``tr [-d] [-s] [-c] SET1 [SET2]`` over stdin.
+
+    The newline-sensitive behaviours are modelled on the line stream: when a
+    newline is produced inside a line (e.g. ``tr ' ' '\\n'``) the line is
+    split into multiple output lines; deleting newlines joins lines.
+    """
+    options, operands = split_flags(arguments)
+    data = concat_streams(inputs)
+    delete = has_flag(options, "-d")
+    squeeze = has_flag(options, "-s")
+    complement = has_flag(options, "-c")
+
+    set1 = _expand_tr_set(operands[0]) if operands else ""
+    set2 = _expand_tr_set(operands[1]) if len(operands) > 1 else ""
+
+    text = "\n".join(data)
+    had_input = bool(data)
+
+    if delete:
+        if complement:
+            keep = set(set1) | {"\n"}
+            text = "".join(char for char in text if char in keep)
+        else:
+            text = "".join(char for char in text if char not in set(set1))
+    elif set2:
+        if complement:
+            members = set(set1)
+            replacement = set2[-1]
+            text = "".join(
+                char if (char in members or char == "\n") else replacement for char in text
+            )
+        else:
+            padded = set2 + set2[-1] * max(0, len(set1) - len(set2))
+            table = str.maketrans(set1, padded[: len(set1)])
+            text = text.translate(table)
+
+    if squeeze:
+        squeeze_set = set(set2) if set2 else set(set1)
+        squeezed: List[str] = []
+        previous = None
+        for char in text:
+            if char in squeeze_set and char == previous:
+                continue
+            squeezed.append(char)
+            previous = char
+        text = "".join(squeezed)
+
+    if not had_input:
+        return []
+    # The joined text stands for the stream without its final newline, so
+    # splitting on newlines maps back to exactly the output lines.
+    return text.split("\n")
+
+
+# ---------------------------------------------------------------------------
+# cut
+# ---------------------------------------------------------------------------
+
+
+def _parse_ranges(spec: str) -> List[range]:
+    """Parse a cut range list such as ``1,3-5`` or ``89-92`` (1-based)."""
+    ranges: List[range] = []
+    for piece in spec.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        if "-" in piece:
+            start_text, _, end_text = piece.partition("-")
+            start = int(start_text) if start_text else 1
+            end = int(end_text) if end_text else 10 ** 9
+            ranges.append(range(start, end + 1))
+        else:
+            value = int(piece)
+            ranges.append(range(value, value + 1))
+    return ranges
+
+
+def cut(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``cut -d DELIM -f LIST`` or ``cut -c LIST``."""
+    data = concat_streams(inputs)
+    char_spec = flag_value(arguments, "-c")
+    field_spec = flag_value(arguments, "-f")
+    delimiter = flag_value(arguments, "-d", "\t") or "\t"
+    if delimiter.startswith('"') and delimiter.endswith('"') and len(delimiter) >= 2:
+        delimiter = delimiter[1:-1]
+
+    if char_spec:
+        ranges = _parse_ranges(char_spec)
+        out: Stream = []
+        for line in data:
+            selected = []
+            for position, char in enumerate(line, start=1):
+                if any(position in r for r in ranges):
+                    selected.append(char)
+            out.append("".join(selected))
+        return out
+
+    if field_spec:
+        ranges = _parse_ranges(field_spec)
+        out = []
+        for line in data:
+            if delimiter not in line:
+                out.append(line)
+                continue
+            fields = line.split(delimiter)
+            selected = [
+                fields[index - 1]
+                for index in range(1, len(fields) + 1)
+                if any(index in r for r in ranges)
+            ]
+            out.append(delimiter.join(selected))
+        return out
+
+    raise CommandError("cut requires -c or -f")
+
+
+# ---------------------------------------------------------------------------
+# sed (substitution subset)
+# ---------------------------------------------------------------------------
+
+
+def _parse_sed_script(script: str):
+    """Parse an ``s`` or ``y`` sed command with an arbitrary delimiter."""
+    if not script or script[0] not in "sy":
+        raise CommandError(f"unsupported sed script {script!r}")
+    kind = script[0]
+    if len(script) < 2:
+        raise CommandError(f"malformed sed script {script!r}")
+    delimiter = script[1]
+    parts: List[str] = []
+    current: List[str] = []
+    index = 2
+    while index < len(script):
+        char = script[index]
+        if char == "\\" and index + 1 < len(script) and script[index + 1] == delimiter:
+            current.append(delimiter)
+            index += 2
+            continue
+        if char == delimiter:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    parts.append("".join(current))
+    if len(parts) < 2:
+        raise CommandError(f"malformed sed script {script!r}")
+    pattern, replacement = parts[0], parts[1]
+    flags = parts[2] if len(parts) > 2 else ""
+    return kind, pattern, replacement, flags
+
+
+def sed(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``sed [-e] 's/pat/repl/[g]'`` (also ``y///`` and custom delimiters)."""
+    data = concat_streams(inputs)
+    scripts: List[str] = []
+    skip_next = False
+    operands_seen = 0
+    for index, argument in enumerate(arguments):
+        if skip_next:
+            scripts.append(argument)
+            skip_next = False
+            continue
+        if argument == "-e":
+            skip_next = True
+            continue
+        if argument.startswith("-"):
+            if argument == "-n":
+                raise CommandError("sed -n is not supported (side-effectful in PaSh)")
+            continue
+        if operands_seen == 0:
+            scripts.append(argument)
+            operands_seen += 1
+        # Remaining operands would be files; the executor resolves those into
+        # input streams, so they are ignored here.
+    if not scripts:
+        raise CommandError("sed requires a script")
+
+    out = list(data)
+    for script in scripts:
+        kind, pattern, replacement, flags = _parse_sed_script(script)
+        if kind == "y":
+            table = str.maketrans(pattern, replacement)
+            out = [line.translate(table) for line in out]
+            continue
+        count = 0 if "g" in flags else 1
+        compiled = re.compile(pattern)
+        python_replacement = re.sub(r"\\(\d)", r"\\\1", replacement.replace("&", "\\g<0>"))
+        out = [compiled.sub(python_replacement, line, count=count) for line in out]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# awk (tiny print-oriented subset)
+# ---------------------------------------------------------------------------
+
+_AWK_PRINT_RE = re.compile(r"^\s*\{\s*print\s*(?P<body>[^}]*)\}\s*$")
+
+
+def awk(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """A tiny awk subset: ``awk '{print $N[, $M...]}'`` and ``{print}``.
+
+    The paper treats awk as unparallelizable; the implementation exists so
+    that sequential baselines of the Unix50 pipelines still run in-process.
+    """
+    separator = None
+    program = None
+    index = 0
+    while index < len(arguments):
+        argument = arguments[index]
+        if argument == "-F" and index + 1 < len(arguments):
+            separator = arguments[index + 1]
+            index += 2
+            continue
+        if argument.startswith("-F") and len(argument) > 2:
+            separator = argument[2:]
+            index += 1
+            continue
+        if argument.startswith("-") and argument != "-":
+            index += 1
+            continue
+        if program is None:
+            program = argument
+        index += 1
+    if program is None:
+        raise CommandError("awk requires a program")
+    data = concat_streams(inputs)
+    match = _AWK_PRINT_RE.match(program)
+    if not match:
+        raise CommandError(f"unsupported awk program {program!r}")
+    body = match.group("body").strip()
+    out: Stream = []
+    for line in data:
+        fields = line.split(separator) if separator else line.split()
+        if not body:
+            out.append(line)
+            continue
+        pieces: List[str] = []
+        for token in body.split(","):
+            token = token.strip()
+            if token == "$0":
+                pieces.append(line)
+            elif token.startswith("$"):
+                index = int(token[1:])
+                pieces.append(fields[index - 1] if 0 < index <= len(fields) else "")
+            elif token.startswith('"') and token.endswith('"'):
+                pieces.append(token[1:-1])
+            else:
+                raise CommandError(f"unsupported awk expression {token!r}")
+        out.append(" ".join(pieces))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Miscellaneous stateless text helpers
+# ---------------------------------------------------------------------------
+
+
+def fold(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``fold [-w N]``: wrap lines at N characters (default 80)."""
+    width_text = flag_value(arguments, "-w", "80")
+    width = int(width_text) if width_text else 80
+    out: Stream = []
+    for line in concat_streams(inputs):
+        if not line:
+            out.append("")
+            continue
+        for start in range(0, len(line), width):
+            out.append(line[start : start + width])
+    return out
+
+
+def rev(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Reverse the characters of every line."""
+    return [line[::-1] for line in concat_streams(inputs)]
+
+
+def col(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``col -b``: strip backspaces (modelled as carriage-return removal)."""
+    return [line.replace("\b", "").replace("\r", "") for line in concat_streams(inputs)]
+
+
+def iconv(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``iconv -c``: drop non-ASCII characters (sufficient for the pipelines)."""
+    return [
+        line.encode("ascii", errors="ignore").decode("ascii")
+        for line in concat_streams(inputs)
+    ]
+
+
+def strings(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Keep printable runs of length >= 4 (approximation of strings(1))."""
+    out: Stream = []
+    for line in concat_streams(inputs):
+        for match in re.finditer(r"[ -~]{4,}", line):
+            out.append(match.group(0))
+    return out
+
+
+def expand(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Convert tabs to spaces."""
+    return [line.expandtabs(8) for line in concat_streams(inputs)]
+
+
+def gunzip(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """Pass-through stand-in for decompression of synthetic text inputs."""
+    return concat_streams(inputs)
+
+
+def xargs(arguments: List[str], inputs: List[Stream]) -> Stream:
+    """``xargs [-n N] command [args...]``.
+
+    Groups input lines into batches of N (default: all) and invokes the
+    wrapped command once per batch via the standard registry.  The wrapped
+    command receives the batch as extra operands and no stdin.
+    """
+    from repro.commands.registry import standard_registry
+
+    batch_text = None
+    rest: List[str] = []
+    index = 0
+    while index < len(arguments):
+        argument = arguments[index]
+        if argument == "-n" and index + 1 < len(arguments):
+            batch_text = arguments[index + 1]
+            index += 2
+            continue
+        if argument.startswith("-n") and argument != "-n":
+            batch_text = argument[2:]
+            index += 1
+            continue
+        rest.append(argument)
+        index += 1
+    command_tokens = [token for token in rest if not (token.startswith("-") and token != "-")]
+    if not command_tokens:
+        raise CommandError("xargs requires a command")
+    command = command_tokens[0]
+    command_start = rest.index(command)
+    command_arguments = rest[command_start + 1 :]
+    data = concat_streams(inputs)
+    registry = standard_registry()
+
+    if batch_text is None:
+        batches = [data] if data else []
+    else:
+        size = int(batch_text)
+        batches = [data[index : index + size] for index in range(0, len(data), size)]
+
+    out: Stream = []
+    for batch in batches:
+        out.extend(registry.run(command, command_arguments + batch, []))
+    return out

@@ -1,0 +1,39 @@
+"""PaSh's dataflow-graph intermediate representation (§4).
+
+Nodes represent commands (plus the runtime helpers PaSh inserts: ``cat``,
+``split``, relays, and aggregators); edges represent streams (named files or
+FIFOs).  A distinguishing feature of the model — and the reason PaSh defines
+its own DFG rather than reusing an existing one — is that every node records
+the *order* in which it consumes its inputs.
+"""
+
+from repro.dfg.edges import Edge, EdgeKind
+from repro.dfg.graph import DataflowGraph, GraphError
+from repro.dfg.nodes import (
+    AggregatorNode,
+    CatNode,
+    CommandNode,
+    DFGNode,
+    RelayNode,
+    SplitNode,
+)
+from repro.dfg.regions import ParallelizableRegion, find_parallelizable_regions
+from repro.dfg.builder import DFGBuilder, TranslationResult, translate_script
+
+__all__ = [
+    "AggregatorNode",
+    "CatNode",
+    "CommandNode",
+    "DFGBuilder",
+    "DFGNode",
+    "DataflowGraph",
+    "Edge",
+    "EdgeKind",
+    "GraphError",
+    "ParallelizableRegion",
+    "RelayNode",
+    "SplitNode",
+    "TranslationResult",
+    "find_parallelizable_regions",
+    "translate_script",
+]

@@ -1,0 +1,327 @@
+"""AST → DFG translation (§5.1).
+
+The builder turns each candidate region (a pipeline or a single command) into
+a dataflow graph.  The translation is deliberately conservative: any command
+without an annotation, any argument whose value is not statically known, and
+any redirection outside the supported subset causes the region to be
+rejected, leaving the original script fragment untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.annotations.classes import ParallelizabilityClass
+from repro.annotations.library import AnnotationLibrary, standard_library
+from repro.annotations.model import CommandInvocation, IOSpec
+from repro.dfg.edges import Edge, EdgeKind
+from repro.dfg.graph import DataflowGraph
+from repro.dfg.nodes import CommandNode
+from repro.dfg.regions import (
+    ParallelizableRegion,
+    RegionCandidate,
+    find_parallelizable_regions,
+)
+from repro.shell.ast_nodes import Command, Node, Pipeline, Redirection
+from repro.shell.expansion import ExpansionContext, ExpansionError, expand_word
+from repro.shell.parser import parse
+
+
+class UntranslatableRegion(ValueError):
+    """Raised when a region cannot be translated to a DFG."""
+
+
+#: Commands that generate output without consuming stdin; every other
+#: command without file operands gets an implicit stdin edge.
+GENERATOR_COMMANDS = frozenset({"seq", "echo", "yes", "fetch-station", "fetch-page"})
+
+
+@dataclass
+class TranslationResult:
+    """Output of :func:`translate_script`.
+
+    ``regions`` holds the successfully translated regions in program order;
+    ``rejected`` records the candidates left untouched together with the
+    reason, which the CLI surfaces in verbose mode.
+    """
+
+    ast: Node
+    regions: List[ParallelizableRegion] = field(default_factory=list)
+    rejected: List[Tuple[RegionCandidate, str]] = field(default_factory=list)
+
+    @property
+    def parallelizable_command_count(self) -> int:
+        """Number of data-parallelizable command nodes across all regions."""
+        total = 0
+        for region in self.regions:
+            for node in region.dfg.nodes.values():
+                if isinstance(node, CommandNode) and node.parallelizability().is_data_parallelizable:
+                    total += 1
+        return total
+
+
+class DFGBuilder:
+    """Builds dataflow graphs from AST fragments."""
+
+    def __init__(
+        self,
+        library: Optional[AnnotationLibrary] = None,
+        context: Optional[ExpansionContext] = None,
+    ) -> None:
+        self.library = library if library is not None else standard_library()
+        self.context = context if context is not None else ExpansionContext()
+
+    # ------------------------------------------------------------------
+    # Region-level entry points
+    # ------------------------------------------------------------------
+
+    def build_region(self, candidate: RegionCandidate) -> ParallelizableRegion:
+        """Translate a candidate region, raising on failure."""
+        graph = self.build_from_node(candidate.node)
+        graph.validate()
+        return ParallelizableRegion(candidate, graph)
+
+    def build_from_node(self, node: Node) -> DataflowGraph:
+        """Translate a pipeline or single command into a DFG."""
+        if isinstance(node, Pipeline):
+            return self.build_from_pipeline(node)
+        if isinstance(node, Command):
+            return self.build_from_pipeline(Pipeline([node]))
+        raise UntranslatableRegion(f"cannot translate node of type {type(node).__name__}")
+
+    def build_from_script(self, source: str) -> DataflowGraph:
+        """Parse ``source`` (a single pipeline) and translate it."""
+        ast = parse(source)
+        return self.build_from_node(ast)
+
+    # ------------------------------------------------------------------
+    # Pipeline translation
+    # ------------------------------------------------------------------
+
+    def build_from_pipeline(self, pipeline: Pipeline) -> DataflowGraph:
+        if pipeline.negated:
+            raise UntranslatableRegion("negated pipelines are not parallelized")
+        graph = DataflowGraph()
+        incoming: Optional[Edge] = None
+
+        for index, element in enumerate(pipeline.commands):
+            if not isinstance(element, Command):
+                raise UntranslatableRegion(
+                    f"pipeline element {index} is a {type(element).__name__}, not a simple command"
+                )
+            is_last = index == len(pipeline.commands) - 1
+            incoming = self._add_command(graph, element, incoming, is_last)
+        return graph
+
+    def _add_command(
+        self,
+        graph: DataflowGraph,
+        command: Command,
+        incoming: Optional[Edge],
+        is_last: bool,
+    ) -> Optional[Edge]:
+        """Add one command node; returns the edge feeding the next stage."""
+        if command.assignments:
+            raise UntranslatableRegion("assignments are not part of dataflow regions")
+
+        argv = self._expand_argv(command)
+        if not argv:
+            raise UntranslatableRegion("empty command after expansion")
+        name, arguments = argv[0], argv[1:]
+
+        record = self.library.lookup(name)
+        if record is None:
+            raise UntranslatableRegion(f"command {name!r} has no annotation")
+        invocation = record.invocation(name, arguments)
+        assignment = record.classify(invocation)
+        parallelizability = assignment.parallelizability
+        if parallelizability is ParallelizabilityClass.SIDE_EFFECTFUL:
+            raise UntranslatableRegion(f"command {name!r} is side-effectful under these flags")
+
+        input_redirect, output_redirect = self._split_redirections(command)
+
+        node = CommandNode(
+            name=name,
+            parallelizability_class=parallelizability,
+            aggregator=record.aggregator,
+        )
+        graph.add_node(node)
+
+        # ------------------------------------------------------------------
+        # Inputs
+        # ------------------------------------------------------------------
+        operand_inputs = self._resolve_operand_inputs(assignment.inputs, invocation)
+        uses_stdin = any(spec.kind == "stdin" for spec in assignment.inputs)
+        consumed_operands: List[str] = list(operand_inputs)
+
+        if operand_inputs:
+            pipe_consumed = False
+            for filename in operand_inputs:
+                if filename == "-":
+                    # The conventional "-" operand names the command's stdin.
+                    if incoming is not None and not pipe_consumed:
+                        graph.attach_input(node, incoming)
+                        pipe_consumed = True
+                    else:
+                        edge = graph.add_edge(kind=EdgeKind.STDIN, name="stdin")
+                        graph.attach_input(node, edge)
+                    continue
+                edge = graph.add_edge(kind=EdgeKind.FILE, name=filename)
+                graph.attach_input(node, edge)
+            # Mid-pipeline commands that read only files ignore the incoming
+            # pipe; that would silently drop data, so reject such regions.
+            if incoming is not None and not pipe_consumed:
+                raise UntranslatableRegion(
+                    f"command {name!r} reads file operands while consuming a pipe"
+                )
+        elif input_redirect is not None:
+            if incoming is not None:
+                raise UntranslatableRegion(
+                    f"command {name!r} has both a pipe input and an input redirection"
+                )
+            edge = graph.add_edge(kind=EdgeKind.FILE, name=input_redirect)
+            graph.attach_input(node, edge)
+        elif incoming is not None:
+            graph.attach_input(node, incoming)
+        elif uses_stdin or name not in GENERATOR_COMMANDS:
+            edge = graph.add_edge(kind=EdgeKind.STDIN, name="stdin")
+            graph.attach_input(node, edge)
+
+        # The node keeps the options plus any operands that were not converted
+        # into edges (e.g. grep's pattern, sed's script, head's count).
+        node.arguments = [
+            argument
+            for argument in arguments
+            if argument not in consumed_operands
+        ]
+
+        # ------------------------------------------------------------------
+        # Outputs
+        # ------------------------------------------------------------------
+        if output_redirect is not None:
+            target, append = output_redirect
+            edge = graph.add_edge(kind=EdgeKind.FILE, name=target)
+            edge.append = append
+            graph.attach_output(node, edge)
+            if not is_last:
+                raise UntranslatableRegion(
+                    f"command {name!r} redirects stdout but is not the last pipeline stage"
+                )
+            return None
+        if is_last:
+            edge = graph.add_edge(kind=EdgeKind.STDOUT, name="stdout")
+            graph.attach_output(node, edge)
+            return None
+        edge = graph.add_edge(kind=EdgeKind.PIPE)
+        graph.attach_output(node, edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _expand_argv(self, command: Command) -> List[str]:
+        argv: List[str] = []
+        for word in command.words:
+            try:
+                argv.extend(expand_word(word, self.context))
+            except ExpansionError as exc:
+                raise UntranslatableRegion(str(exc)) from exc
+        return argv
+
+    def _split_redirections(
+        self, command: Command
+    ) -> Tuple[Optional[str], Optional[Tuple[str, bool]]]:
+        """Return (input file, (output file, append)) from the redirections."""
+        input_file: Optional[str] = None
+        output: Optional[Tuple[str, bool]] = None
+        for redirection in command.redirections:
+            target_text = self._redirection_target(redirection)
+            if redirection.operator == "<":
+                input_file = target_text
+            elif redirection.operator in (">", ">>"):
+                output = (target_text, redirection.operator == ">>")
+            else:
+                raise UntranslatableRegion(
+                    f"unsupported redirection {redirection.operator!r}"
+                )
+        return input_file, output
+
+    def _redirection_target(self, redirection: Redirection) -> str:
+        if redirection.target is None:
+            raise UntranslatableRegion("redirection without a target")
+        try:
+            fields = expand_word(redirection.target, self.context)
+        except ExpansionError as exc:
+            raise UntranslatableRegion(str(exc)) from exc
+        if len(fields) != 1:
+            raise UntranslatableRegion("redirection target expands to multiple fields")
+        return fields[0]
+
+    @staticmethod
+    def _resolve_operand_inputs(specs: List[IOSpec], invocation: CommandInvocation) -> List[str]:
+        """Resolve argument-referencing input specs to operand strings."""
+        files: List[str] = []
+        for spec in specs:
+            if spec.kind in ("arg", "args"):
+                files.extend(spec.resolve(invocation))
+        return files
+
+
+def translate_script(
+    source_or_ast,
+    library: Optional[AnnotationLibrary] = None,
+    context: Optional[ExpansionContext] = None,
+) -> TranslationResult:
+    """Find and translate every parallelizable region of a script.
+
+    Accepts either shell text or an already-parsed AST.  Regions that fail to
+    translate are recorded (with the reason) and left untouched.
+    """
+    ast = parse(source_or_ast) if isinstance(source_or_ast, str) else source_or_ast
+    builder = DFGBuilder(library, context)
+    result = TranslationResult(ast)
+
+    # Record top-level assignments so that later regions can use them
+    # (the conservative counterpart of the shell's dynamic scoping).
+    _collect_static_assignments(ast, builder.context)
+
+    for candidate in find_parallelizable_regions(ast):
+        try:
+            region = builder.build_region(candidate)
+        except (UntranslatableRegion, Exception) as exc:  # noqa: BLE001 - conservative by design
+            if not isinstance(exc, UntranslatableRegion):
+                reason = f"internal translation failure: {exc}"
+            else:
+                reason = str(exc)
+            result.rejected.append((candidate, reason))
+            continue
+        result.regions.append(region)
+    return result
+
+
+def _collect_static_assignments(ast: Node, context: ExpansionContext) -> None:
+    """Record literal top-level assignments into the expansion context."""
+    from repro.shell.ast_nodes import ForLoop, SequenceNode
+
+    def visit(node: Node) -> None:
+        if isinstance(node, Command) and node.assignments and not node.words:
+            for assignment in node.assignments:
+                value = assignment.value.literal_text()
+                if value is not None:
+                    context.bind(assignment.name, value)
+        elif isinstance(node, SequenceNode):
+            for part in node.parts:
+                visit(part)
+        elif isinstance(node, ForLoop):
+            # Loop variables take unknown values at compile time; bind the
+            # first literal item so single-iteration analyses stay possible,
+            # but only when exactly one item exists (otherwise stay unknown).
+            if len(node.items) == 1:
+                value = node.items[0].literal_text()
+                if value is not None:
+                    context.bind(node.variable, value)
+            visit(node.body)
+
+    visit(ast)

@@ -1,0 +1,118 @@
+"""Parallelizable-region detection (§5.1).
+
+Parallelizable regions are maximal program sub-expressions that the POSIX
+standard already allows to execute independently: pipelines and
+``&``-composed commands.  Sequencing (``;``), the logical operators (``&&``,
+``||``), and control flow (``for``, ``while``, ``if``) are barriers: regions
+never extend across them, although the translation recurses *into* their
+bodies to find further regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.shell.ast_nodes import (
+    AndOr,
+    BackgroundNode,
+    BraceGroup,
+    Command,
+    ForLoop,
+    IfClause,
+    Node,
+    Pipeline,
+    SequenceNode,
+    Subshell,
+    WhileLoop,
+)
+
+
+@dataclass
+class RegionCandidate:
+    """A candidate region found by the structural walk.
+
+    ``node`` is the Pipeline/Command AST node; ``background`` records whether
+    the region was composed with ``&``; ``path`` describes where in the tree
+    the candidate sits (useful for diagnostics and for loop-aware workload
+    accounting).
+    """
+
+    node: Node
+    background: bool = False
+    path: List[str] = field(default_factory=list)
+
+    @property
+    def commands(self) -> List[Command]:
+        if isinstance(self.node, Pipeline):
+            return [cmd for cmd in self.node.commands if isinstance(cmd, Command)]
+        if isinstance(self.node, Command):
+            return [self.node]
+        return []
+
+
+@dataclass
+class ParallelizableRegion:
+    """A candidate region plus its DFG translation.
+
+    The DFG is attached by :mod:`repro.dfg.builder`; a candidate that the
+    builder rejects (unknown commands, dynamic arguments, unsupported
+    redirections) never becomes a :class:`ParallelizableRegion` and is left
+    untouched in the output script.
+    """
+
+    candidate: RegionCandidate
+    dfg: "DataflowGraph" = None  # type: ignore[assignment]
+
+    @property
+    def node(self) -> Node:
+        return self.candidate.node
+
+
+def iter_region_candidates(node: Node, path: Optional[List[str]] = None) -> Iterator[RegionCandidate]:
+    """Yield candidate regions beneath ``node`` without crossing barriers."""
+    path = path or []
+    if isinstance(node, (Pipeline, Command)):
+        yield RegionCandidate(node, path=list(path))
+        return
+    if isinstance(node, BackgroundNode):
+        for candidate in iter_region_candidates(node.body, path + ["&"]):
+            candidate.background = True
+            yield candidate
+        return
+    if isinstance(node, SequenceNode):
+        for index, part in enumerate(node.parts):
+            yield from iter_region_candidates(part, path + [f";{index}"])
+        return
+    if isinstance(node, AndOr):
+        # &&/|| are barriers: each side is scanned independently.
+        for index, part in enumerate(node.parts):
+            yield from iter_region_candidates(part, path + [f"&&{index}"])
+        return
+    if isinstance(node, (Subshell, BraceGroup)):
+        yield from iter_region_candidates(node.body, path + ["group"])
+        return
+    if isinstance(node, ForLoop):
+        yield from iter_region_candidates(node.body, path + [f"for:{node.variable}"])
+        return
+    if isinstance(node, WhileLoop):
+        # The loop condition is control logic; only the body is scanned.
+        yield from iter_region_candidates(node.body, path + ["while"])
+        return
+    if isinstance(node, IfClause):
+        yield from iter_region_candidates(node.then_body, path + ["then"])
+        if node.else_body is not None:
+            yield from iter_region_candidates(node.else_body, path + ["else"])
+        return
+    # Unknown node types are barriers.
+    return
+
+
+def find_parallelizable_regions(node: Node) -> List[RegionCandidate]:
+    """Return all candidate regions in the AST, in program order."""
+    return list(iter_region_candidates(node))
+
+
+def loop_nesting_depth(candidate: RegionCandidate) -> int:
+    """How many loops enclose the candidate (used by workload accounting)."""
+    return sum(1 for element in candidate.path if element.startswith("for:") or element == "while")

@@ -1,0 +1,38 @@
+"""The evaluation harness: regenerates every table and figure of §6.
+
+* :mod:`repro.evaluation.harness` — shared plumbing (compile, simulate,
+  correctness check) used by all experiments,
+* :mod:`repro.evaluation.tables` — Table 1 (parallelizability study) and
+  Table 2 (one-liner summary),
+* :mod:`repro.evaluation.figures` — Fig. 7 (one-liner speedups across runtime
+  configurations) and Fig. 8 (Unix50 speedups at 16x),
+* :mod:`repro.evaluation.usecases` — §6.3 (NOAA weather) and §6.4 (Wikipedia
+  indexing),
+* :mod:`repro.evaluation.microbench` — §6.5 (parallel sort and GNU parallel).
+"""
+
+from repro.evaluation.harness import (
+    BenchmarkRun,
+    check_benchmark_correctness,
+    simulate_benchmark,
+    speedup_for_width,
+)
+from repro.evaluation.tables import table1_rows, table2_rows
+from repro.evaluation.figures import figure7_series, figure8_series
+from repro.evaluation.usecases import noaa_usecase, wikipedia_usecase
+from repro.evaluation.microbench import gnu_parallel_comparison, parallel_sort_comparison
+
+__all__ = [
+    "BenchmarkRun",
+    "check_benchmark_correctness",
+    "figure7_series",
+    "figure8_series",
+    "gnu_parallel_comparison",
+    "noaa_usecase",
+    "parallel_sort_comparison",
+    "simulate_benchmark",
+    "speedup_for_width",
+    "table1_rows",
+    "table2_rows",
+    "wikipedia_usecase",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry points for the runtime helpers.
+
+The shell scripts produced by :mod:`repro.backend.shell_emitter` invoke this
+module (``python3 -m repro.runtime.cli``) for the primitives that have no
+coreutils equivalent:
+
+* ``eager`` — the eager relay: drain stdin as fast as possible into memory,
+  then write everything to stdout (``--mode blocking`` delays output until
+  EOF, ``--mode fifo`` degenerates to plain pass-through).
+* ``split`` — read stdin and distribute it across the given output files
+  using the general (counting) or input-aware strategy.
+* ``agg`` — apply a named aggregator to the given partial-output files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.runtime.aggregators import apply_aggregator
+from repro.runtime.split import split_stream
+
+
+def _read_lines(stream) -> List[str]:
+    return stream.read().splitlines()
+
+
+def _write_lines(stream, lines: List[str]) -> None:
+    for line in lines:
+        stream.write(line + "\n")
+
+
+def run_eager(arguments: argparse.Namespace) -> int:
+    lines = _read_lines(sys.stdin)
+    # Both modes produce identical output when run to completion; the
+    # difference is purely in buffering behaviour, which a standalone process
+    # realizes by reading everything before writing (eager/blocking) or
+    # passing through (fifo).  Reading stdin fully already provides the
+    # eager behaviour, so the modes coincide here.
+    _write_lines(sys.stdout, lines)
+    return 0
+
+
+def run_split(arguments: argparse.Namespace) -> int:
+    lines = _read_lines(sys.stdin)
+    chunks = split_stream(lines, len(arguments.outputs), strategy=arguments.strategy)
+    for path, chunk in zip(arguments.outputs, chunks):
+        with open(path, "w") as handle:
+            _write_lines(handle, chunk)
+    return 0
+
+
+def run_agg(arguments: argparse.Namespace) -> int:
+    # Everything after a literal "--" (or any dash-prefixed token) is a flag
+    # of the original command (e.g. `-rn` for merge_sort, `-c` for merge_uniq).
+    paths = [token for token in arguments.inputs if not token.startswith("-") or token == "-"]
+    flags = [token for token in arguments.inputs if token.startswith("-") and token != "-"]
+    streams = []
+    for path in paths:
+        with open(path) as handle:
+            streams.append(_read_lines(handle))
+    output = apply_aggregator(arguments.name, streams, flags)
+    _write_lines(sys.stdout, output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.runtime.cli", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    eager = subparsers.add_parser("eager", help="eager relay")
+    eager.add_argument("--mode", choices=("eager", "blocking", "fifo"), default="eager")
+    eager.set_defaults(handler=run_eager)
+
+    split = subparsers.add_parser("split", help="split stdin across output files")
+    split.add_argument("--strategy", choices=("general", "input-aware"), default="general")
+    split.add_argument("outputs", nargs="+", help="output file paths")
+    split.set_defaults(handler=run_split)
+
+    agg = subparsers.add_parser("agg", help="apply a named aggregator")
+    agg.add_argument("name", help="aggregator name (e.g. merge_uniq)")
+    agg.add_argument(
+        "inputs",
+        nargs="+",
+        help="partial-output files to merge; tokens after `--` are treated as "
+        "flags of the original command",
+    )
+    agg.set_defaults(handler=run_agg)
+
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

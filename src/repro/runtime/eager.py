@@ -1,0 +1,113 @@
+"""Eager relay buffers (§5.2, "Overcoming Laziness").
+
+In the real system the eager relay is a small program with a tight
+multi-threaded loop: it reads its input as fast as the producer can write,
+buffering in memory (and spilling to disk), so that upstream commands are
+never blocked on a consumer that is not yet reading.
+
+For the in-process executor the relay is simply an identity buffer; its
+scheduling effect — decoupling producer and consumer progress — is what the
+discrete-event simulator models.  This module still implements the buffer as
+a real data structure with the three designs of Fig. 6 so that unit tests can
+exercise their observable differences (blocking vs. non-blocking writes,
+drain-after-EOF behaviour).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Iterator, List, Optional
+
+
+class EagerBuffer:
+    """An unbounded FIFO buffer decoupling a producer from a consumer.
+
+    ``mode`` selects the design point:
+
+    * ``"eager"`` — writes never block; reads drain the buffer and only
+      signal exhaustion after the producer closed the stream.
+    * ``"blocking"`` — writes are accepted but the consumer cannot read
+      anything until the producer has closed the stream (the "Blocking
+      Eager" configuration of Fig. 7).
+    * ``"fifo"`` — models a plain named pipe with a bounded capacity; writes
+      beyond the capacity report that the producer would block, which is the
+      pathological behaviour eager relays remove.
+    """
+
+    def __init__(self, mode: str = "eager", capacity: int = 65536) -> None:
+        if mode not in ("eager", "blocking", "fifo"):
+            raise ValueError(f"unknown eager buffer mode {mode!r}")
+        self.mode = mode
+        self.capacity = capacity
+        self._queue: Deque[str] = deque()
+        self._closed = False
+        self.total_buffered = 0
+        self.blocked_writes = 0
+
+    # -- producer side -------------------------------------------------------
+
+    def write(self, line: str) -> bool:
+        """Append a line; returns False when a plain FIFO would have blocked."""
+        if self._closed:
+            raise ValueError("cannot write to a closed buffer")
+        would_block = self.mode == "fifo" and len(self._queue) >= self.capacity
+        if would_block:
+            self.blocked_writes += 1
+        self._queue.append(line)
+        self.total_buffered = max(self.total_buffered, len(self._queue))
+        return not would_block
+
+    def write_all(self, lines: Iterable[str]) -> int:
+        """Write many lines; returns the number of would-block events."""
+        blocked = 0
+        for line in lines:
+            if not self.write(line):
+                blocked += 1
+        return blocked
+
+    def close(self) -> None:
+        """Signal end-of-stream from the producer."""
+        self._closed = True
+
+    # -- consumer side -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def readable(self) -> bool:
+        """True when the consumer can currently make progress."""
+        if self.mode == "blocking":
+            return self._closed and bool(self._queue)
+        return bool(self._queue)
+
+    def read(self) -> Optional[str]:
+        """Pop one line, or None when nothing is currently readable."""
+        if not self.readable():
+            return None
+        return self._queue.popleft()
+
+    def drain(self) -> List[str]:
+        """Read everything currently readable."""
+        lines: List[str] = []
+        while self.readable():
+            lines.append(self._queue.popleft())
+        return lines
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.drain())
+
+
+def relay(lines: Iterable[str], mode: str = "eager") -> List[str]:
+    """Run a stream through a relay buffer and return it unchanged.
+
+    The identity law (`relay(x) == list(x)`) is what makes relay insertion a
+    semantics-preserving transformation; tests assert it property-based.
+    """
+    buffer = EagerBuffer(mode=mode if mode != "none" else "eager")
+    buffer.write_all(lines)
+    buffer.close()
+    return buffer.drain()

@@ -1,0 +1,154 @@
+"""In-process evaluation of dataflow graphs.
+
+The executor computes the streams carried by every edge of a DFG, in
+topological order, using the pure-Python command implementations.  It is the
+oracle behind the correctness claims: for every benchmark, the optimized
+graph must produce exactly the same graph outputs as the unoptimized graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.commands import CommandRegistry, standard_registry
+from repro.commands.base import Stream
+from repro.dfg.edges import Edge, EdgeKind
+from repro.dfg.graph import DataflowGraph
+from repro.dfg.nodes import AggregatorNode, CatNode, CommandNode, DFGNode, RelayNode, SplitNode
+from repro.runtime.aggregators import apply_aggregator
+from repro.runtime.eager import relay
+from repro.runtime.split import split_stream
+from repro.runtime.streams import VirtualFileSystem
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a graph cannot be executed."""
+
+
+@dataclass
+class ExecutionEnvironment:
+    """Everything a graph execution reads and writes."""
+
+    filesystem: VirtualFileSystem = field(default_factory=VirtualFileSystem)
+    stdin: Stream = field(default_factory=list)
+    registry: CommandRegistry = field(default_factory=standard_registry)
+
+    def copy(self) -> "ExecutionEnvironment":
+        return ExecutionEnvironment(
+            filesystem=self.filesystem.copy(),
+            stdin=list(self.stdin),
+            registry=self.registry,
+        )
+
+
+@dataclass
+class ExecutionResult:
+    """Output of one graph execution."""
+
+    stdout: Stream = field(default_factory=list)
+    files: Dict[str, Stream] = field(default_factory=dict)
+    edge_values: Dict[int, Stream] = field(default_factory=dict)
+
+    def output_of(self, name: str) -> Stream:
+        """Stream written to the named output file."""
+        return self.files.get(name, [])
+
+
+class DFGExecutor:
+    """Evaluates dataflow graphs over in-memory streams."""
+
+    def __init__(self, environment: Optional[ExecutionEnvironment] = None) -> None:
+        self.environment = environment or ExecutionEnvironment()
+
+    # ------------------------------------------------------------------
+
+    def execute(self, graph: DataflowGraph) -> ExecutionResult:
+        """Execute ``graph`` and return its outputs.
+
+        The environment's virtual filesystem is updated with any files the
+        graph writes, so sequences of graphs (e.g. the regions of a larger
+        script) can be executed back to back.
+        """
+        graph.validate()
+        edge_values: Dict[int, Stream] = {}
+        result = ExecutionResult(edge_values=edge_values)
+
+        for node in graph.topological_order():
+            inputs = [self._edge_value(graph.edge(edge_id), edge_values) for edge_id in node.inputs]
+            outputs = self._run_node(node, inputs)
+            if len(outputs) != len(node.outputs):
+                raise ExecutionError(
+                    f"node {node.label()} produced {len(outputs)} streams for "
+                    f"{len(node.outputs)} output edges"
+                )
+            for edge_id, stream in zip(node.outputs, outputs):
+                edge_values[edge_id] = stream
+
+        for edge in graph.output_edges():
+            stream = edge_values.get(edge.edge_id, self._edge_value(edge, edge_values))
+            self._deliver_output(edge, stream, result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _edge_value(self, edge: Edge, edge_values: Dict[int, Stream]) -> Stream:
+        if edge.edge_id in edge_values:
+            return edge_values[edge.edge_id]
+        if edge.source is not None:
+            raise ExecutionError(f"edge {edge.edge_id} read before being produced")
+        if edge.kind is EdgeKind.STDIN:
+            return list(self.environment.stdin)
+        if edge.kind is EdgeKind.FILE:
+            try:
+                return self.environment.filesystem.read(edge.name or "")
+            except FileNotFoundError as exc:
+                raise ExecutionError(str(exc)) from exc
+        # A dangling pipe input (should not occur in valid graphs).
+        return []
+
+    def _run_node(self, node: DFGNode, inputs: List[Stream]) -> List[Stream]:
+        if isinstance(node, CommandNode):
+            output = self.environment.registry.run(node.name, node.arguments, inputs)
+            return [output] * max(1, len(node.outputs)) if node.outputs else [output]
+        if isinstance(node, AggregatorNode):
+            output = apply_aggregator(node.aggregator, inputs, node.command_arguments)
+            return [output]
+        if isinstance(node, CatNode):
+            combined: Stream = []
+            for stream in inputs:
+                combined.extend(stream)
+            return [combined]
+        if isinstance(node, SplitNode):
+            if len(inputs) != 1:
+                raise ExecutionError("split nodes take exactly one input")
+            return split_stream(inputs[0], max(1, len(node.outputs)), strategy=node.strategy)
+        if isinstance(node, RelayNode):
+            if len(inputs) != 1:
+                raise ExecutionError("relay nodes take exactly one input")
+            mode = "blocking" if node.blocking else ("eager" if node.eager else "fifo")
+            return [relay(inputs[0], mode=mode)]
+        raise ExecutionError(f"cannot execute node of kind {node.kind!r}")
+
+    def _deliver_output(self, edge: Edge, stream: Stream, result: ExecutionResult) -> None:
+        if edge.kind is EdgeKind.STDOUT or (edge.kind is EdgeKind.PIPE and edge.is_graph_output):
+            result.stdout.extend(stream)
+            return
+        if edge.kind is EdgeKind.FILE:
+            if edge.append:
+                self.environment.filesystem.append(edge.name or "", stream)
+            else:
+                self.environment.filesystem.write(edge.name or "", stream)
+            result.files[edge.name or ""] = self.environment.filesystem.read(edge.name or "")
+            return
+        if edge.kind is EdgeKind.STDIN:
+            # A graph whose only edge is stdin (degenerate); nothing to do.
+            return
+        result.stdout.extend(stream)
+
+
+def execute_graph(
+    graph: DataflowGraph, environment: Optional[ExecutionEnvironment] = None
+) -> ExecutionResult:
+    """Convenience wrapper: execute ``graph`` in ``environment``."""
+    return DFGExecutor(environment).execute(graph)

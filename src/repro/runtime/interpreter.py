@@ -1,0 +1,225 @@
+"""A small interpreter for the supported shell subset.
+
+The interpreter provides the *sequential baseline*: it executes whole
+scripts (sequences, pipelines, loops) directly over the in-memory command
+implementations, without building any dataflow graph.  PaSh's output is then
+checked against it.
+
+Deliberate simplifications, documented here because they bound what the
+benchmark scripts may use:
+
+* Commands do not produce exit codes; ``&&`` always continues and ``||``
+  always skips its right-hand side.
+* ``while``/``until`` loops and ``if`` conditions are not supported.
+* Command substitution is not evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.annotations.library import AnnotationLibrary, standard_library
+from repro.annotations.model import CommandInvocation
+from repro.commands import CommandRegistry, standard_registry
+from repro.commands.base import Stream
+from repro.runtime.streams import VirtualFileSystem
+from repro.shell.ast_nodes import (
+    AndOr,
+    BackgroundNode,
+    BraceGroup,
+    Command,
+    ForLoop,
+    IfClause,
+    Node,
+    Pipeline,
+    SequenceNode,
+    Subshell,
+    WhileLoop,
+)
+from repro.shell.expansion import ExpansionContext, ExpansionError, expand_word
+from repro.shell.parser import parse
+
+
+class InterpreterError(RuntimeError):
+    """Raised when a script uses constructs the interpreter does not support."""
+
+
+@dataclass
+class InterpreterState:
+    """Mutable state threaded through script execution."""
+
+    variables: Dict[str, str] = field(default_factory=dict)
+    filesystem: VirtualFileSystem = field(default_factory=VirtualFileSystem)
+    stdout: Stream = field(default_factory=list)
+
+
+class ShellInterpreter:
+    """Executes ASTs of the supported shell subset sequentially."""
+
+    def __init__(
+        self,
+        filesystem: Optional[VirtualFileSystem] = None,
+        variables: Optional[Dict[str, str]] = None,
+        registry: Optional[CommandRegistry] = None,
+        library: Optional[AnnotationLibrary] = None,
+    ) -> None:
+        self.state = InterpreterState(
+            variables=dict(variables or {}),
+            filesystem=filesystem or VirtualFileSystem(),
+        )
+        self.registry = registry if registry is not None else standard_registry()
+        self.library = library if library is not None else standard_library()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def run_script(self, source: str) -> Stream:
+        """Parse and execute ``source``; returns everything written to stdout."""
+        return self.run_node(parse(source))
+
+    def run_node(self, node: Node, stdin: Optional[Stream] = None) -> Stream:
+        """Execute a node; returns (and records) the lines it wrote to stdout."""
+        output = self._execute(node, list(stdin or []))
+        self.state.stdout.extend(output)
+        return output
+
+    # ------------------------------------------------------------------
+    # Node dispatch — every method returns the node's stdout stream
+    # ------------------------------------------------------------------
+
+    def _execute(self, node: Node, stdin: Stream) -> Stream:
+        if isinstance(node, Command):
+            return self._execute_command(node, stdin)
+        if isinstance(node, Pipeline):
+            return self._execute_pipeline(node, stdin)
+        if isinstance(node, SequenceNode):
+            output: Stream = []
+            for part in node.parts:
+                output.extend(self._execute(part, []))
+            return output
+        if isinstance(node, AndOr):
+            output = list(self._execute(node.parts[0], []))
+            for operator, part in zip(node.operators, node.parts[1:]):
+                if operator == "&&":
+                    output.extend(self._execute(part, []))
+                # `||`: the left side "succeeded", so the right side is skipped.
+            return output
+        if isinstance(node, BackgroundNode):
+            return self._execute(node.body, stdin)
+        if isinstance(node, (Subshell, BraceGroup)):
+            return self._execute(node.body, stdin)
+        if isinstance(node, ForLoop):
+            return self._execute_for(node)
+        if isinstance(node, (WhileLoop, IfClause)):
+            raise InterpreterError(
+                f"{type(node).__name__} is outside the supported sequential subset"
+            )
+        raise InterpreterError(f"cannot interpret node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+
+    def _execute_for(self, node: ForLoop) -> Stream:
+        items: List[str] = []
+        context = self._context()
+        for word in node.items:
+            try:
+                items.extend(expand_word(word, context))
+            except ExpansionError as exc:
+                raise InterpreterError(str(exc)) from exc
+        output: Stream = []
+        for item in items:
+            self.state.variables[node.variable] = item
+            output.extend(self._execute(node.body, []))
+        return output
+
+    def _execute_pipeline(self, node: Pipeline, stdin: Stream) -> Stream:
+        current = list(stdin)
+        for element in node.commands:
+            if not isinstance(element, (Command, Subshell, BraceGroup)):
+                raise InterpreterError("pipelines may only contain simple commands")
+            current = self._execute(element, current)
+        return current
+
+    def _execute_command(self, node: Command, stdin: Stream) -> Stream:
+        context = self._context()
+
+        # Pure assignments.
+        if node.assignments and not node.words:
+            for assignment in node.assignments:
+                try:
+                    value_fields = expand_word(assignment.value, context)
+                except ExpansionError:
+                    value_fields = [""]
+                self.state.variables[assignment.name] = " ".join(value_fields)
+            return []
+
+        argv: List[str] = []
+        for word in node.words:
+            try:
+                argv.extend(expand_word(word, context))
+            except ExpansionError as exc:
+                raise InterpreterError(str(exc)) from exc
+        if not argv:
+            return []
+        name, arguments = argv[0], argv[1:]
+
+        inputs, remaining_arguments = self._resolve_inputs(name, arguments, stdin, node)
+        output = self.registry.run(name, remaining_arguments, inputs)
+
+        # Output redirections swallow the stream.
+        for redirection in node.redirections:
+            if redirection.operator in (">", ">>") and redirection.target is not None:
+                target = " ".join(expand_word(redirection.target, context))
+                if redirection.operator == ">":
+                    self.state.filesystem.write(target, output)
+                else:
+                    self.state.filesystem.append(target, output)
+                return []
+        return output
+
+    # ------------------------------------------------------------------
+
+    def _resolve_inputs(
+        self, name: str, arguments: List[str], stdin: Stream, node: Command
+    ):
+        """Determine the command's input streams (files, redirection, stdin)."""
+        context = self._context()
+        record = self.library.lookup(name)
+        invocation = (
+            record.invocation(name, arguments)
+            if record is not None
+            else CommandInvocation(name, arguments)
+        )
+
+        operand_files: List[str] = []
+        if record is not None:
+            assignment = record.classify(invocation)
+            for spec in assignment.inputs:
+                if spec.kind in ("arg", "args"):
+                    operand_files.extend(spec.resolve(invocation))
+
+        input_redirect: Optional[str] = None
+        for redirection in node.redirections:
+            if redirection.operator == "<" and redirection.target is not None:
+                input_redirect = " ".join(expand_word(redirection.target, context))
+
+        if operand_files:
+            inputs = [self._read_file(filename, stdin) for filename in operand_files]
+            remaining = [arg for arg in arguments if arg not in operand_files]
+            return inputs, remaining
+        if input_redirect is not None:
+            return [self._read_file(input_redirect, stdin)], arguments
+        return [list(stdin)], arguments
+
+    def _read_file(self, filename: str, stdin: Stream) -> Stream:
+        if filename == "-":
+            return list(stdin)
+        try:
+            return self.state.filesystem.read(filename)
+        except FileNotFoundError as exc:
+            raise InterpreterError(str(exc)) from exc
+
+    def _context(self) -> ExpansionContext:
+        return ExpansionContext(dict(self.state.variables), strict=False)

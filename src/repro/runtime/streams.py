@@ -1,0 +1,74 @@
+"""In-memory streams and the virtual file system used by the executor."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+
+class VirtualFileSystem:
+    """A tiny in-memory file namespace.
+
+    The executor resolves FILE edges against this namespace so that whole
+    benchmark scripts can run hermetically.  Files are stored as lists of
+    lines (no trailing newlines).  When a name is missing from the namespace
+    the VFS optionally falls back to the real filesystem, which lets the
+    examples operate on files the user actually has on disk.
+    """
+
+    def __init__(
+        self,
+        files: Optional[Dict[str, Iterable[str]]] = None,
+        allow_real_files: bool = False,
+    ) -> None:
+        self._files: Dict[str, List[str]] = {}
+        self.allow_real_files = allow_real_files
+        for name, lines in (files or {}).items():
+            self.write(name, lines)
+
+    # ------------------------------------------------------------------
+
+    def write(self, name: str, lines: Iterable[str]) -> None:
+        """Create or overwrite a file."""
+        self._files[name] = [str(line) for line in lines]
+
+    def append(self, name: str, lines: Iterable[str]) -> None:
+        """Append lines to a (possibly missing) file."""
+        self._files.setdefault(name, []).extend(str(line) for line in lines)
+
+    def read(self, name: str) -> List[str]:
+        """Read a file's lines; falls back to disk when allowed."""
+        if name in self._files:
+            return list(self._files[name])
+        if self.allow_real_files:
+            path = Path(name)
+            if path.exists():
+                return path.read_text().splitlines()
+        raise FileNotFoundError(f"virtual file {name!r} does not exist")
+
+    def exists(self, name: str) -> bool:
+        if name in self._files:
+            return True
+        return self.allow_real_files and Path(name).exists()
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def names(self) -> List[str]:
+        return sorted(self._files)
+
+    def total_lines(self) -> int:
+        """Total number of lines stored (used by workload accounting)."""
+        return sum(len(lines) for lines in self._files.values())
+
+    def copy(self) -> "VirtualFileSystem":
+        return VirtualFileSystem(
+            {name: list(lines) for name, lines in self._files.items()},
+            allow_real_files=self.allow_real_files,
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return self.exists(name)
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,64 @@
+"""POSIX shell front-end substrate.
+
+The reference PaSh implementation relies on ``libdash`` to obtain a POSIX
+shell AST.  This reproduction ships its own recursive-descent parser for the
+POSIX subset exercised by the paper's evaluation scripts:
+
+* simple commands with arguments, quoting, and redirections,
+* pipelines (``|``),
+* lists joined by ``;``, ``&``, ``&&``, and ``||``,
+* ``for``/``while``/``if`` compound commands,
+* subshells and brace groups,
+* variable assignments and parameter expansion,
+* command substitution (kept opaque, i.e. never parallelized),
+* brace range expansion such as ``{2015..2020}``.
+
+The public surface mirrors the stages PaSh needs: :func:`parse` produces an
+AST (:mod:`repro.shell.ast_nodes`), :mod:`repro.shell.expansion` performs the
+safe subset of word expansion, and :mod:`repro.shell.unparser` turns ASTs back
+into shell text.
+"""
+
+from repro.shell.ast_nodes import (
+    AndOr,
+    Assignment,
+    BackgroundNode,
+    BraceGroup,
+    Command,
+    CommandSubstitution,
+    ForLoop,
+    IfClause,
+    Pipeline,
+    Redirection,
+    SequenceNode,
+    Subshell,
+    WhileLoop,
+    Word,
+)
+from repro.shell.lexer import LexError, Token, TokenKind, tokenize
+from repro.shell.parser import ParseError, parse
+from repro.shell.unparser import unparse
+
+__all__ = [
+    "AndOr",
+    "Assignment",
+    "BackgroundNode",
+    "BraceGroup",
+    "Command",
+    "CommandSubstitution",
+    "ForLoop",
+    "IfClause",
+    "LexError",
+    "ParseError",
+    "Pipeline",
+    "Redirection",
+    "SequenceNode",
+    "Subshell",
+    "Token",
+    "TokenKind",
+    "WhileLoop",
+    "Word",
+    "parse",
+    "tokenize",
+    "unparse",
+]

@@ -1,0 +1,139 @@
+"""Safe word expansion.
+
+PaSh expands the subset of shell words whose value it can determine
+statically — literal text, parameters with known values, and brace ranges —
+and refuses to expand anything else (command substitutions, unknown
+variables).  Refusal is signalled with :class:`ExpansionError` so the caller
+can fall back to conservative, unparallelized treatment (§5.1).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.shell.ast_nodes import CommandSubstitution, LiteralPart, ParameterPart, Word
+
+
+class ExpansionError(ValueError):
+    """Raised when a word cannot be expanded with the information available."""
+
+
+_BRACE_RANGE_RE = re.compile(r"\{(-?\d+)\.\.(-?\d+)\}")
+_BRACE_LIST_RE = re.compile(r"\{([^{}.]*,[^{}]*)\}")
+
+
+class ExpansionContext:
+    """Holds the variable bindings known to the compiler.
+
+    The context is deliberately simple: a flat string-to-string mapping plus a
+    flag recording whether unknown variables should expand to the empty string
+    (interactive-shell behaviour) or abort expansion (PaSh's conservative
+    compile-time behaviour).
+    """
+
+    def __init__(
+        self,
+        variables: Optional[Dict[str, str]] = None,
+        strict: bool = True,
+    ) -> None:
+        self.variables: Dict[str, str] = dict(variables or {})
+        self.strict = strict
+
+    def lookup(self, name: str) -> str:
+        """Return the value bound to ``name``.
+
+        Raises :class:`ExpansionError` in strict mode when unknown.
+        """
+        if name in self.variables:
+            return self.variables[name]
+        if self.strict:
+            raise ExpansionError(f"unknown variable ${name}")
+        return ""
+
+    def bind(self, name: str, value: str) -> None:
+        """Record an assignment observed during compilation."""
+        self.variables[name] = value
+
+    def copy(self) -> "ExpansionContext":
+        """Return an independent copy (used when entering loop bodies)."""
+        return ExpansionContext(dict(self.variables), strict=self.strict)
+
+
+def expand_word(word: Word, context: Optional[ExpansionContext] = None) -> List[str]:
+    """Expand ``word`` into a list of fields.
+
+    Unquoted expansions undergo field splitting on whitespace and brace
+    expansion; quoted text is preserved verbatim.  Raises
+    :class:`ExpansionError` for command substitutions and (in strict mode)
+    unknown variables.
+    """
+    context = context or ExpansionContext()
+    pieces: List[str] = []
+    any_unquoted = False
+    for part in word.parts:
+        if isinstance(part, LiteralPart):
+            pieces.append(part.text)
+            any_unquoted = any_unquoted or not part.quoted
+        elif isinstance(part, ParameterPart):
+            value = context.lookup(part.name)
+            pieces.append(value)
+            any_unquoted = any_unquoted or not part.quoted
+        elif isinstance(part, CommandSubstitution):
+            raise ExpansionError("command substitution cannot be expanded statically")
+        else:  # pragma: no cover - defensive
+            raise ExpansionError(f"unsupported word part {part!r}")
+    text = "".join(pieces)
+
+    fully_quoted = all(
+        getattr(part, "quoted", False) for part in word.parts
+    )
+    if fully_quoted:
+        return [text]
+
+    expanded = _expand_braces(text)
+    fields: List[str] = []
+    for piece in expanded:
+        split = piece.split() if any_unquoted else [piece]
+        fields.extend(split if split else ([""] if piece == "" else []))
+    if not fields and text == "":
+        return []
+    return fields or [text]
+
+
+def expand_words(words: List[Word], context: Optional[ExpansionContext] = None) -> List[str]:
+    """Expand a word list into a flat argument vector."""
+    context = context or ExpansionContext()
+    argv: List[str] = []
+    for word in words:
+        argv.extend(expand_word(word, context))
+    return argv
+
+
+def _expand_braces(text: str) -> List[str]:
+    """Expand one level of ``{a..b}`` and ``{x,y,z}`` brace patterns."""
+    range_match = _BRACE_RANGE_RE.search(text)
+    if range_match:
+        start, end = int(range_match.group(1)), int(range_match.group(2))
+        step = 1 if end >= start else -1
+        results = []
+        for value in range(start, end + step, step):
+            expanded = text[: range_match.start()] + str(value) + text[range_match.end() :]
+            results.extend(_expand_braces(expanded))
+        return results
+    list_match = _BRACE_LIST_RE.search(text)
+    if list_match:
+        results = []
+        for option in list_match.group(1).split(","):
+            expanded = text[: list_match.start()] + option + text[list_match.end() :]
+            results.extend(_expand_braces(expanded))
+        return results
+    return [text]
+
+
+def try_expand_word(word: Word, context: Optional[ExpansionContext] = None) -> Optional[List[str]]:
+    """Expand ``word`` or return None when the expansion is not static."""
+    try:
+        return expand_word(word, context)
+    except ExpansionError:
+        return None

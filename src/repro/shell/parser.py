@@ -1,0 +1,348 @@
+"""Recursive-descent parser for the POSIX shell subset.
+
+The grammar follows the POSIX shell command language, restricted to the
+constructs PaSh's front-end understands.  Unsupported constructs raise
+:class:`ParseError`, which callers treat conservatively (the fragment is left
+unparallelized).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.shell.ast_nodes import (
+    AndOr,
+    Assignment,
+    BackgroundNode,
+    BraceGroup,
+    Command,
+    ForLoop,
+    IfClause,
+    Node,
+    Pipeline,
+    Redirection,
+    SequenceNode,
+    Subshell,
+    WhileLoop,
+    Word,
+)
+from repro.shell.lexer import Token, TokenKind, tokenize
+
+
+class ParseError(ValueError):
+    """Raised when the source cannot be parsed into the supported subset."""
+
+
+_ASSIGNMENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
+
+_RESERVED = {
+    "if",
+    "then",
+    "else",
+    "elif",
+    "fi",
+    "for",
+    "while",
+    "until",
+    "do",
+    "done",
+    "in",
+    "{",
+    "}",
+    "!",
+}
+
+
+class _Parser:
+    """Token-stream cursor with one-token lookahead."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- cursor helpers -----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _at_word(self, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.kind is not TokenKind.WORD:
+            return False
+        if text is None:
+            return True
+        return token.word is not None and token.word.literal_text() == text
+
+    def _expect_word(self, text: str) -> Token:
+        if not self._at_word(text):
+            raise ParseError(f"expected {text!r}, found {self._peek().text!r}")
+        return self._advance()
+
+    def _expect(self, kind: TokenKind) -> Token:
+        if not self._at(kind):
+            raise ParseError(f"expected {kind.value}, found {self._peek().text!r}")
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._at(TokenKind.NEWLINE):
+            self._advance()
+
+    def _skip_separators(self) -> None:
+        while self._at(TokenKind.NEWLINE) or self._at(TokenKind.SEMI):
+            self._advance()
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_program(self) -> Node:
+        parts: List[Node] = []
+        self._skip_separators()
+        while not self._at(TokenKind.EOF):
+            statement = self.parse_and_or()
+            if self._at(TokenKind.AMP):
+                self._advance()
+                statement = BackgroundNode(statement)
+            parts.append(statement)
+            if self._at(TokenKind.SEMI) or self._at(TokenKind.NEWLINE):
+                self._skip_separators()
+            elif not self._at(TokenKind.EOF) and not self._at(TokenKind.RPAREN):
+                raise ParseError(f"unexpected token {self._peek().text!r}")
+            if self._at(TokenKind.RPAREN):
+                break
+        if len(parts) == 1:
+            return parts[0]
+        return SequenceNode(parts)
+
+    def parse_and_or(self) -> Node:
+        first = self.parse_pipeline()
+        parts = [first]
+        operators: List[str] = []
+        while self._at(TokenKind.AND_IF) or self._at(TokenKind.OR_IF):
+            operators.append(self._advance().text)
+            self._skip_newlines()
+            parts.append(self.parse_pipeline())
+        if not operators:
+            return first
+        return AndOr(parts, operators)
+
+    def parse_pipeline(self) -> Node:
+        negated = False
+        if self._at_word("!"):
+            self._advance()
+            negated = True
+        commands = [self.parse_command()]
+        while self._at(TokenKind.PIPE):
+            self._advance()
+            self._skip_newlines()
+            commands.append(self.parse_command())
+        if len(commands) == 1 and not negated:
+            return commands[0]
+        return Pipeline(commands, negated=negated)
+
+    def parse_command(self) -> Node:
+        if self._at(TokenKind.LPAREN):
+            return self.parse_subshell()
+        if self._at_word("{"):
+            return self.parse_brace_group()
+        if self._at_word("for"):
+            return self.parse_for()
+        if self._at_word("while") or self._at_word("until"):
+            return self.parse_while()
+        if self._at_word("if"):
+            return self.parse_if()
+        return self.parse_simple_command()
+
+    # -- compound commands --------------------------------------------------
+
+    def parse_subshell(self) -> Subshell:
+        self._expect(TokenKind.LPAREN)
+        self._skip_separators()
+        body = self.parse_program()
+        self._expect(TokenKind.RPAREN)
+        redirections = self._parse_trailing_redirections()
+        return Subshell(body, redirections)
+
+    def parse_brace_group(self) -> BraceGroup:
+        self._expect_word("{")
+        self._skip_separators()
+        parts: List[Node] = []
+        while not self._at_word("}"):
+            if self._at(TokenKind.EOF):
+                raise ParseError("unterminated brace group")
+            statement = self.parse_and_or()
+            if self._at(TokenKind.AMP):
+                self._advance()
+                statement = BackgroundNode(statement)
+            parts.append(statement)
+            self._skip_separators()
+        self._expect_word("}")
+        redirections = self._parse_trailing_redirections()
+        body = parts[0] if len(parts) == 1 else SequenceNode(parts)
+        return BraceGroup(body, redirections)
+
+    def parse_for(self) -> ForLoop:
+        self._expect_word("for")
+        variable_token = self._expect(TokenKind.WORD)
+        variable = variable_token.word.literal_text() if variable_token.word else None
+        if not variable:
+            raise ParseError("for-loop variable must be a literal name")
+        items: List[Word] = []
+        self._skip_newlines()
+        if self._at_word("in"):
+            self._advance()
+            while self._at(TokenKind.WORD) and not self._at_word("do"):
+                items.append(self._advance().word)  # type: ignore[arg-type]
+            self._skip_separators()
+        else:
+            self._skip_separators()
+        if self._at(TokenKind.SEMI):
+            self._advance()
+            self._skip_newlines()
+        self._expect_word("do")
+        self._skip_separators()
+        body = self._parse_until_keyword("done")
+        self._expect_word("done")
+        return ForLoop(variable, items, body)
+
+    def parse_while(self) -> WhileLoop:
+        until = self._at_word("until")
+        self._advance()
+        condition = self._parse_until_keyword("do")
+        self._expect_word("do")
+        self._skip_separators()
+        body = self._parse_until_keyword("done")
+        self._expect_word("done")
+        return WhileLoop(condition, body, until=until)
+
+    def parse_if(self) -> IfClause:
+        self._expect_word("if")
+        condition = self._parse_until_keyword("then")
+        self._expect_word("then")
+        self._skip_separators()
+        then_body = self._parse_until_keyword("else", "elif", "fi")
+        else_body: Optional[Node] = None
+        if self._at_word("elif"):
+            # Re-parse the elif chain as a nested IfClause.
+            else_body = self._parse_elif_chain()
+        elif self._at_word("else"):
+            self._advance()
+            self._skip_separators()
+            else_body = self._parse_until_keyword("fi")
+            self._expect_word("fi")
+        else:
+            self._expect_word("fi")
+        return IfClause(condition, then_body, else_body)
+
+    def _parse_elif_chain(self) -> IfClause:
+        self._expect_word("elif")
+        condition = self._parse_until_keyword("then")
+        self._expect_word("then")
+        self._skip_separators()
+        then_body = self._parse_until_keyword("else", "elif", "fi")
+        else_body: Optional[Node] = None
+        if self._at_word("elif"):
+            else_body = self._parse_elif_chain()
+        elif self._at_word("else"):
+            self._advance()
+            self._skip_separators()
+            else_body = self._parse_until_keyword("fi")
+            self._expect_word("fi")
+        else:
+            self._expect_word("fi")
+        return IfClause(condition, then_body, else_body)
+
+    def _parse_until_keyword(self, *keywords: str) -> Node:
+        parts: List[Node] = []
+        self._skip_separators()
+        while not any(self._at_word(keyword) for keyword in keywords):
+            if self._at(TokenKind.EOF):
+                raise ParseError(f"expected one of {keywords}, hit end of input")
+            statement = self.parse_and_or()
+            if self._at(TokenKind.AMP):
+                self._advance()
+                statement = BackgroundNode(statement)
+            parts.append(statement)
+            self._skip_separators()
+        if not parts:
+            raise ParseError(f"empty body before {keywords}")
+        if len(parts) == 1:
+            return parts[0]
+        return SequenceNode(parts)
+
+    # -- simple commands ----------------------------------------------------
+
+    def parse_simple_command(self) -> Command:
+        assignments: List[Assignment] = []
+        words: List[Word] = []
+        redirections: List[Redirection] = []
+
+        # Leading assignments.
+        while self._at(TokenKind.WORD):
+            word = self._peek().word
+            text = word.literal_text() if word else None
+            if text is not None and _ASSIGNMENT_RE.match(text) and not words:
+                self._advance()
+                name, _, value = text.partition("=")
+                assignments.append(Assignment(name, Word.literal(value)))
+            else:
+                break
+
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.WORD:
+                word = token.word
+                text = word.literal_text() if word else None
+                if not words and text in _RESERVED and text not in ("{", "}"):
+                    # Reserved word in command position — handled by caller.
+                    if text in ("in", "do", "done", "then", "else", "elif", "fi"):
+                        raise ParseError(f"unexpected reserved word {text!r}")
+                self._advance()
+                words.append(word)  # type: ignore[arg-type]
+            elif token.kind is TokenKind.REDIRECT:
+                redirections.append(self._parse_redirection())
+            else:
+                break
+
+        if not words and not assignments and not redirections:
+            raise ParseError(f"expected a command, found {self._peek().text!r}")
+        return Command(assignments, words, redirections)
+
+    def _parse_redirection(self) -> Redirection:
+        token = self._expect(TokenKind.REDIRECT)
+        operator = token.text
+        fd: Optional[int] = None
+        if operator and operator[0].isdigit():
+            fd = int(operator[0])
+        if operator == "2>&1" or operator.endswith("&1"):
+            return Redirection(operator, None, fd=fd)
+        target_token = self._expect(TokenKind.WORD)
+        return Redirection(operator, target_token.word, fd=fd)
+
+    def _parse_trailing_redirections(self) -> List[Redirection]:
+        redirections: List[Redirection] = []
+        while self._at(TokenKind.REDIRECT):
+            redirections.append(self._parse_redirection())
+        return redirections
+
+
+def parse(source: str) -> Node:
+    """Parse ``source`` into an AST.
+
+    Raises :class:`ParseError` (or :class:`~repro.shell.lexer.LexError`) when
+    the script uses constructs outside the supported subset.
+    """
+    tokens = tokenize(source)
+    parser = _Parser(tokens)
+    program = parser.parse_program()
+    if not parser._at(TokenKind.EOF):
+        raise ParseError(f"trailing input at {parser._peek().text!r}")
+    return program

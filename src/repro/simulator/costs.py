@@ -1,0 +1,227 @@
+"""Per-command cost and selectivity models.
+
+Costs are deliberately simple — a per-line CPU cost, an optional
+``n log n`` complexity for sorting, a selectivity describing how many output
+lines a command produces per input line, and a flag marking commands that
+cannot emit anything before consuming their whole input.  The constants are
+calibrated so that the *relative* behaviour matches the paper's observations
+(grep with a complex regex is CPU-bound, `wc`/`cut` are cheap and IO-bound,
+sort dominates its pipelines, merging is cheaper than sorting but not free).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.dfg.nodes import AggregatorNode, CatNode, CommandNode, DFGNode, RelayNode, SplitNode
+
+
+@dataclass
+class CommandCost:
+    """Cost description of one command (or helper node)."""
+
+    #: CPU seconds per input line.
+    seconds_per_line: float = 2e-7
+    #: Output lines produced per input line (ignored when fixed_output_lines).
+    selectivity: float = 1.0
+    #: Commands like wc or head produce a fixed-size output.
+    fixed_output_lines: Optional[int] = None
+    #: True for commands that emit nothing until they consumed all input.
+    blocking: bool = False
+    #: "linear" or "nlogn" (sort-like) complexity in the input size.
+    complexity: str = "linear"
+    #: Per-process startup cost (exec, parsing flags, loading patterns).
+    startup_seconds: float = 0.001
+
+    def work_seconds(self, input_lines: int) -> float:
+        """CPU time to process ``input_lines``."""
+        lines = max(input_lines, 0)
+        if self.complexity == "nlogn":
+            factor = math.log2(lines) if lines > 2 else 1.0
+            return self.startup_seconds + self.seconds_per_line * lines * factor
+        return self.startup_seconds + self.seconds_per_line * lines
+
+    def output_lines(self, input_lines: int) -> int:
+        """Estimated number of output lines."""
+        if self.fixed_output_lines is not None:
+            return min(self.fixed_output_lines, max(input_lines, self.fixed_output_lines))
+        return int(max(input_lines, 0) * self.selectivity)
+
+
+_CHEAP = 1.5e-7
+_MEDIUM = 6e-7
+_EXPENSIVE = 4e-6
+
+
+def _default_costs() -> Dict[str, CommandCost]:
+    return {
+        # Stateless text processing.
+        "cat": CommandCost(seconds_per_line=5e-8),
+        "tr": CommandCost(seconds_per_line=_CHEAP),
+        "cut": CommandCost(seconds_per_line=_CHEAP),
+        "sed": CommandCost(seconds_per_line=_MEDIUM),
+        "grep": CommandCost(seconds_per_line=_MEDIUM, selectivity=0.25),
+        "egrep": CommandCost(seconds_per_line=_MEDIUM, selectivity=0.25),
+        "fgrep": CommandCost(seconds_per_line=_CHEAP, selectivity=0.25),
+        "xargs": CommandCost(seconds_per_line=_MEDIUM),
+        "fold": CommandCost(seconds_per_line=_CHEAP, selectivity=1.3),
+        "rev": CommandCost(seconds_per_line=_CHEAP),
+        "col": CommandCost(seconds_per_line=_CHEAP),
+        "iconv": CommandCost(seconds_per_line=_CHEAP),
+        "gunzip": CommandCost(seconds_per_line=_CHEAP, selectivity=3.0),
+        "zcat": CommandCost(seconds_per_line=_CHEAP, selectivity=3.0),
+        "awk": CommandCost(seconds_per_line=_MEDIUM),
+        # Pure commands.
+        "sort": CommandCost(seconds_per_line=_MEDIUM, blocking=True, complexity="nlogn"),
+        "uniq": CommandCost(seconds_per_line=_CHEAP, selectivity=0.4),
+        "wc": CommandCost(seconds_per_line=_CHEAP, fixed_output_lines=1, blocking=True),
+        "head": CommandCost(seconds_per_line=2e-8, fixed_output_lines=10),
+        "tail": CommandCost(seconds_per_line=2e-8, fixed_output_lines=10, blocking=True),
+        "tac": CommandCost(seconds_per_line=_CHEAP, blocking=True),
+        "comm": CommandCost(seconds_per_line=_MEDIUM, selectivity=0.6, blocking=True),
+        "nl": CommandCost(seconds_per_line=_CHEAP),
+        "join": CommandCost(seconds_per_line=_MEDIUM, selectivity=0.5, blocking=True),
+        "paste": CommandCost(seconds_per_line=_CHEAP),
+        # Non-parallelizable pure.
+        "sha1sum": CommandCost(seconds_per_line=_MEDIUM, fixed_output_lines=1, blocking=True),
+        "md5sum": CommandCost(seconds_per_line=_MEDIUM, fixed_output_lines=1, blocking=True),
+        "diff": CommandCost(seconds_per_line=_MEDIUM, selectivity=0.2, blocking=True),
+        # Use-case custom commands (annotated, outside POSIX/GNU).
+        "html-to-text": CommandCost(seconds_per_line=_EXPENSIVE, selectivity=0.6),
+        "url-extract": CommandCost(seconds_per_line=_MEDIUM, selectivity=0.3),
+        "word-stem": CommandCost(seconds_per_line=_EXPENSIVE),
+        "strip-punct": CommandCost(seconds_per_line=_CHEAP),
+        "lowercase": CommandCost(seconds_per_line=_CHEAP),
+        "bigrams": CommandCost(seconds_per_line=_MEDIUM, selectivity=7.0),
+        "trigrams": CommandCost(seconds_per_line=_MEDIUM, selectivity=3.0, blocking=True),
+        # Fetch stand-ins: one input line names a remote object whose download
+        # and decompression dominates (hundreds of output lines per input).
+        "fetch-station": CommandCost(seconds_per_line=0.08, selectivity=365.0),
+        "fetch-page": CommandCost(seconds_per_line=0.15, selectivity=200.0),
+        "curl": CommandCost(seconds_per_line=0.08, selectivity=365.0),
+        "seq": CommandCost(seconds_per_line=5e-8),
+        "echo": CommandCost(seconds_per_line=5e-8),
+    }
+
+
+_AGGREGATOR_COSTS: Dict[str, CommandCost] = {
+    "concat": CommandCost(seconds_per_line=5e-8),
+    # GNU sort's merge phase is memory-bandwidth bound and does not overlap
+    # well across tree levels; modelling it as a blocking stage with a
+    # noticeable per-line cost reproduces the limited scalability of sort
+    # observed in the paper (§6.5: "sort's scalability is inherently limited").
+    "merge_sort": CommandCost(seconds_per_line=1.0e-6, blocking=True),
+    "merge_uniq": CommandCost(seconds_per_line=1.5e-7, selectivity=0.95),
+    "merge_uniq_count": CommandCost(seconds_per_line=1.5e-7, selectivity=0.95),
+    "merge_wc": CommandCost(seconds_per_line=1e-7, fixed_output_lines=1),
+    "merge_tac": CommandCost(seconds_per_line=1e-7),
+    "merge_head": CommandCost(seconds_per_line=2e-8, fixed_output_lines=10),
+    "merge_tail": CommandCost(seconds_per_line=2e-8, fixed_output_lines=10),
+    "merge_comm": CommandCost(seconds_per_line=1e-7),
+    "sum": CommandCost(seconds_per_line=1e-7, fixed_output_lines=1),
+}
+
+
+class CostModel:
+    """Maps DFG nodes to :class:`CommandCost` entries."""
+
+    def __init__(
+        self,
+        command_costs: Optional[Dict[str, CommandCost]] = None,
+        default: Optional[CommandCost] = None,
+    ) -> None:
+        self.command_costs = dict(command_costs or _default_costs())
+        self.default = default or CommandCost(seconds_per_line=_MEDIUM)
+
+    # ------------------------------------------------------------------
+
+    def override(self, name: str, **changes) -> "CostModel":
+        """Return a new model with the named command's cost fields replaced."""
+        updated = dict(self.command_costs)
+        updated[name] = replace(updated.get(name, self.default), **changes)
+        return CostModel(updated, self.default)
+
+    def cost_for(self, node: DFGNode) -> CommandCost:
+        """The cost entry for a node, taking flags into account."""
+        if isinstance(node, AggregatorNode):
+            return _AGGREGATOR_COSTS.get(node.aggregator, CommandCost(seconds_per_line=1.5e-7))
+        if isinstance(node, CatNode):
+            return CommandCost(seconds_per_line=5e-8)
+        if isinstance(node, RelayNode):
+            return CommandCost(seconds_per_line=3e-8)
+        if isinstance(node, SplitNode):
+            return CommandCost(seconds_per_line=6e-8, blocking=node.strategy == "general")
+        if isinstance(node, CommandNode):
+            base = self.command_costs.get(node.name, self.default)
+            return self._refine(node, base)
+        return self.default
+
+    # ------------------------------------------------------------------
+
+    def _refine(self, node: CommandNode, base: CommandCost) -> CommandCost:
+        """Adjust a base cost using the node's flags."""
+        arguments = node.arguments
+        if node.name == "xargs":
+            # xargs' cost is the wrapped command's cost (plus negligible glue).
+            wrapped = self._xargs_wrapped_command(arguments)
+            if wrapped is not None and wrapped in self.command_costs:
+                return self.command_costs[wrapped]
+        if node.name in ("head", "tail"):
+            count = _numeric_flag(arguments, "-n", default=10)
+            return replace(base, fixed_output_lines=count)
+        if node.name == "grep":
+            if "-c" in arguments:
+                return replace(base, fixed_output_lines=1, blocking=True)
+            if "-v" in arguments or any("v" in a[1:] for a in arguments if _short_flag(a)):
+                return replace(base, selectivity=max(1.0 - base.selectivity, 0.05))
+        if node.name == "uniq" and any("c" in a[1:] for a in arguments if _short_flag(a)):
+            return replace(base, selectivity=base.selectivity)
+        if node.name == "sort" and "-m" in arguments:
+            return replace(base, complexity="linear", blocking=False)
+        if node.name == "cat" and any("n" in a[1:] for a in arguments if _short_flag(a)):
+            return replace(base, seconds_per_line=_CHEAP)
+        return base
+
+    @staticmethod
+    def _xargs_wrapped_command(arguments) -> Optional[str]:
+        """The command an xargs invocation wraps, skipping -n and its value."""
+        index = 0
+        while index < len(arguments):
+            argument = arguments[index]
+            if argument == "-n":
+                index += 2
+                continue
+            if argument.startswith("-"):
+                index += 1
+                continue
+            if argument.isdigit():
+                index += 1
+                continue
+            return argument
+        return None
+
+
+def _short_flag(argument: str) -> bool:
+    return argument.startswith("-") and not argument.startswith("--") and len(argument) > 1
+
+
+def _numeric_flag(arguments, flag: str, default: int) -> int:
+    for index, argument in enumerate(arguments):
+        if argument == flag and index + 1 < len(arguments):
+            try:
+                return int(arguments[index + 1])
+            except ValueError:
+                return default
+        if argument.startswith(flag) and argument != flag:
+            try:
+                return int(argument[len(flag):])
+            except ValueError:
+                continue
+    return default
+
+
+def default_cost_model() -> CostModel:
+    """A fresh copy of the default cost model."""
+    return CostModel()

@@ -1,0 +1,53 @@
+"""The machine model: cores, spawn overhead, and I/O characteristics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MachineModel:
+    """Parameters of the simulated execution platform.
+
+    Defaults approximate the paper's testbed: 64 physical cores, pipes with a
+    64 KiB kernel buffer (expressed in lines), a fraction of a millisecond to
+    fork/exec a process, and roughly one second of constant PaSh setup
+    (compilation is measured separately; this models fifo creation, spawning
+    the wrapper shell, and teardown).
+    """
+
+    cores: int = 64
+    #: Seconds to spawn one extra process (fork/exec + wiring its FIFOs).
+    process_spawn_seconds: float = 0.002
+    #: Constant per-execution overhead of the PaSh-generated script.
+    setup_seconds: float = 0.9
+    #: Constant startup of the sequential script (shell + first exec).
+    sequential_setup_seconds: float = 0.05
+    #: Lines that fit in a kernel pipe buffer (64 KiB at ~80 bytes/line).
+    pipe_buffer_lines: int = 800
+    #: Sequential read throughput of the storage backing input files
+    #: (lines/second; ~1 GB/s at ~80 bytes per line).
+    disk_lines_per_second: float = 12_500_000.0
+    #: Aggregate read throughput when many processes stream from disk at once.
+    disk_parallel_scaling: float = 4.0
+
+    def disk_seconds(self, lines: int, readers: int = 1) -> float:
+        """Time to pull ``lines`` from storage with ``readers`` concurrent readers."""
+        effective = self.disk_lines_per_second * min(
+            float(max(readers, 1)), self.disk_parallel_scaling
+        )
+        return lines / effective
+
+    def spawn_seconds(self, processes: int) -> float:
+        """Total time spent creating ``processes`` (spawns are serialized)."""
+        return self.process_spawn_seconds * max(processes, 0)
+
+    @classmethod
+    def paper_testbed(cls) -> "MachineModel":
+        """The default 64-core configuration used throughout the evaluation."""
+        return cls()
+
+    @classmethod
+    def laptop(cls) -> "MachineModel":
+        """A small configuration used in tests to exercise core limits."""
+        return cls(cores=4, setup_seconds=0.3)

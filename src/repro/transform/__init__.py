@@ -1,0 +1,37 @@
+"""Semantics-preserving DFG transformations (§4.2) and the pass driver."""
+
+from repro.transform.auxiliary import (
+    insert_cat_for_multi_input,
+    insert_eager_relays,
+    insert_relay,
+    insert_split_before,
+)
+from repro.transform.parallelize import (
+    is_parallelizable_node,
+    parallelize_node,
+    preceding_concatenation,
+)
+from repro.transform.pipeline import (
+    EagerMode,
+    OptimizationReport,
+    ParallelizationConfig,
+    SplitMode,
+    optimize_graph,
+    relevant_configurations,
+)
+
+__all__ = [
+    "EagerMode",
+    "OptimizationReport",
+    "ParallelizationConfig",
+    "SplitMode",
+    "insert_cat_for_multi_input",
+    "insert_eager_relays",
+    "insert_relay",
+    "insert_split_before",
+    "is_parallelizable_node",
+    "optimize_graph",
+    "parallelize_node",
+    "relevant_configurations",
+    "preceding_concatenation",
+]

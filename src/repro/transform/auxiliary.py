@@ -1,0 +1,157 @@
+"""Auxiliary transformations t1–t3 (§4.2) plus eager-relay insertion (§5.2).
+
+* t1 — concatenate a node's multiple inputs with an explicit ``cat`` node so
+  that the parallelization transformation can commute it.
+* t2 — when a parallelizable node has a single input that is not produced by
+  a concatenation, insert ``split`` followed by its inverse ``cat``.
+* t3 — insert identity relay nodes; with the eager flag these become the
+  runtime's eager buffers that defeat the shell's lazy evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dfg.edges import Edge, EdgeKind
+from repro.dfg.graph import DataflowGraph
+from repro.dfg.nodes import AggregatorNode, CatNode, CommandNode, DFGNode, RelayNode, SplitNode
+
+
+#: Commands whose multi-file invocations are equivalent to running the
+#: command over the concatenation of those files, enabling transformation t1.
+CONCATENATION_EQUIVALENT_COMMANDS = frozenset({"cat", "grep", "sort", "bzip2", "gunzip"})
+
+
+def insert_cat_for_multi_input(graph: DataflowGraph, node: CommandNode) -> Optional[CatNode]:
+    """Transformation t1: combine a node's data inputs with a ``cat`` node.
+
+    Only applies to commands whose multi-input semantics is concatenation;
+    returns the inserted node, or None when not applicable.
+    """
+    if not isinstance(node, CommandNode):
+        return None
+    if node.name not in CONCATENATION_EQUIVALENT_COMMANDS:
+        return None
+    data_inputs = node.data_inputs
+    if len(data_inputs) < 2:
+        return None
+
+    cat_node = CatNode()
+    graph.add_node(cat_node)
+    for edge_id in data_inputs:
+        edge = graph.edge(edge_id)
+        edge.target = cat_node.node_id
+        cat_node.inputs.append(edge_id)
+    node.inputs = [edge_id for edge_id in node.inputs if edge_id not in data_inputs]
+    joining = graph.add_edge(kind=EdgeKind.PIPE, source=cat_node.node_id, target=node.node_id)
+    cat_node.outputs.append(joining.edge_id)
+    node.inputs.insert(0, joining.edge_id)
+    return cat_node
+
+
+def insert_split_before(
+    graph: DataflowGraph,
+    node: CommandNode,
+    width: int,
+    strategy: str = "general",
+) -> Optional[CatNode]:
+    """Transformation t2: insert ``split`` + ``cat`` before ``node``.
+
+    The node's single data input is re-routed into a :class:`SplitNode` with
+    ``width`` outputs, which feed a fresh :class:`CatNode` that in turn feeds
+    the node.  Returns the cat node (the parallelization transformation then
+    commutes it), or None when the node does not have exactly one data input
+    or ``width`` < 2.
+    """
+    if width < 2:
+        return None
+    data_inputs = node.data_inputs
+    if len(data_inputs) != 1:
+        return None
+
+    input_edge = graph.edge(data_inputs[0])
+    split_node = SplitNode(strategy=strategy)
+    graph.add_node(split_node)
+
+    # Re-target the original input into the split node.
+    input_edge.target = split_node.node_id
+    split_node.inputs.append(input_edge.edge_id)
+    node.inputs = [edge_id for edge_id in node.inputs if edge_id != input_edge.edge_id]
+
+    cat_node = CatNode()
+    graph.add_node(cat_node)
+    for _ in range(width):
+        edge = graph.add_edge(kind=EdgeKind.PIPE, source=split_node.node_id, target=cat_node.node_id)
+        split_node.outputs.append(edge.edge_id)
+        cat_node.inputs.append(edge.edge_id)
+
+    joining = graph.add_edge(kind=EdgeKind.PIPE, source=cat_node.node_id, target=node.node_id)
+    cat_node.outputs.append(joining.edge_id)
+    node.inputs.insert(0, joining.edge_id)
+    return cat_node
+
+
+def insert_relay(
+    graph: DataflowGraph,
+    edge: Edge,
+    eager: bool = True,
+    blocking: bool = False,
+) -> RelayNode:
+    """Transformation t3: splice an identity relay into ``edge``.
+
+    The original edge keeps its producer; a new edge connects the relay to the
+    original consumer.
+    """
+    consumer_id = edge.target
+    relay = RelayNode(eager=eager, blocking=blocking)
+    graph.add_node(relay)
+
+    edge.target = relay.node_id
+    relay.inputs.append(edge.edge_id)
+
+    new_edge = graph.add_edge(kind=EdgeKind.PIPE, source=relay.node_id, target=consumer_id)
+    relay.outputs.append(new_edge.edge_id)
+    if consumer_id is not None:
+        consumer = graph.node(consumer_id)
+        consumer.inputs = [
+            new_edge.edge_id if edge_id == edge.edge_id else edge_id for edge_id in consumer.inputs
+        ]
+        if hasattr(consumer, "config_inputs"):
+            consumer.config_inputs = [
+                new_edge.edge_id if edge_id == edge.edge_id else edge_id
+                for edge_id in consumer.config_inputs
+            ]
+    return relay
+
+
+def insert_eager_relays(
+    graph: DataflowGraph,
+    eager: bool = True,
+    blocking: bool = False,
+) -> List[RelayNode]:
+    """Insert relays where the shell's laziness would otherwise stall the DFG.
+
+    Relays are inserted on every input of an aggregator node, on all but the
+    last input of each ``cat`` combiner, and after all but the last output of
+    each ``split`` node — mirroring §5.2.
+    """
+    relays: List[RelayNode] = []
+    for node in list(graph.nodes.values()):
+        if isinstance(node, AggregatorNode):
+            target_edges = [graph.edge(edge_id) for edge_id in list(node.inputs)]
+        elif isinstance(node, CatNode):
+            target_edges = [graph.edge(edge_id) for edge_id in list(node.inputs[:-1])]
+        elif isinstance(node, SplitNode):
+            target_edges = [graph.edge(edge_id) for edge_id in list(node.outputs[:-1])]
+        else:
+            continue
+        if isinstance(node, SplitNode):
+            for edge in target_edges:
+                relays.append(insert_relay(graph, edge, eager=eager, blocking=blocking))
+        else:
+            for edge in target_edges:
+                # Do not double-buffer an edge that already comes out of a relay.
+                if edge.source is not None and isinstance(graph.node(edge.source), RelayNode):
+                    continue
+                relays.append(insert_relay(graph, edge, eager=eager, blocking=blocking))
+    return relays

@@ -1,0 +1,29 @@
+"""Workload definitions: synthetic inputs plus the benchmark script corpus.
+
+Every experiment in the paper's evaluation is backed by a workload defined
+here:
+
+* :mod:`repro.workloads.text` — deterministic synthetic text corpora,
+* :mod:`repro.workloads.oneliners` — the twelve classic one-liners of §6.1
+  (Table 2 / Fig. 7),
+* :mod:`repro.workloads.unix50` — the 34 Unix50 pipelines of §6.2 (Fig. 8),
+* :mod:`repro.workloads.noaa` — the temperature-analysis use case of §6.3,
+* :mod:`repro.workloads.wikipedia` — the web-indexing use case of §6.4.
+"""
+
+from repro.workloads.base import BenchmarkScript, chunk_names, chunked_line_counts
+from repro.workloads.oneliners import ONE_LINERS, get_one_liner
+from repro.workloads.unix50 import UNIX50_PIPELINES, Unix50Pipeline
+from repro.workloads import noaa, wikipedia
+
+__all__ = [
+    "BenchmarkScript",
+    "ONE_LINERS",
+    "UNIX50_PIPELINES",
+    "Unix50Pipeline",
+    "chunk_names",
+    "chunked_line_counts",
+    "get_one_liner",
+    "noaa",
+    "wikipedia",
+]

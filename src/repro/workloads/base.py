@@ -1,0 +1,82 @@
+"""Shared benchmark-script machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.simulator.costs import CostModel, default_cost_model
+
+
+def chunk_names(count: int, prefix: str = "in") -> List[str]:
+    """Names of the input chunk files for a given parallelism width."""
+    return [f"{prefix}{index}.txt" for index in range(count)]
+
+
+def chunked_line_counts(total_lines: int, chunks: int, prefix: str = "in") -> Dict[str, int]:
+    """Line counts per chunk file, used by the performance simulator."""
+    per_chunk, remainder = divmod(total_lines, chunks)
+    return {
+        f"{prefix}{index}.txt": per_chunk + (1 if index < remainder else 0)
+        for index in range(chunks)
+    }
+
+
+@dataclass
+class BenchmarkScript:
+    """One benchmark script (a Table 2 row / Fig. 7 panel).
+
+    ``build_script`` receives the list of input chunk file names and returns
+    the shell text; ``small_inputs`` produces an in-memory dataset for
+    correctness checks; ``simulated_total_lines`` sizes the performance
+    simulation; ``cost_overrides`` adjust the per-command cost model (e.g.
+    the expensive backtracking regex of the Grep benchmark).
+    """
+
+    name: str
+    build_script: Callable[[List[str]], str]
+    structure: str
+    simulated_total_lines: int
+    paper_input: str
+    paper_seq_time: str
+    highlights: str
+    #: Generates ``count`` corpus lines with the given seed (for correctness runs).
+    corpus_generator: Callable[[int, int], List[str]] = None  # type: ignore[assignment]
+    cost_overrides: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Paper-reported best speedup range (used in EXPERIMENTS.md).
+    paper_speedup_note: str = ""
+    #: Extra files every run needs regardless of width (e.g. a dictionary).
+    static_files: Callable[[], Dict[str, List[str]]] = None  # type: ignore[assignment]
+    #: Approximate line count of each static file for the simulator.
+    static_line_counts: Dict[str, int] = field(default_factory=dict)
+
+    def script_for_width(self, width: int, prefix: str = "in") -> str:
+        """Shell text when the input corpus is divided into ``width`` chunks."""
+        return self.build_script(chunk_names(width, prefix))
+
+    def input_line_counts(self, width: int, prefix: str = "in") -> Dict[str, int]:
+        """Per-file line counts for the simulator at a given width."""
+        counts = chunked_line_counts(self.simulated_total_lines, width, prefix)
+        counts.update(self.static_line_counts)
+        return counts
+
+    def cost_model(self) -> CostModel:
+        """The default cost model with this benchmark's overrides applied."""
+        model = default_cost_model()
+        for command, changes in self.cost_overrides.items():
+            model = model.override(command, **changes)
+        return model
+
+    def correctness_dataset(
+        self, width: int, lines: int = 1200, prefix: str = "in"
+    ) -> Dict[str, List[str]]:
+        """A small in-memory dataset for checking sequential vs parallel output."""
+        files: Dict[str, List[str]] = {}
+        if self.corpus_generator is not None:
+            per_chunk, remainder = divmod(lines, width)
+            for index, name in enumerate(chunk_names(width, prefix)):
+                size = per_chunk + (1 if index < remainder else 0)
+                files[name] = self.corpus_generator(size, index)
+        if self.static_files is not None:
+            files.update(self.static_files())
+        return files

@@ -1,0 +1,123 @@
+"""Deterministic synthetic text corpora.
+
+The paper's one-liners run over gigabytes of English text.  The reproduction
+generates deterministic pseudo-English corpora: Zipf-ish word frequencies,
+mixed capitalization and punctuation, and occasional marker words that give
+``grep`` patterns something to match at a controllable rate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+_VOCABULARY = [
+    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+    "he", "was", "for", "on", "are", "as", "with", "his", "they", "I",
+    "unix", "shell", "pipeline", "stream", "process", "signal", "kernel",
+    "buffer", "socket", "thread", "parallel", "data", "graph", "node",
+    "edge", "merge", "split", "relay", "eager", "lazy", "light", "dark",
+    "maximum", "minimum", "temperature", "weather", "station", "record",
+    "apple", "banana", "cherry", "grape", "lemon", "melon", "orange",
+    "system", "research", "paper", "figure", "table", "result", "speedup",
+]
+
+_PUNCTUATION = [",", ".", ";", ":", "!", "?", ""]
+
+
+def _rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def _zipf_choice(rng: random.Random, vocabulary: Sequence[str]) -> str:
+    """Pick a word with a Zipf-like bias towards the front of the vocabulary."""
+    rank = int(len(vocabulary) * (rng.random() ** 2.2))
+    return vocabulary[min(rank, len(vocabulary) - 1)]
+
+
+def text_lines(
+    count: int,
+    seed: int = 0,
+    words_per_line: int = 8,
+    marker: str = "lights",
+    marker_rate: float = 0.12,
+) -> List[str]:
+    """Generate ``count`` lines of pseudo-English text.
+
+    ``marker`` is injected into roughly ``marker_rate`` of the lines so grep
+    benchmarks have a predictable selectivity.
+    """
+    rng = _rng(seed)
+    lines: List[str] = []
+    for _ in range(count):
+        words = []
+        for position in range(words_per_line):
+            word = _zipf_choice(rng, _VOCABULARY)
+            if rng.random() < 0.15:
+                word = word.capitalize()
+            if rng.random() < 0.08:
+                word += rng.choice(_PUNCTUATION)
+            words.append(word)
+        if rng.random() < marker_rate:
+            words[rng.randrange(len(words))] = marker
+        lines.append(" ".join(words))
+    return lines
+
+
+def numeric_lines(count: int, seed: int = 0, maximum: int = 10_000) -> List[str]:
+    """Lines holding a single integer (sorting and numeric benchmarks)."""
+    rng = _rng(seed)
+    return [str(rng.randrange(maximum)) for _ in range(count)]
+
+
+def csv_lines(count: int, seed: int = 0, columns: int = 5) -> List[str]:
+    """Comma-free whitespace-separated tabular data (cut/awk benchmarks)."""
+    rng = _rng(seed)
+    lines = []
+    for index in range(count):
+        fields = [f"row{index}"]
+        fields.extend(str(rng.randrange(1000)) for _ in range(columns - 1))
+        lines.append(" ".join(fields))
+    return lines
+
+
+def dictionary_words(count: int = 400, seed: int = 7) -> List[str]:
+    """A sorted, lower-cased dictionary for the spell benchmark."""
+    rng = _rng(seed)
+    words = set(_VOCABULARY)
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    while len(words) < count:
+        length = rng.randrange(3, 9)
+        words.add("".join(rng.choice(alphabet) for _ in range(length)))
+    return sorted(words)
+
+
+def chunked_corpus(
+    total_lines: int,
+    chunks: int,
+    seed: int = 0,
+    prefix: str = "in",
+    generator=text_lines,
+) -> Dict[str, List[str]]:
+    """Split a freshly generated corpus into ``chunks`` named files."""
+    per_chunk, remainder = divmod(total_lines, chunks)
+    files: Dict[str, List[str]] = {}
+    for index in range(chunks):
+        size = per_chunk + (1 if index < remainder else 0)
+        files[f"{prefix}{index}.txt"] = generator(size, seed=seed + index)
+    return files
+
+
+def script_paths(count: int, seed: int = 11) -> List[str]:
+    """Colon-separated path-like lines for the shortest-scripts benchmark."""
+    rng = _rng(seed)
+    directories = ["/usr/bin", "/usr/local/bin", "/opt/tools", "/home/user/bin"]
+    suffixes = ["sh", "py", "pl", "rb", ""]
+    lines = []
+    for index in range(count):
+        directory = rng.choice(directories)
+        suffix = rng.choice(suffixes)
+        name = f"tool{index % 97}" + (f".{suffix}" if suffix else "")
+        size = rng.randrange(10, 90_000)
+        lines.append(f"{directory}/{name} {size} script executable text {index}")
+    return lines

@@ -1,0 +1,68 @@
+"""Tests for the parallelizability class hierarchy."""
+
+import pytest
+
+from repro.annotations.classes import ParallelizabilityClass
+
+S = ParallelizabilityClass.STATELESS
+P = ParallelizabilityClass.PARALLELIZABLE_PURE
+N = ParallelizabilityClass.NON_PARALLELIZABLE_PURE
+E = ParallelizabilityClass.SIDE_EFFECTFUL
+
+
+def test_hierarchy_order():
+    assert S < P < N < E
+
+
+def test_rank_values_are_distinct():
+    ranks = {cls.rank for cls in ParallelizabilityClass}
+    assert len(ranks) == 4
+
+
+def test_symbols_match_paper():
+    assert [cls.symbol for cls in (S, P, N, E)] == ["S", "P", "N", "E"]
+
+
+def test_data_parallelizable_flag():
+    assert S.is_data_parallelizable
+    assert P.is_data_parallelizable
+    assert not N.is_data_parallelizable
+    assert not E.is_data_parallelizable
+
+
+def test_least_parallelizable_picks_hardest():
+    assert ParallelizabilityClass.least_parallelizable(S, P, E) is E
+    assert ParallelizabilityClass.least_parallelizable(S, S) is S
+    assert ParallelizabilityClass.least_parallelizable(P, N) is N
+
+
+def test_least_parallelizable_requires_argument():
+    with pytest.raises(ValueError):
+        ParallelizabilityClass.least_parallelizable()
+
+
+@pytest.mark.parametrize(
+    "keyword,expected",
+    [
+        ("stateless", S),
+        ("S", S),
+        ("pure", P),
+        ("p", P),
+        ("non-parallelizable", N),
+        ("n", N),
+        ("side-effectful", E),
+        ("e", E),
+    ],
+)
+def test_from_keyword(keyword, expected):
+    assert ParallelizabilityClass.from_keyword(keyword) is expected
+
+
+def test_from_keyword_unknown_raises():
+    with pytest.raises(ValueError):
+        ParallelizabilityClass.from_keyword("mystery")
+
+
+def test_comparison_with_other_types_not_supported():
+    with pytest.raises(TypeError):
+        _ = S < "pure"

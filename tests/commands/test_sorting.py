@@ -1,0 +1,166 @@
+"""Tests for sort, uniq, comm, join, paste, nl, tsort."""
+
+import pytest
+
+from repro.commands import sorting
+from repro.commands.base import CommandError
+
+
+# ---------------------------------------------------------------------------
+# sort
+# ---------------------------------------------------------------------------
+
+
+def test_sort_lexicographic():
+    assert sorting.sort_command([], [["b", "a", "c"]]) == ["a", "b", "c"]
+
+
+def test_sort_reverse():
+    assert sorting.sort_command(["-r"], [["b", "a", "c"]]) == ["c", "b", "a"]
+
+
+def test_sort_numeric():
+    assert sorting.sort_command(["-n"], [["10", "9", "100"]]) == ["9", "10", "100"]
+
+
+def test_sort_reverse_numeric_combined_flag():
+    assert sorting.sort_command(["-rn"], [["10", "9", "100"]]) == ["100", "10", "9"]
+
+
+def test_sort_unique():
+    assert sorting.sort_command(["-u"], [["b", "a", "b"]]) == ["a", "b"]
+
+
+def test_sort_key_field():
+    data = ["apple 3", "banana 1", "cherry 2"]
+    assert sorting.sort_command(["-k", "2", "-n"], [data]) == [
+        "banana 1",
+        "cherry 2",
+        "apple 3",
+    ]
+
+
+def test_sort_merge_of_sorted_runs():
+    out = sorting.sort_command(["-m"], [["a", "c"], ["b", "d"]])
+    assert out == ["a", "b", "c", "d"]
+
+
+def test_sort_merge_respects_reverse_numeric():
+    out = sorting.sort_command(["-m", "-rn"], [["9", "3"], ["8", "1"]])
+    assert out == ["9", "8", "3", "1"]
+
+
+def test_sort_concatenates_multiple_inputs():
+    assert sorting.sort_command([], [["c"], ["a"], ["b"]]) == ["a", "b", "c"]
+
+
+def test_sort_stability_equivalence_with_python_sorted():
+    data = ["b", "a", "c", "a"]
+    assert sorting.sort_command([], [data]) == sorted(data)
+
+
+# ---------------------------------------------------------------------------
+# uniq
+# ---------------------------------------------------------------------------
+
+
+def test_uniq_collapses_adjacent():
+    assert sorting.uniq([], [["a", "a", "b", "a"]]) == ["a", "b", "a"]
+
+
+def test_uniq_count_format():
+    out = sorting.uniq(["-c"], [["a", "a", "b"]])
+    assert out == ["      2 a", "      1 b"]
+
+
+def test_uniq_duplicates_only():
+    assert sorting.uniq(["-d"], [["a", "a", "b"]]) == ["a"]
+
+
+def test_uniq_ignore_case():
+    assert sorting.uniq(["-i"], [["A", "a", "b"]]) == ["A", "b"]
+
+
+def test_uniq_empty_input():
+    assert sorting.uniq([], [[]]) == []
+
+
+# ---------------------------------------------------------------------------
+# comm
+# ---------------------------------------------------------------------------
+
+
+def test_comm_three_columns():
+    out = sorting.comm([], [["a", "b", "c"], ["b", "c", "d"]])
+    assert out == ["a", "\t\tb", "\t\tc", "\td"]
+
+
+def test_comm_suppress_first_and_third():
+    out = sorting.comm(["-1", "-3"], [["a", "b"], ["b", "c"]])
+    assert out == ["c"]
+
+
+def test_comm_suppress_second_and_third():
+    out = sorting.comm(["-2", "-3"], [["a", "b"], ["b", "c"]])
+    assert out == ["a"]
+
+
+def test_comm_combined_flags():
+    out = sorting.comm(["-13"], [["a", "b"], ["b", "c"]])
+    assert out == ["c"]
+
+
+def test_comm_requires_two_inputs():
+    with pytest.raises(CommandError):
+        sorting.comm([], [["a"]])
+
+
+# ---------------------------------------------------------------------------
+# join / paste / nl / tsort
+# ---------------------------------------------------------------------------
+
+
+def test_join_on_first_field():
+    out = sorting.join([], [["1 a", "2 b"], ["1 x", "3 y"]])
+    assert out == ["1 a x"]
+
+
+def test_join_requires_two_inputs():
+    with pytest.raises(CommandError):
+        sorting.join([], [["1 a"]])
+
+
+def test_paste_parallel_lines():
+    out = sorting.paste([], [["a", "b"], ["1", "2"]])
+    assert out == ["a\t1", "b\t2"]
+
+
+def test_paste_custom_delimiter_and_uneven_inputs():
+    out = sorting.paste(["-d", ","], [["a", "b", "c"], ["1"]])
+    assert out == ["a,1", "b,", "c,"]
+
+
+def test_paste_serial():
+    assert sorting.paste(["-s"], [["a", "b"], ["1", "2"]]) == ["a\tb", "1\t2"]
+
+
+def test_nl_numbers_nonempty_lines():
+    out = sorting.nl([], [["x", "", "y"]])
+    assert out[0].endswith("\tx") and out[1] == "" and out[2].endswith("\ty")
+    assert out[0].strip().startswith("1")
+    assert out[2].strip().startswith("2")
+
+
+def test_tsort_orders_dependencies():
+    out = sorting.tsort([], [["a b", "b c"]])
+    assert out.index("a") < out.index("b") < out.index("c")
+
+
+def test_tsort_cycle_raises():
+    with pytest.raises(CommandError):
+        sorting.tsort([], [["a b", "b a"]])
+
+
+def test_tsort_odd_tokens_raises():
+    with pytest.raises(CommandError):
+        sorting.tsort([], [["a b c"]])

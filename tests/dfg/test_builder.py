@@ -1,0 +1,161 @@
+"""Tests for AST → DFG translation."""
+
+import pytest
+
+from repro.annotations.classes import ParallelizabilityClass
+from repro.dfg.builder import DFGBuilder, UntranslatableRegion, translate_script
+from repro.dfg.edges import EdgeKind
+from repro.dfg.nodes import CommandNode
+from repro.shell.expansion import ExpansionContext
+
+
+def build(script):
+    return DFGBuilder().build_from_script(script)
+
+
+def command_nodes(graph):
+    return [node for node in graph.topological_order() if isinstance(node, CommandNode)]
+
+
+def test_pipeline_becomes_chain():
+    graph = build("cat in.txt | grep foo | sort | head -n 1")
+    names = [node.name for node in command_nodes(graph)]
+    assert names == ["cat", "grep", "sort", "head"]
+    graph.validate()
+
+
+def test_file_operands_become_input_edges():
+    graph = build("cat a.txt b.txt | wc -l")
+    inputs = [edge.name for edge in graph.input_edges()]
+    assert inputs == ["a.txt", "b.txt"]
+
+
+def test_grep_pattern_stays_an_argument():
+    graph = build("grep foo a.txt b.txt")
+    grep = command_nodes(graph)[0]
+    assert grep.arguments == ["foo"]
+    assert [graph.edge(e).name for e in grep.inputs] == ["a.txt", "b.txt"]
+
+
+def test_head_count_value_is_not_an_input():
+    graph = build("cat a.txt | head -n 10")
+    head = command_nodes(graph)[-1]
+    assert head.arguments == ["-n", "10"]
+    assert len(head.inputs) == 1
+
+
+def test_output_redirection_becomes_file_edge():
+    graph = build("cat a.txt | sort > out.txt")
+    outputs = graph.output_edges()
+    assert [edge.name for edge in outputs] == ["out.txt"]
+    assert outputs[0].kind is EdgeKind.FILE
+
+
+def test_append_redirection_flag():
+    graph = build("cat a.txt | sort >> out.txt")
+    assert graph.output_edges()[0].append
+
+
+def test_input_redirection():
+    graph = build("sort < in.txt")
+    assert [edge.name for edge in graph.input_edges()] == ["in.txt"]
+
+
+def test_final_stage_defaults_to_stdout():
+    graph = build("cat a.txt | sort")
+    assert graph.output_edges()[0].kind is EdgeKind.STDOUT
+
+
+def test_parallelizability_classes_recorded():
+    graph = build("cat a.txt | grep x | sort")
+    classes = [node.parallelizability() for node in command_nodes(graph)]
+    assert classes == [
+        ParallelizabilityClass.STATELESS,
+        ParallelizabilityClass.STATELESS,
+        ParallelizabilityClass.PARALLELIZABLE_PURE,
+    ]
+
+
+def test_aggregator_names_recorded():
+    graph = build("cat a.txt | sort | uniq -c | wc -l")
+    aggregators = [node.aggregator for node in command_nodes(graph)[1:]]
+    assert aggregators == ["merge_sort", "merge_uniq", "merge_wc"]
+
+
+def test_dash_operand_consumes_the_pipe():
+    graph = build("cat words.txt | sort | comm -13 dict.txt -")
+    comm = command_nodes(graph)[-1]
+    names = [graph.edge(e).name or graph.edge(e).kind.value for e in comm.inputs]
+    assert names[0] == "dict.txt"
+    graph.validate()
+
+
+def test_side_effectful_command_rejects_region():
+    with pytest.raises(UntranslatableRegion):
+        build("cat a.txt | awk '{print $1}'")
+
+
+def test_unknown_command_rejects_region():
+    with pytest.raises(UntranslatableRegion):
+        build("cat a.txt | frobnicate")
+
+
+def test_unknown_variable_rejects_region():
+    with pytest.raises(UntranslatableRegion):
+        build("cat $UNKNOWN_FILE | sort")
+
+
+def test_known_variable_is_expanded():
+    builder = DFGBuilder(context=ExpansionContext({"IN": "data.txt"}))
+    graph = builder.build_from_script("cat $IN | sort")
+    assert [edge.name for edge in graph.input_edges()] == ["data.txt"]
+
+
+def test_command_substitution_rejects_region():
+    with pytest.raises(UntranslatableRegion):
+        build("cat $(ls) | sort")
+
+
+def test_mid_pipeline_file_reader_rejects_region():
+    with pytest.raises(UntranslatableRegion):
+        build("cat a.txt | grep foo b.txt")
+
+
+def test_unsupported_redirection_rejects_region():
+    with pytest.raises(UntranslatableRegion):
+        build("cat a.txt 2> err.txt | sort")
+
+
+# ---------------------------------------------------------------------------
+# translate_script
+# ---------------------------------------------------------------------------
+
+
+def test_translate_script_collects_regions_and_rejections():
+    result = translate_script(
+        "cat a.txt | grep x | sort\n"
+        "cat b.txt | awk '{print $1}'\n"
+        "cat c.txt | wc -l"
+    )
+    assert len(result.regions) == 2
+    assert len(result.rejected) == 1
+    assert "awk" in result.rejected[0][1]
+
+
+def test_translate_script_uses_top_level_assignments():
+    result = translate_script("IN=words.txt\ncat $IN | sort")
+    assert len(result.regions) == 1
+    names = [edge.name for edge in result.regions[0].dfg.input_edges()]
+    assert names == ["words.txt"]
+
+
+def test_translate_script_counts_parallelizable_commands():
+    result = translate_script("cat a.txt | grep x | sort")
+    assert result.parallelizable_command_count == 3
+
+
+def test_translate_script_accepts_ast_input():
+    from repro.shell.parser import parse
+
+    result = translate_script(parse("cat a.txt | sort"))
+    assert len(result.regions) == 1

@@ -1,0 +1,78 @@
+"""Tests for parallelizable-region detection (§5.1)."""
+
+from repro.dfg.regions import find_parallelizable_regions, loop_nesting_depth
+from repro.shell.ast_nodes import Command, Pipeline
+from repro.shell.parser import parse
+
+
+def candidates(source):
+    return find_parallelizable_regions(parse(source))
+
+
+def test_single_pipeline_is_one_region():
+    found = candidates("cat f | grep x | sort")
+    assert len(found) == 1
+    assert isinstance(found[0].node, Pipeline)
+
+
+def test_single_command_is_a_region():
+    found = candidates("sort f")
+    assert len(found) == 1
+    assert isinstance(found[0].node, Command)
+
+
+def test_andor_is_a_barrier():
+    found = candidates("cat f1 f2 | grep foo > f3 && sort f3")
+    assert len(found) == 2
+    assert isinstance(found[0].node, Pipeline)
+    assert isinstance(found[1].node, Command)
+
+
+def test_sequence_produces_one_region_per_statement():
+    found = candidates("cat a | sort\nwc -l b\ngrep x c")
+    assert len(found) == 3
+
+
+def test_background_regions_are_marked():
+    found = candidates("sort big.txt &")
+    assert len(found) == 1
+    assert found[0].background
+
+
+def test_for_loop_body_is_scanned():
+    found = candidates("for y in a b; do cat $y | grep x; done")
+    assert len(found) == 1
+    assert loop_nesting_depth(found[0]) == 1
+
+
+def test_nested_loops_increase_depth():
+    found = candidates("for a in 1; do for b in 2; do cat $a$b | wc -l; done; done")
+    assert len(found) == 1
+    assert loop_nesting_depth(found[0]) == 2
+
+
+def test_if_branches_are_scanned_separately():
+    found = candidates("if true; then cat a | sort; else cat b | sort; fi")
+    # condition is control logic; then/else bodies produce one region each
+    assert len(found) == 2
+
+
+def test_while_condition_not_a_region():
+    found = candidates("while test -f lock; do cat a | wc -l; done")
+    assert len(found) == 1
+
+
+def test_subshell_body_is_scanned():
+    found = candidates("( cat a | sort )")
+    assert len(found) == 1
+
+
+def test_ordering_matches_program_order():
+    found = candidates("grep a f; grep b f; grep c f")
+    patterns = [c.node.argument_words[0].literal_text() for c in found]
+    assert patterns == ["a", "b", "c"]
+
+
+def test_commands_property_lists_pipeline_members():
+    found = candidates("cat f | grep x | sort")
+    assert [command.name for command in found[0].commands] == ["cat", "grep", "sort"]

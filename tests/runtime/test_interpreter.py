@@ -1,0 +1,106 @@
+"""Tests for the sequential shell interpreter."""
+
+import pytest
+
+from repro.runtime.interpreter import InterpreterError, ShellInterpreter
+from repro.runtime.streams import VirtualFileSystem
+
+
+def interpreter(files=None, variables=None):
+    return ShellInterpreter(filesystem=VirtualFileSystem(files or {}), variables=variables)
+
+
+def test_simple_pipeline():
+    shell = interpreter({"a.txt": ["xb", "xa", "c"]})
+    assert shell.run_script("cat a.txt | grep x | sort") == ["xa", "xb"]
+
+
+def test_redirection_writes_file_and_suppresses_stdout():
+    shell = interpreter({"a.txt": ["b", "a"]})
+    out = shell.run_script("cat a.txt | sort > out.txt")
+    assert out == []
+    assert shell.state.filesystem.read("out.txt") == ["a", "b"]
+
+
+def test_append_redirection():
+    shell = interpreter({"a.txt": ["x"]})
+    shell.run_script("cat a.txt > log.txt\ncat a.txt >> log.txt")
+    assert shell.state.filesystem.read("log.txt") == ["x", "x"]
+
+
+def test_sequence_concatenates_outputs():
+    shell = interpreter({"a.txt": ["1"], "b.txt": ["2"]})
+    assert shell.run_script("cat a.txt; cat b.txt") == ["1", "2"]
+
+
+def test_variable_assignment_and_expansion():
+    shell = interpreter({"data.txt": ["v"]})
+    assert shell.run_script("IN=data.txt\ncat $IN") == ["v"]
+
+
+def test_for_loop_iterates_in_order():
+    shell = interpreter({"1.txt": ["one"], "2.txt": ["two"]})
+    assert shell.run_script("for i in 1 2; do cat $i.txt; done") == ["one", "two"]
+
+
+def test_for_loop_with_brace_range():
+    shell = interpreter({f"{year}.txt": [str(year)] for year in (2015, 2016, 2017)})
+    out = shell.run_script("for y in {2015..2017}; do cat $y.txt; done")
+    assert out == ["2015", "2016", "2017"]
+
+
+def test_andor_runs_left_to_right():
+    shell = interpreter({"a.txt": ["1"]})
+    assert shell.run_script("cat a.txt && echo done") == ["1", "done"]
+
+
+def test_or_skips_right_side():
+    shell = interpreter({"a.txt": ["1"]})
+    assert shell.run_script("cat a.txt || echo fallback") == ["1"]
+
+
+def test_input_redirection():
+    shell = interpreter({"in.txt": ["b", "a"]})
+    assert shell.run_script("sort < in.txt") == ["a", "b"]
+
+
+def test_dash_operand_reads_pipe():
+    shell = interpreter({"dict.txt": ["apple", "zebra"], "w.txt": ["apple", "banana"]})
+    out = shell.run_script("cat w.txt | sort | comm -13 dict.txt -")
+    assert out == ["banana"]
+
+
+def test_subshell_and_background():
+    shell = interpreter({"a.txt": ["x"]})
+    assert shell.run_script("( cat a.txt | wc -l ) &") == ["1"]
+
+
+def test_command_operating_on_missing_file_raises():
+    with pytest.raises(InterpreterError):
+        interpreter().run_script("cat missing.txt")
+
+
+def test_while_loop_unsupported():
+    with pytest.raises(InterpreterError):
+        interpreter().run_script("while true; do echo x; done")
+
+
+def test_unknown_variable_expands_empty():
+    shell = interpreter({"x.txt": ["ok"]})
+    assert shell.run_script("cat x.txt$SUFFIX") == ["ok"]
+
+
+def test_xargs_with_custom_command():
+    shell = interpreter({"ids.txt": ["2015/a"]})
+    out = shell.run_script("cat ids.txt | xargs -n 1 fetch-station | wc -l")
+    assert int(out[0]) > 0
+
+
+def test_fig1_style_noaa_loop_runs():
+    from repro.workloads import noaa
+
+    dataset = noaa.yearly_dataset(years=[2015], stations=4)
+    shell = ShellInterpreter(filesystem=VirtualFileSystem(dataset))
+    out = shell.run_script(noaa.per_year_pipeline(2015, 4))
+    assert len(out) == 1
+    assert out[0].startswith("Maximum temperature for 2015 is: ")

@@ -1,0 +1,74 @@
+"""Tests for the runtime helper CLI used by emitted scripts."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime import cli
+
+
+def run_cli(arguments, stdin_text=""):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.runtime.cli", *arguments],
+        input=stdin_text,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+
+
+def test_eager_passes_data_through():
+    result = run_cli(["eager"], "b\na\n")
+    assert result.stdout == "b\na\n"
+
+
+def test_eager_blocking_mode_same_output():
+    result = run_cli(["eager", "--mode", "blocking"], "1\n2\n")
+    assert result.stdout == "1\n2\n"
+
+
+def test_split_distributes_lines(tmp_path):
+    outputs = [str(tmp_path / f"part{i}") for i in range(3)]
+    run_cli(["split", *outputs], "1\n2\n3\n4\n5\n")
+    parts = [open(path).read().splitlines() for path in outputs]
+    assert sum(parts, []) == ["1", "2", "3", "4", "5"]
+    assert max(len(p) for p in parts) - min(len(p) for p in parts) <= 1
+
+
+def test_split_input_aware_strategy(tmp_path):
+    outputs = [str(tmp_path / f"p{i}") for i in range(2)]
+    run_cli(["split", "--strategy", "input-aware", *outputs], "a\nb\nc\nd\n")
+    assert open(outputs[0]).read().splitlines() == ["a", "b"]
+
+
+def test_agg_merge_sort(tmp_path):
+    first = tmp_path / "a"
+    second = tmp_path / "b"
+    first.write_text("1\n3\n")
+    second.write_text("2\n4\n")
+    result = run_cli(["agg", "merge_sort", str(first), str(second)])
+    assert result.stdout.splitlines() == ["1", "2", "3", "4"]
+
+
+def test_agg_merge_wc(tmp_path):
+    first = tmp_path / "a"
+    second = tmp_path / "b"
+    first.write_text("3 10\n")
+    second.write_text("4 11\n")
+    result = run_cli(["agg", "merge_wc", str(first), str(second)])
+    assert result.stdout.strip() == "7 21"
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        cli.build_parser().parse_args([])
+
+
+def test_main_entry_point_in_process(capsys, monkeypatch, tmp_path):
+    source = tmp_path / "x"
+    source.write_text("5\n1\n")
+    monkeypatch.setattr("sys.stdin", open(source))
+    assert cli.main(["eager"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.splitlines() == ["5", "1"]

@@ -1,0 +1,93 @@
+"""Tests for safe word expansion."""
+
+import pytest
+
+from repro.shell.expansion import (
+    ExpansionContext,
+    ExpansionError,
+    expand_word,
+    expand_words,
+    try_expand_word,
+)
+from repro.shell.lexer import tokenize
+
+
+def word(text):
+    return tokenize(text)[0].word
+
+
+def test_literal_word():
+    assert expand_word(word("hello")) == ["hello"]
+
+
+def test_parameter_expansion():
+    context = ExpansionContext({"base": "/data"})
+    assert expand_word(word("$base/file"), context) == ["/data/file"]
+
+
+def test_braced_parameter_expansion():
+    context = ExpansionContext({"y": "2020"})
+    assert expand_word(word("${y}.txt"), context) == ["2020.txt"]
+
+
+def test_unknown_variable_strict_raises():
+    with pytest.raises(ExpansionError):
+        expand_word(word("$missing"), ExpansionContext(strict=True))
+
+
+def test_unknown_variable_lenient_is_empty():
+    context = ExpansionContext(strict=False)
+    assert expand_word(word("x$missing"), context) == ["x"]
+
+
+def test_command_substitution_raises():
+    with pytest.raises(ExpansionError):
+        expand_word(word("$(date)"))
+
+
+def test_try_expand_returns_none_on_failure():
+    assert try_expand_word(word("$(date)")) is None
+    assert try_expand_word(word("plain")) == ["plain"]
+
+
+def test_brace_range_expansion():
+    assert expand_word(word("{1..4}")) == ["1", "2", "3", "4"]
+
+
+def test_brace_range_descending():
+    assert expand_word(word("{3..1}")) == ["3", "2", "1"]
+
+
+def test_brace_list_expansion():
+    assert expand_word(word("file.{txt,csv}")) == ["file.txt", "file.csv"]
+
+
+def test_brace_range_with_prefix_and_suffix():
+    context = ExpansionContext({"base": "B"})
+    assert expand_word(word("$base/{2019..2021}/x"), context) == [
+        "B/2019/x",
+        "B/2020/x",
+        "B/2021/x",
+    ]
+
+
+def test_quoted_text_is_not_field_split():
+    assert expand_word(word("'a b'")) == ["a b"]
+
+
+def test_unquoted_variable_is_field_split():
+    context = ExpansionContext({"files": "a.txt b.txt"})
+    assert expand_word(word("$files"), context) == ["a.txt", "b.txt"]
+
+
+def test_expand_words_flattens():
+    context = ExpansionContext({"x": "1"})
+    words = [word("grep"), word("$x"), word("{a,b}")]
+    assert expand_words(words, context) == ["grep", "1", "a", "b"]
+
+
+def test_context_copy_is_independent():
+    context = ExpansionContext({"a": "1"})
+    clone = context.copy()
+    clone.bind("a", "2")
+    assert context.lookup("a") == "1"

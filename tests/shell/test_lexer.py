@@ -1,0 +1,117 @@
+"""Tests for the shell tokenizer."""
+
+import pytest
+
+from repro.shell.ast_nodes import CommandSubstitution, LiteralPart, ParameterPart
+from repro.shell.lexer import LexError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def test_simple_command_tokens():
+    tokens = tokenize("grep foo file.txt")
+    assert [t.kind for t in tokens] == [TokenKind.WORD] * 3 + [TokenKind.EOF]
+    assert tokens[0].word.literal_text() == "grep"
+    assert tokens[2].word.literal_text() == "file.txt"
+
+
+def test_pipe_and_operators():
+    assert kinds("a | b") == [TokenKind.WORD, TokenKind.PIPE, TokenKind.WORD, TokenKind.EOF]
+    assert kinds("a && b") == [TokenKind.WORD, TokenKind.AND_IF, TokenKind.WORD, TokenKind.EOF]
+    assert kinds("a || b") == [TokenKind.WORD, TokenKind.OR_IF, TokenKind.WORD, TokenKind.EOF]
+    assert kinds("a ; b") == [TokenKind.WORD, TokenKind.SEMI, TokenKind.WORD, TokenKind.EOF]
+    assert kinds("a & b") == [TokenKind.WORD, TokenKind.AMP, TokenKind.WORD, TokenKind.EOF]
+
+
+def test_newline_token():
+    assert TokenKind.NEWLINE in kinds("a\nb")
+
+
+def test_comments_are_skipped():
+    tokens = tokenize("grep foo # this is a comment\n")
+    words = [t for t in tokens if t.kind is TokenKind.WORD]
+    assert len(words) == 2
+
+
+def test_redirection_tokens():
+    tokens = tokenize("sort < in.txt > out.txt")
+    redirects = [t.text for t in tokens if t.kind is TokenKind.REDIRECT]
+    assert redirects == ["<", ">"]
+
+
+def test_append_and_fd_redirects():
+    tokens = tokenize("cmd >> log.txt 2> err.txt")
+    redirects = [t.text for t in tokens if t.kind is TokenKind.REDIRECT]
+    assert redirects == [">>", "2>"]
+
+
+def test_stderr_dup_redirect():
+    tokens = tokenize("cmd > out.txt 2>&1")
+    redirects = [t.text for t in tokens if t.kind is TokenKind.REDIRECT]
+    assert "2>&1" in redirects
+
+
+def test_single_quotes_preserve_specials():
+    tokens = tokenize("echo 'a | b'")
+    word = tokens[1].word
+    assert word.literal_text() == "a | b"
+    assert all(isinstance(part, LiteralPart) and part.quoted for part in word.parts)
+
+
+def test_double_quotes_with_parameter():
+    tokens = tokenize('echo "value: $x"')
+    parts = tokens[1].word.parts
+    assert any(isinstance(part, ParameterPart) and part.name == "x" for part in parts)
+    assert all(getattr(part, "quoted", False) for part in parts)
+
+
+def test_unquoted_parameter_and_braced_parameter():
+    tokens = tokenize("cat $base/${year}/file")
+    parts = tokens[1].word.parts
+    names = [part.name for part in parts if isinstance(part, ParameterPart)]
+    assert names == ["base", "year"]
+
+
+def test_command_substitution_is_opaque():
+    tokens = tokenize("echo $(ls -l | wc -l)")
+    substitutions = [
+        part for part in tokens[1].word.parts if isinstance(part, CommandSubstitution)
+    ]
+    assert len(substitutions) == 1
+    assert substitutions[0].text == "ls -l | wc -l"
+
+
+def test_backquote_substitution():
+    tokens = tokenize("echo `date`")
+    substitutions = [
+        part for part in tokens[1].word.parts if isinstance(part, CommandSubstitution)
+    ]
+    assert substitutions and substitutions[0].text == "date"
+
+
+def test_escaped_space_stays_in_word():
+    tokens = tokenize(r"echo a\ b")
+    assert tokens[1].word.literal_text() == "a b"
+
+
+def test_line_continuation():
+    tokens = tokenize("grep foo \\\n file.txt")
+    words = [t for t in tokens if t.kind is TokenKind.WORD]
+    assert len(words) == 3
+
+
+def test_unterminated_quote_raises():
+    with pytest.raises(LexError):
+        tokenize("echo 'oops")
+
+
+def test_unterminated_substitution_raises():
+    with pytest.raises(LexError):
+        tokenize("echo $(ls")
+
+
+def test_digits_inside_words_are_not_redirects():
+    tokens = tokenize("cut -c 89-92")
+    assert [t.kind for t in tokens[:-1]] == [TokenKind.WORD] * 3

@@ -1,0 +1,159 @@
+"""Tests for the POSIX-subset parser."""
+
+import pytest
+
+from repro.shell.ast_nodes import (
+    AndOr,
+    BackgroundNode,
+    Command,
+    ForLoop,
+    IfClause,
+    Pipeline,
+    SequenceNode,
+    Subshell,
+    WhileLoop,
+    iter_commands,
+)
+from repro.shell.parser import ParseError, parse
+
+
+def test_single_command():
+    ast = parse("grep foo file.txt")
+    assert isinstance(ast, Command)
+    assert ast.name == "grep"
+    assert [w.literal_text() for w in ast.argument_words] == ["foo", "file.txt"]
+
+
+def test_pipeline_structure():
+    ast = parse("cat f | grep x | wc -l")
+    assert isinstance(ast, Pipeline)
+    assert [c.name for c in ast.commands] == ["cat", "grep", "wc"]
+
+
+def test_andor_is_barrier_structure():
+    ast = parse("cat f | grep x > out && sort out")
+    assert isinstance(ast, AndOr)
+    assert ast.operators == ["&&"]
+    assert isinstance(ast.parts[0], Pipeline)
+    assert isinstance(ast.parts[1], Command)
+
+
+def test_sequence_of_statements():
+    ast = parse("a1\nb1 ; c1")
+    assert isinstance(ast, SequenceNode)
+    assert len(ast.parts) == 3
+
+
+def test_background_node():
+    ast = parse("sleep 5 &")
+    assert isinstance(ast, BackgroundNode)
+    assert isinstance(ast.body, Command)
+
+
+def test_redirections_attached_to_command():
+    ast = parse("sort < in.txt > out.txt")
+    assert isinstance(ast, Command)
+    operators = [r.operator for r in ast.redirections]
+    assert operators == ["<", ">"]
+
+
+def test_assignment_prefix():
+    ast = parse("IN=input.txt")
+    assert isinstance(ast, Command)
+    assert ast.assignments[0].name == "IN"
+    assert ast.assignments[0].value.literal_text() == "input.txt"
+
+
+def test_for_loop():
+    ast = parse("for y in 2015 2016; do\n cat $y.txt | grep x\ndone")
+    assert isinstance(ast, ForLoop)
+    assert ast.variable == "y"
+    assert [w.literal_text() for w in ast.items] == ["2015", "2016"]
+    assert isinstance(ast.body, Pipeline)
+
+
+def test_for_loop_with_brace_range():
+    ast = parse("for y in {2015..2020}; do cat $y; done")
+    assert isinstance(ast, ForLoop)
+    assert len(ast.items) == 1
+
+
+def test_while_loop():
+    ast = parse("while read line; do echo $line; done")
+    assert isinstance(ast, WhileLoop)
+    assert not ast.until
+
+
+def test_until_loop():
+    ast = parse("until test -f done.txt; do sleep 1; done")
+    assert isinstance(ast, WhileLoop)
+    assert ast.until
+
+
+def test_if_clause_with_else():
+    ast = parse("if grep -q x f; then echo yes; else echo no; fi")
+    assert isinstance(ast, IfClause)
+    assert ast.else_body is not None
+
+
+def test_if_clause_with_elif():
+    ast = parse("if a; then b; elif c; then d; else e; fi")
+    assert isinstance(ast, IfClause)
+    assert isinstance(ast.else_body, IfClause)
+
+
+def test_subshell():
+    ast = parse("( cat f | sort )")
+    assert isinstance(ast, Subshell)
+    assert isinstance(ast.body, Pipeline)
+
+
+def test_brace_group():
+    ast = parse("{ cat f; sort g; }")
+    commands = list(iter_commands(ast))
+    assert [c.name for c in commands] == ["cat", "sort"]
+
+
+def test_negated_pipeline():
+    ast = parse("! grep -q x f")
+    assert isinstance(ast, Pipeline)
+    assert ast.negated
+
+
+def test_multiline_pipeline_continuation():
+    ast = parse("cat f |\n grep x |\n wc -l")
+    assert isinstance(ast, Pipeline)
+    assert len(ast.commands) == 3
+
+
+def test_fig1_style_script_parses():
+    source = """
+base="ftp://example.com/data"
+for y in {2015..2020}; do
+ cat $base/$y | grep gz | tr -s " " | cut -d " " -f9 |
+ sed "s;^;$base/$y/;" | xargs -n 1 curl -s | gunzip |
+ cut -c 89-92 | grep -iv 999 | sort -rn | head -n 1 |
+ sed "s/^/Maximum temperature for $y is: /"
+done
+"""
+    ast = parse(source)
+    assert isinstance(ast, SequenceNode)
+    loop = ast.parts[1]
+    assert isinstance(loop, ForLoop)
+    assert isinstance(loop.body, Pipeline)
+    assert len(loop.body.commands) == 12
+
+
+def test_unexpected_token_raises():
+    with pytest.raises(ParseError):
+        parse("| grep x")
+
+
+def test_unterminated_for_raises():
+    with pytest.raises(ParseError):
+        parse("for x in a b; do echo $x")
+
+
+def test_reserved_word_in_wrong_place_raises():
+    with pytest.raises(ParseError):
+        parse("done")

@@ -1,0 +1,77 @@
+"""Tests for AST -> shell text rendering, including parse/unparse round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.shell.parser import parse
+from repro.shell.unparser import quote_argument, unparse
+
+
+ROUND_TRIP_SOURCES = [
+    "grep foo file.txt",
+    "cat a b | grep x | sort -rn | head -n 1",
+    "cat f1 f2 | grep foo > f3 && sort f3",
+    "a; b; c",
+    "sleep 10 &",
+    "( cat f | sort )",
+    "for y in 2015 2016; do cat $y.txt; done",
+    "sort < in.txt > out.txt",
+    "x=1",
+    "! grep -q foo bar",
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_SOURCES)
+def test_unparse_then_parse_is_stable(source):
+    """unparse(parse(s)) must itself re-parse to the same rendering."""
+    first = unparse(parse(source))
+    second = unparse(parse(first))
+    assert first == second
+
+
+def test_unparse_preserves_pipeline_order():
+    text = unparse(parse("cat f | tr a b | wc -l"))
+    assert text.index("cat") < text.index("tr") < text.index("wc")
+
+
+def test_unparse_quotes_arguments_with_spaces():
+    text = unparse(parse("grep 'a b' f"))
+    assert "'a b'" in text
+
+
+def test_unparse_preserves_redirections():
+    text = unparse(parse("sort < in.txt > out.txt"))
+    assert "< in.txt" in text and "> out.txt" in text
+
+
+def test_unparse_parameters_are_braced():
+    text = unparse(parse("cat $base/file"))
+    assert "${base}" in text
+
+
+def test_quote_argument_plain_text_unquoted():
+    assert quote_argument("plain") == "plain"
+
+
+def test_quote_argument_specials_quoted():
+    assert quote_argument("a b") == "'a b'"
+    assert quote_argument("x|y") == "'x|y'"
+
+
+def test_quote_argument_embedded_single_quote():
+    quoted = quote_argument("it's")
+    assert quoted == "'it'\\''s'"
+
+
+@given(
+    st.lists(
+        st.sampled_from(["cat", "grep foo", "sort -rn", "uniq -c", "wc -l", "tr a b"]),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_random_pipelines_round_trip(stages):
+    source = " | ".join(stages)
+    first = unparse(parse(source))
+    second = unparse(parse(first))
+    assert first == second

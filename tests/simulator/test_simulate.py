@@ -1,0 +1,139 @@
+"""Tests for the performance simulator: speedup shapes, not absolute numbers."""
+
+from repro.dfg.builder import DFGBuilder, translate_script
+from repro.simulator.costs import default_cost_model
+from repro.simulator.machine import MachineModel
+from repro.simulator.simulate import simulate_graph, simulate_script_graphs
+from repro.transform.pipeline import ParallelizationConfig, optimize_graph
+
+MACHINE = MachineModel.paper_testbed()
+
+
+def chunked(total, width, prefix="in"):
+    per = total // width
+    return {f"{prefix}{i}.txt": per for i in range(width)}
+
+
+def build(script):
+    return DFGBuilder().build_from_script(script)
+
+
+def simulated_speedup(script, files, width, config=None, cost_model=None):
+    baseline = simulate_graph(build(script), files, MACHINE, cost_model=cost_model)
+    graph = build(script)
+    optimize_graph(graph, config or ParallelizationConfig.paper_default(width))
+    parallel = simulate_graph(graph, files, MACHINE, cost_model=cost_model, include_setup=True)
+    return baseline.total_seconds / parallel.total_seconds
+
+
+def test_sequential_pipeline_bounded_by_slowest_stage():
+    files = {"in0.txt": 10_000_000}
+    result = simulate_graph(build("cat in0.txt | grep x | tr a b | cut -c 1-3"), files, MACHINE)
+    # Task parallelism: far less than the sum of per-stage costs.
+    assert result.total_seconds < result.work_seconds
+    assert result.critical_path_seconds > 0
+
+
+def test_stateless_pipeline_scales_with_width():
+    total = 64_000_000
+    speedups = []
+    for width in (2, 8, 32):
+        files = chunked(total, width)
+        script = "cat " + " ".join(files) + " | grep light | tr A-Z a-z > out.txt"
+        speedups.append(simulated_speedup(script, files, width))
+    assert speedups[0] > 1.5
+    assert speedups[0] < speedups[1] < speedups[2]
+
+
+def test_sort_speedup_saturates():
+    total = 96_000_000
+    files16 = chunked(total, 16)
+    files64 = chunked(total, 64)
+    sixteen = simulated_speedup(
+        "cat " + " ".join(files16) + " | sort > out.txt", files16, 16
+    )
+    sixty_four = simulated_speedup(
+        "cat " + " ".join(files64) + " | sort > out.txt", files64, 64
+    )
+    assert sixteen > 3
+    # Sort's merge phase limits scaling: 64x is not 4x better than 16x.
+    assert sixty_four < sixteen * 2
+
+
+def test_eager_beats_no_eager_for_sort():
+    total = 96_000_000
+    files = chunked(total, 16)
+    script = "cat " + " ".join(files) + " | sort > out.txt"
+    eager = simulated_speedup(script, files, 16, ParallelizationConfig.parallel_only(16))
+    lazy = simulated_speedup(script, files, 16, ParallelizationConfig.no_eager(16))
+    assert eager > lazy
+
+
+def test_eager_beats_blocking_eager():
+    total = 96_000_000
+    files = chunked(total, 16)
+    script = "cat " + " ".join(files) + " | sort > out.txt"
+    eager = simulated_speedup(script, files, 16, ParallelizationConfig.parallel_only(16))
+    blocking = simulated_speedup(script, files, 16, ParallelizationConfig.blocking_eager(16))
+    assert eager >= blocking
+
+
+def test_split_helps_pipelines_with_pure_prefix():
+    total = 48_000_000
+    files = chunked(total, 16)
+    script = (
+        "cat " + " ".join(files) + " | tr A-Z a-z | sort | uniq -c | sort -rn | head -n 10 > o.txt"
+    )
+    with_split = simulated_speedup(script, files, 16, ParallelizationConfig.paper_default(16))
+    without_split = simulated_speedup(script, files, 16, ParallelizationConfig.parallel_only(16))
+    assert with_split > without_split
+
+
+def test_tiny_scripts_see_slowdown_from_setup():
+    files = {"in0.txt": 500, "in1.txt": 500}
+    script = "cat in0.txt in1.txt | grep light | head -n1 > out.txt"
+    speedup = simulated_speedup(script, files, 16)
+    assert speedup < 1.0
+
+
+def test_io_bound_script_gets_modest_speedup():
+    total = 400_000_000
+    files = chunked(total, 16)
+    cost_model = default_cost_model().override("grep", seconds_per_line=4e-8)
+    script = "cat " + " ".join(files) + " | grep light > out.txt"
+    speedup = simulated_speedup(script, files, 16, cost_model=cost_model)
+    assert 1.0 < speedup < 6.0
+
+
+def test_more_processes_cost_more_spawn_time():
+    files = chunked(1_000_000, 4)
+    script = "cat " + " ".join(files) + " | grep x > out.txt"
+    narrow = build(script)
+    optimize_graph(narrow, ParallelizationConfig.paper_default(4))
+    wide = build(script)
+    optimize_graph(wide, ParallelizationConfig.paper_default(4))
+    result = simulate_graph(narrow, files, MACHINE, include_setup=True)
+    assert result.process_count == len(narrow.nodes)
+
+
+def test_simulate_script_graphs_accumulates_regions_and_files():
+    script = (
+        "cat a0.txt a1.txt | tr A-Z a-z | sort > sorted_a.txt\n"
+        "cat sorted_a.txt | uniq -c | wc -l > out.txt"
+    )
+    translation = translate_script(script)
+    graphs = [region.dfg for region in translation.regions]
+    files = {"a0.txt": 1_000_000, "a1.txt": 1_000_000}
+    result = simulate_script_graphs(graphs, files, machine=MACHINE)
+    assert result.total_seconds > 0
+    assert result.process_count == sum(len(g.nodes) for g in graphs)
+
+
+def test_speedup_over_helper():
+    files = chunked(8_000_000, 8)
+    script = "cat " + " ".join(files) + " | grep light > out.txt"
+    baseline = simulate_graph(build(script), files, MACHINE)
+    graph = build(script)
+    optimize_graph(graph, ParallelizationConfig.paper_default(8))
+    parallel = simulate_graph(graph, files, MACHINE, include_setup=True)
+    assert parallel.speedup_over(baseline) == baseline.total_seconds / parallel.total_seconds

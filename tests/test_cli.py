@@ -1,0 +1,74 @@
+"""Tests for the pash-compile command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def script_file(tmp_path):
+    path = tmp_path / "script.sh"
+    path.write_text("cat a.txt b.txt | grep foo | sort > out.txt\n")
+    return path
+
+
+def test_compiles_script_to_stdout(script_file, capsys):
+    assert main([str(script_file), "--width", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "mkfifo" in out
+    assert out.count("grep foo") == 2
+
+
+def test_report_goes_to_stderr(script_file, capsys):
+    main([str(script_file), "--width", "2", "--report"])
+    captured = capsys.readouterr()
+    assert "# regions:" in captured.err
+    assert "# runtime processes:" in captured.err
+
+
+def test_output_file_option(script_file, tmp_path, capsys):
+    target = tmp_path / "parallel.sh"
+    main([str(script_file), "--width", "2", "-o", str(target)])
+    assert "mkfifo" in target.read_text()
+    assert capsys.readouterr().out == ""
+
+
+def test_reads_from_stdin(monkeypatch, capsys):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("cat a.txt b.txt | grep x > o.txt\n"))
+    assert main(["-", "--width", "2"]) == 0
+    assert "mkfifo" in capsys.readouterr().out
+
+
+def test_no_eager_flag(script_file, capsys):
+    main([str(script_file), "--width", "2", "--no-eager"])
+    out = capsys.readouterr().out
+    assert "eager" not in out
+
+
+def test_blocking_eager_flag(script_file, capsys):
+    main([str(script_file), "--width", "2", "--blocking-eager"])
+    out = capsys.readouterr().out
+    assert "--mode blocking" in out
+
+
+def test_split_none_leaves_single_input_sequential(tmp_path, capsys):
+    path = tmp_path / "single.sh"
+    path.write_text("cat big.txt | grep foo > out.txt\n")
+    main([str(path), "--width", "4", "--split", "none"])
+    out = capsys.readouterr().out
+    assert "mkfifo" not in out  # nothing parallelized, script unchanged
+    assert "grep foo" in out
+
+
+def test_parser_defaults():
+    arguments = build_parser().parse_args(["x.sh"])
+    assert arguments.width == 2
+    assert arguments.split == "general"
+
+
+def test_fan_in_flag(script_file, capsys):
+    main([str(script_file), "--width", "4", "--fan-in", "4"])
+    out = capsys.readouterr().out
+    assert "sort -m" in out

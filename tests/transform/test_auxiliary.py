@@ -1,0 +1,134 @@
+"""Tests for the auxiliary transformations (cat/split/relay insertion)."""
+
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.nodes import AggregatorNode, CatNode, CommandNode, RelayNode, SplitNode
+from repro.transform.auxiliary import (
+    insert_cat_for_multi_input,
+    insert_eager_relays,
+    insert_relay,
+    insert_split_before,
+)
+from repro.transform.parallelize import parallelize_node
+
+
+def build(script):
+    return DFGBuilder().build_from_script(script)
+
+
+def node_by_name(graph, name):
+    return next(n for n in graph.nodes.values() if isinstance(n, CommandNode) and n.name == name)
+
+
+def test_insert_cat_for_multi_input_grep():
+    graph = build("grep foo a.txt b.txt")
+    grep = node_by_name(graph, "grep")
+    cat_node = insert_cat_for_multi_input(graph, grep)
+    assert isinstance(cat_node, CatNode)
+    assert len(cat_node.inputs) == 2
+    assert len(grep.data_inputs) == 1
+    graph.validate()
+
+
+def test_insert_cat_not_applicable_for_single_input():
+    graph = build("grep foo a.txt")
+    grep = node_by_name(graph, "grep")
+    assert insert_cat_for_multi_input(graph, grep) is None
+
+
+def test_insert_cat_not_applicable_for_order_sensitive_commands():
+    graph = build("comm a.txt b.txt")
+    comm = node_by_name(graph, "comm")
+    assert insert_cat_for_multi_input(graph, comm) is None
+
+
+def test_insert_split_before_creates_split_and_cat():
+    graph = build("cat big.txt | grep x > out.txt")
+    grep = node_by_name(graph, "grep")
+    cat_node = insert_split_before(graph, grep, width=4)
+    assert isinstance(cat_node, CatNode)
+    splits = graph.nodes_of_kind("split")
+    assert len(splits) == 1
+    assert len(splits[0].outputs) == 4
+    graph.validate()
+
+
+def test_insert_split_width_one_is_noop():
+    graph = build("cat big.txt | grep x")
+    grep = node_by_name(graph, "grep")
+    assert insert_split_before(graph, grep, width=1) is None
+
+
+def test_insert_split_strategy_recorded():
+    graph = build("cat big.txt | grep x")
+    grep = node_by_name(graph, "grep")
+    insert_split_before(graph, grep, width=2, strategy="input-aware")
+    split = graph.nodes_of_kind("split")[0]
+    assert split.strategy == "input-aware"
+
+
+def test_split_then_parallelize_round_trips():
+    graph = build("cat big.txt | grep x > out.txt")
+    grep = node_by_name(graph, "grep")
+    cat_node = insert_split_before(graph, grep, width=3)
+    copies = parallelize_node(graph, grep, cat_node)
+    assert len(copies) == 3
+    graph.validate()
+
+
+def test_insert_relay_splices_edge():
+    graph = build("cat a.txt | sort")
+    sort = node_by_name(graph, "sort")
+    edge = graph.edge(sort.inputs[0])
+    relay = insert_relay(graph, edge, eager=True)
+    assert isinstance(relay, RelayNode)
+    assert graph.predecessors(sort)[0] is relay
+    graph.validate()
+
+
+def test_insert_eager_relays_on_aggregator_inputs():
+    graph = build("cat a.txt b.txt c.txt d.txt | sort > out.txt")
+    sort = node_by_name(graph, "sort")
+    parallelize_node(graph, sort)
+    relays = insert_eager_relays(graph)
+    aggregators = [n for n in graph.nodes.values() if isinstance(n, AggregatorNode)]
+    # Two relays per binary aggregator (both inputs are buffered).
+    assert len(relays) == 2 * len(aggregators)
+    graph.validate()
+
+
+def test_insert_eager_relays_blocking_mode():
+    graph = build("cat a.txt b.txt | sort > out.txt")
+    sort = node_by_name(graph, "sort")
+    parallelize_node(graph, sort)
+    relays = insert_eager_relays(graph, eager=False, blocking=True)
+    assert relays and all(relay.blocking for relay in relays)
+
+
+def test_insert_eager_relays_on_cat_combiner_all_but_last():
+    graph = build("cat a.txt b.txt c.txt | grep x > out.txt")
+    grep = node_by_name(graph, "grep")
+    parallelize_node(graph, grep)
+    relays = insert_eager_relays(graph)
+    combiner = graph.nodes_of_kind("cat")[0]
+    assert len(relays) == len(combiner.inputs) - 1
+
+
+def test_insert_eager_relays_after_split_outputs():
+    graph = build("cat big.txt | grep x > out.txt")
+    grep = node_by_name(graph, "grep")
+    cat_node = insert_split_before(graph, grep, width=4)
+    parallelize_node(graph, grep, cat_node)
+    relays = insert_eager_relays(graph)
+    split = graph.nodes_of_kind("split")[0]
+    # all but the last split output are buffered, plus the cat combiner inputs
+    assert len(relays) >= len(split.outputs) - 1
+    graph.validate()
+
+
+def test_relays_are_not_double_inserted():
+    graph = build("cat a.txt b.txt | grep x > out.txt")
+    grep = node_by_name(graph, "grep")
+    parallelize_node(graph, grep)
+    first = insert_eager_relays(graph)
+    second = insert_eager_relays(graph)
+    assert len(second) == 0 or len(second) < len(first)

@@ -1,0 +1,120 @@
+"""Tests for the node-parallelization transformation T (§4.2)."""
+
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.nodes import AggregatorNode, CatNode, CommandNode
+from repro.transform.parallelize import (
+    is_parallelizable_node,
+    parallelize_node,
+    preceding_concatenation,
+)
+
+
+def build(script):
+    return DFGBuilder().build_from_script(script)
+
+
+def command_nodes(graph, name=None):
+    nodes = [node for node in graph.nodes.values() if isinstance(node, CommandNode)]
+    if name is not None:
+        nodes = [node for node in nodes if node.name == name]
+    return nodes
+
+
+def test_is_parallelizable_node():
+    graph = build("cat a.txt | grep x | sort | sha1sum")
+    by_name = {node.name: node for node in command_nodes(graph)}
+    assert is_parallelizable_node(by_name["grep"])
+    assert is_parallelizable_node(by_name["sort"])
+    assert not is_parallelizable_node(by_name["sha1sum"])
+
+
+def test_preceding_concatenation_detects_cat_command():
+    graph = build("cat a.txt b.txt c.txt | grep x")
+    grep = command_nodes(graph, "grep")[0]
+    concatenation = preceding_concatenation(graph, grep)
+    assert concatenation is not None
+    assert concatenation.name == "cat"
+
+
+def test_preceding_concatenation_requires_two_streams():
+    graph = build("cat a.txt | grep x")
+    grep = command_nodes(graph, "grep")[0]
+    assert preceding_concatenation(graph, grep) is None
+
+
+def test_stateless_parallelization_creates_copies_and_cat():
+    graph = build("cat a.txt b.txt c.txt | grep x > out.txt")
+    grep = command_nodes(graph, "grep")[0]
+    copies = parallelize_node(graph, grep)
+    assert len(copies) == 3
+    assert all(copy.parallelized_copy for copy in copies)
+    # The original cat and grep are gone; a combining CatNode appears.
+    assert not command_nodes(graph, "cat")
+    assert len(graph.nodes_of_kind("cat")) == 1
+    graph.validate()
+
+
+def test_stateless_copies_preserve_arguments():
+    graph = build("cat a.txt b.txt | grep -i foo > out.txt")
+    grep = command_nodes(graph, "grep")[0]
+    copies = parallelize_node(graph, grep)
+    assert all(copy.arguments == ["-i", "foo"] for copy in copies)
+
+
+def test_pure_parallelization_builds_aggregation_tree():
+    graph = build("cat a.txt b.txt c.txt d.txt | sort -rn > out.txt")
+    sort = command_nodes(graph, "sort")[0]
+    copies = parallelize_node(graph, sort, fan_in=2)
+    assert len(copies) == 4
+    aggregators = [n for n in graph.nodes.values() if isinstance(n, AggregatorNode)]
+    # 4 streams -> binary tree of 3 merge nodes.
+    assert len(aggregators) == 3
+    assert all(agg.aggregator == "merge_sort" for agg in aggregators)
+    assert all(agg.command_arguments == ["-rn"] for agg in aggregators)
+    graph.validate()
+
+
+def test_pure_parallelization_flat_aggregator():
+    graph = build("cat a.txt b.txt c.txt d.txt | wc -l > out.txt")
+    wc = command_nodes(graph, "wc")[0]
+    parallelize_node(graph, wc, fan_in=0)
+    aggregators = [n for n in graph.nodes.values() if isinstance(n, AggregatorNode)]
+    assert len(aggregators) == 1
+    assert len(aggregators[0].inputs) == 4
+
+
+def test_max_copies_groups_streams():
+    graph = build("cat a b c d e f g h | grep x > out.txt")
+    grep = command_nodes(graph, "grep")[0]
+    copies = parallelize_node(graph, grep, max_copies=4)
+    assert len(copies) == 4
+    # Grouping inserts small cat nodes upstream of the copies.
+    group_cats = [
+        node
+        for node in graph.nodes_of_kind("cat")
+        if isinstance(node, CatNode) and node.outputs and len(node.inputs) == 2
+    ]
+    assert len(group_cats) >= 4 - 1
+    graph.validate()
+
+
+def test_output_edge_reconnected_to_combiner():
+    graph = build("cat a.txt b.txt | grep x > out.txt")
+    grep = command_nodes(graph, "grep")[0]
+    parallelize_node(graph, grep)
+    out_edge = graph.output_edges()[0]
+    assert out_edge.name == "out.txt"
+    producer = graph.node(out_edge.source)
+    assert isinstance(producer, CatNode)
+
+
+def test_non_parallelizable_node_returns_empty():
+    graph = build("cat a.txt b.txt | sha1sum")
+    sha = command_nodes(graph, "sha1sum")[0]
+    assert parallelize_node(graph, sha) == []
+
+
+def test_no_concatenation_returns_empty():
+    graph = build("cat a.txt | grep x")
+    grep = command_nodes(graph, "grep")[0]
+    assert parallelize_node(graph, grep) == []
