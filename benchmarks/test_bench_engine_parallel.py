@@ -1,0 +1,113 @@
+"""EXP-ENGINE — measured wall-clock speedup of the parallel engine.
+
+Every other benchmark regenerates the paper's numbers through the
+discrete-event simulator; this one runs the same dataflow graphs for real on
+``repro.engine`` and times them.  Two workloads:
+
+* *latency-bound* — grep with a fixed per-line cost (the stand-in for the
+  paper's complex-NFA grep, whose real cost is ~0.24 ms/line per Table 2).
+  A width-4 graph overlaps the four workers' stage latency, so the engine
+  must beat the interpreter on any machine — concurrency, not core count,
+  is what's being bought.
+* *CPU-bound* — the Table-2 ``sort`` one-liner over an in-memory corpus.
+  Here the speedup depends on the cores actually available, so the
+  assertion only applies on multi-core machines; the measurement is always
+  printed.
+"""
+
+import os
+import time
+
+from conftest import print_header
+
+from repro import engine
+from repro.commands import standard_registry
+from repro.evaluation.harness import measured_speedup
+from repro.runtime.executor import ExecutionEnvironment
+from repro.runtime.streams import VirtualFileSystem
+from repro.transform.pipeline import ParallelizationConfig
+from repro.workloads import text
+from repro.workloads.oneliners import get_one_liner
+
+WIDTH = 4
+LINES_PER_CHUNK = 300
+SECONDS_PER_LINE = 4e-4  # ≈ Table 2's complex-NFA grep cost
+
+
+def _slow_grep_registry():
+    """The standard registry with grep carrying a per-line latency."""
+    registry = standard_registry().copy()
+    real_grep = registry.lookup("grep").function
+
+    def slow_grep(arguments, inputs):
+        time.sleep(SECONDS_PER_LINE * sum(len(stream) for stream in inputs))
+        return real_grep(arguments, inputs)
+
+    registry.register_function(
+        "grep", slow_grep, "grep with per-line latency (complex-NFA stand-in)"
+    )
+    return registry
+
+
+def _environment():
+    files = {
+        f"in{index}.txt": text.text_lines(LINES_PER_CHUNK, seed=index) for index in range(WIDTH)
+    }
+    return ExecutionEnvironment(
+        filesystem=VirtualFileSystem(files), registry=_slow_grep_registry()
+    )
+
+
+def _run_latency_workload():
+    chunks = " ".join(f"in{index}.txt" for index in range(WIDTH))
+    script = f"cat {chunks} | grep the > out.txt"
+    config = ParallelizationConfig.paper_default(WIDTH)
+
+    interpreter = engine.run_script(script, backend="interpreter", environment=_environment())
+    parallel = engine.run_script(
+        script, backend="parallel", environment=_environment(), config=config
+    )
+    return interpreter, parallel
+
+
+def test_bench_engine_latency_bound_speedup(benchmark):
+    interpreter, parallel = benchmark.pedantic(_run_latency_workload, rounds=1, iterations=1)
+    speedup = interpreter.elapsed_seconds / parallel.elapsed_seconds
+
+    print_header("Engine — latency-bound grep, measured wall clock")
+    print(f"{'backend':<14}{'seconds':<10}{'workers':<9}{'bytes moved'}")
+    print(f"{'interpreter':<14}{interpreter.elapsed_seconds:<10.3f}{1:<9}{'-'}")
+    print(
+        f"{'parallel':<14}{parallel.elapsed_seconds:<10.3f}"
+        f"{parallel.metrics.worker_count:<9}{parallel.metrics.total_bytes_moved}"
+    )
+    print(f"speedup: {speedup:.2f}x at width {WIDTH}")
+
+    assert parallel.output_of("out.txt") == interpreter.output_of("out.txt")
+    assert parallel.metrics.worker_count >= 2
+    # Width-4 stage latency overlaps across worker processes regardless of
+    # core count; the engine must clearly beat sequential evaluation.
+    assert speedup > 1.3
+
+
+def test_bench_engine_cpu_bound_sort(benchmark):
+    baseline, parallel, speedup = benchmark.pedantic(
+        lambda: measured_speedup(get_one_liner("sort"), width=WIDTH, lines=60_000),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header("Engine — Table-2 sort one-liner, measured wall clock")
+    print(f"{'backend':<14}{'seconds':<10}{'workers'}")
+    print(f"{'interpreter':<14}{baseline.elapsed_seconds:<10.3f}{1}")
+    print(
+        f"{'parallel':<14}{parallel.elapsed_seconds:<10.3f}{parallel.metrics.worker_count}"
+    )
+    print(f"speedup: {speedup:.2f}x at width {WIDTH} "
+          f"({len(os.sched_getaffinity(0))} usable cores)")
+
+    assert baseline.output_lines == parallel.output_lines
+    assert parallel.metrics.worker_count >= 2
+    if len(os.sched_getaffinity(0)) >= 4:
+        # With the width's worth of cores the parallel engine must win.
+        assert speedup > 1.0

@@ -1,6 +1,57 @@
-"""Setup shim for environments with an older setuptools (no PEP 660 wheel)."""
+"""Packaging for the PaSh reproduction.
 
-from setuptools import setup
+Kept as an executable ``setup.py`` (rather than pure ``pyproject.toml``
+metadata) so environments with an older setuptools — no PEP 660 editable
+wheels — can still ``pip install -e .``.
+"""
+
+import os
+import re
+
+from setuptools import find_packages, setup
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _readme() -> str:
+    path = os.path.join(_HERE, "README.md")
+    if os.path.exists(path):
+        with open(path) as handle:
+            return handle.read()
+    return ""
+
+
+def _version() -> str:
+    with open(os.path.join(_HERE, "src", "repro", "__init__.py")) as handle:
+        return re.search(r'__version__ = "([^"]+)"', handle.read()).group(1)
+
 
 if __name__ == "__main__":
-    setup()
+    setup(
+        name="pash-repro",
+        version=_version(),
+        description=(
+            "Reproduction of PaSh (EuroSys 2021): light-touch data-parallel "
+            "shell processing, with a multiprocess dataflow execution engine"
+        ),
+        long_description=_readme(),
+        long_description_content_type="text/markdown",
+        author="paper-repo-growth",
+        license="MIT",
+        python_requires=">=3.8",
+        packages=find_packages("src"),
+        package_dir={"": "src"},
+        entry_points={
+            "console_scripts": [
+                "pash-compile=repro.cli:main",
+                "pash-repro=repro.cli:main",
+            ]
+        },
+        classifiers=[
+            "Development Status :: 3 - Alpha",
+            "Intended Audience :: Science/Research",
+            "Programming Language :: Python :: 3",
+            "Topic :: System :: Shells",
+            "Topic :: System :: Distributed Computing",
+        ],
+    )

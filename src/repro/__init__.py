@@ -30,7 +30,7 @@ Quick start::
 from repro.backend.compiler import CompiledScript, compile_script
 from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "CompiledScript",

@@ -1,4 +1,4 @@
-"""``pash-compile`` — the command-line front door.
+"""``pash-compile`` / ``pash-repro`` — the command-line front door.
 
 Usage examples::
 
@@ -6,9 +6,15 @@ Usage examples::
     pash-compile --width 8 --report script.sh    # also print what was done
     pash-compile --width 4 --no-eager script.sh  # ablate the eager relays
     echo 'cat a b | grep x | sort' | pash-compile --width 4 -
+    pash-compile --width 4 --execute parallel script.sh   # run it, too
 
-The tool never executes anything; like the paper's system it emits a new
-shell script that the user's own shell runs.
+By default the tool never executes anything; like the paper's system it
+emits a new shell script that the user's own shell runs.  With ``--execute``
+it instead runs the compiled graphs on one of the engine backends
+(``interpreter``, ``parallel``, or ``shell``): input files are read from the
+real filesystem, output files are written back to it, and our stdout carries
+the script's output (the compiled script itself is still available through
+``--output``).
 """
 
 from __future__ import annotations
@@ -17,7 +23,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import engine
 from repro.backend.compiler import compile_script
+from repro.runtime.executor import ExecutionEnvironment, ExecutionError
+from repro.runtime.streams import VirtualFileSystem
 from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode
 
 
@@ -48,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--output", "-o", default=None, help="write the parallel script to this file"
+    )
+    parser.add_argument(
+        "--execute",
+        choices=tuple(engine.available_backends()),
+        default=None,
+        help="run the compiled graphs on the given engine backend instead of "
+        "printing the script (combine with --output to keep the script too)",
     )
     return parser
 
@@ -87,8 +103,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if arguments.output:
         with open(arguments.output, "w") as handle:
             handle.write(compiled.text + "\n")
-    else:
+    elif not arguments.execute:
         print(compiled.text)
+
+    if arguments.execute:
+        if compiled.translation.rejected:
+            # Executing only the translated regions would silently skip the
+            # rest of the script; the emitted text keeps those statements, so
+            # running it under a real shell is the correct fallback.
+            reasons = "; ".join(reason for _, reason in compiled.translation.rejected)
+            print(
+                f"pash-compile: cannot --execute: {len(compiled.translation.rejected)} "
+                f"statement(s) were not translated ({reasons}); run the emitted "
+                "script under a shell instead",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            _execute(compiled, arguments)
+        except ExecutionError as exc:
+            print(f"pash-compile: execution failed: {exc}", file=sys.stderr)
+            return 1
 
     if arguments.report:
         stats = compiled.stats
@@ -106,6 +141,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         for command in stats.parallelized_commands:
             print(f"#   parallelized: {command}", file=sys.stderr)
     return 0
+
+
+def _execute(compiled, arguments: argparse.Namespace) -> None:
+    """Run the already-compiled graphs on the selected engine backend.
+
+    Input files are read from the real filesystem (via the VFS fallback);
+    output files the script writes are persisted back to disk, and stdout
+    goes to our stdout — the observable behaviour of running the script.
+    Process stdin feeds the graphs' STDIN edges, except when the script
+    itself was read from stdin (``-``), which already consumed it.
+    """
+    from repro.dfg.edges import EdgeKind
+
+    needs_stdin = any(
+        edge.kind is EdgeKind.STDIN
+        for graph in compiled.optimized_graphs
+        for edge in graph.input_edges()
+    )
+    stdin_lines: List[str] = []
+    if needs_stdin and arguments.script != "-":
+        stdin_lines = sys.stdin.read().splitlines()
+    environment = ExecutionEnvironment(
+        filesystem=VirtualFileSystem(allow_real_files=True),
+        stdin=stdin_lines,
+    )
+    backend = engine.create_backend(arguments.execute)
+    result = engine.EngineResult(backend=backend.name)
+    for graph in compiled.optimized_graphs:
+        result.absorb(backend.execute(graph, environment))
+    for line in result.stdout:
+        print(line)
+    for name, lines in result.files.items():
+        with open(name, "w") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+    if arguments.report:
+        print(f"# backend: {result.backend}", file=sys.stderr)
+        print(f"# {result.metrics.summary()}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,188 @@
+"""OS-pipe channels: the streams of the parallel execution engine.
+
+A :class:`Channel` wraps one ``os.pipe`` — the engine's realization of a DFG
+edge.  Framing is newline-delimited UTF-8 with writes batched into
+``chunk_size`` blocks, so tiny lines do not cost one syscall each.
+Backpressure is the kernel's: a producer that outruns its consumer blocks in
+``write(2)`` exactly like a process writing to a full FIFO, which is the
+behaviour PaSh's eager relays exist to mitigate (§5.2).
+
+:class:`EagerPump` is the engine-side counterpart of
+:class:`repro.runtime.eager.EagerBuffer`: a thread that drains a reader into
+an unbounded in-memory buffer as fast as the producer can write.  Every
+worker pumps all of its inputs concurrently, which (a) keeps upstream
+producers from ever blocking on an idle consumer and (b) makes the engine
+deadlock-free for arbitrary fan-in/fan-out graph shapes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Iterable, List, Optional
+
+#: Default framing-chunk size; matches a typical Linux pipe buffer.
+DEFAULT_CHUNK_SIZE = 1 << 16
+
+
+class ChannelError(RuntimeError):
+    """Raised on invalid channel operations (e.g. writing after close)."""
+
+
+def encode_lines(lines: Iterable[str]) -> bytes:
+    """Frame a stream as newline-terminated UTF-8 bytes."""
+    text = "".join(line + "\n" for line in lines)
+    return text.encode("utf-8")
+
+
+def decode_lines(data: bytes) -> List[str]:
+    """Inverse of :func:`encode_lines` (tolerates a missing final newline)."""
+    if not data:
+        return []
+    text = data.decode("utf-8")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    return lines
+
+
+class Channel:
+    """One unidirectional byte channel backed by an OS pipe."""
+
+    def __init__(self, edge_id: int = -1, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        self.edge_id = edge_id
+        self.chunk_size = chunk_size
+        self.read_fd, self.write_fd = os.pipe()
+
+    def fds(self) -> List[int]:
+        return [self.read_fd, self.write_fd]
+
+    def reader(self) -> "ChannelReader":
+        return ChannelReader(self.read_fd, chunk_size=self.chunk_size)
+
+    def writer(self) -> "ChannelWriter":
+        return ChannelWriter(self.write_fd, chunk_size=self.chunk_size)
+
+    def close(self) -> None:
+        """Close both ends (idempotent; used by the parent after forking)."""
+        for fd in (self.read_fd, self.write_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+
+class ChannelWriter:
+    """Producer end of a channel: chunked, counted line writes."""
+
+    def __init__(self, fd: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        self.fd = fd
+        self.chunk_size = max(1, chunk_size)
+        self.bytes_written = 0
+        self.lines_written = 0
+        self._buffer = bytearray()
+        self._closed = False
+
+    def write_line(self, line: str) -> None:
+        if self._closed:
+            raise ChannelError("cannot write to a closed channel")
+        self._buffer += (line + "\n").encode("utf-8")
+        self.lines_written += 1
+        if len(self._buffer) >= self.chunk_size:
+            self.flush()
+
+    def write_lines(self, lines: Iterable[str]) -> None:
+        for line in lines:
+            self.write_line(line)
+
+    def flush(self) -> None:
+        view = memoryview(bytes(self._buffer))
+        self._buffer.clear()
+        while view:
+            written = os.write(self.fd, view)
+            self.bytes_written += written
+            view = view[written:]
+
+    def close(self) -> None:
+        """Flush pending bytes and signal EOF to the consumer."""
+        if self._closed:
+            return
+        try:
+            self.flush()
+        finally:
+            self._closed = True
+            try:
+                os.close(self.fd)
+            except OSError:
+                pass
+
+    def abandon(self) -> None:
+        """Close without flushing (used when the consumer is already gone)."""
+        self._closed = True
+        self._buffer.clear()
+        try:
+            os.close(self.fd)
+        except OSError:
+            pass
+
+
+class ChannelReader:
+    """Consumer end of a channel: chunked, counted reads until EOF."""
+
+    def __init__(self, fd: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        self.fd = fd
+        self.chunk_size = max(1, chunk_size)
+        self.bytes_read = 0
+        self.lines_read = 0
+        self._closed = False
+
+    def read_lines(self) -> List[str]:
+        """Drain the channel to EOF and return the framed lines."""
+        chunks: List[bytes] = []
+        while True:
+            chunk = os.read(self.fd, self.chunk_size)
+            if not chunk:
+                break
+            self.bytes_read += len(chunk)
+            chunks.append(chunk)
+        lines = decode_lines(b"".join(chunks))
+        self.lines_read += len(lines)
+        self.close()
+        return lines
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            os.close(self.fd)
+        except OSError:
+            pass
+
+
+class EagerPump(threading.Thread):
+    """Drain a reader into memory concurrently (the engine's eager relay).
+
+    One pump per input edge lets a worker consume all of its inputs at the
+    producers' pace, mirroring :class:`repro.runtime.eager.EagerBuffer`'s
+    unbounded buffering with a real thread instead of a simulated one.
+    """
+
+    def __init__(self, reader: ChannelReader) -> None:
+        super().__init__(daemon=True)
+        self.reader = reader
+        self._lines: List[str] = []
+        self._error: Optional[BaseException] = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via result()
+        try:
+            self._lines = self.reader.read_lines()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in result()
+            self._error = exc
+
+    def result(self) -> List[str]:
+        """Join the pump and return the buffered stream."""
+        self.join()
+        if self._error is not None:
+            raise self._error
+        return self._lines

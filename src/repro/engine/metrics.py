@@ -1,0 +1,84 @@
+"""Per-node and per-run execution metrics.
+
+The simulator estimates where time *would* go; the engine measures where it
+*actually* goes.  Every worker reports how long it ran, how many bytes and
+lines crossed its channels, and which OS process executed it, so the
+evaluation harness can compute Fig. 7-style speedups from wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class NodeMetrics:
+    """Measurements reported by one worker process."""
+
+    node_id: int
+    label: str
+    kind: str
+    pid: int
+    wall_seconds: float = 0.0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    lines_in: int = 0
+    lines_out: int = 0
+    #: True when the node ran a real host binary instead of the Python
+    #: command implementation.
+    host_command: bool = False
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregate measurements for one engine run."""
+
+    backend: str = "parallel"
+    elapsed_seconds: float = 0.0
+    nodes: List[NodeMetrics] = field(default_factory=list)
+
+    @property
+    def worker_count(self) -> int:
+        """Number of distinct OS processes that executed nodes."""
+        return len({node.pid for node in self.nodes})
+
+    @property
+    def total_bytes_moved(self) -> int:
+        """Bytes that crossed engine channels (counted at the reader side)."""
+        return sum(node.bytes_in for node in self.nodes)
+
+    @property
+    def total_node_seconds(self) -> float:
+        """Sum of per-node wall times (the work the run parallelized)."""
+        return sum(node.wall_seconds for node in self.nodes)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Mean fraction of the run each worker spent busy (0..1 per worker).
+
+        Values near 1 mean workers ran the whole time; a width-w graph whose
+        branches overlap perfectly approaches ``total_node_seconds /
+        elapsed_seconds == w``, so the mean per-worker busy fraction is that
+        ratio divided by the worker count.
+        """
+        if self.elapsed_seconds <= 0 or not self.nodes:
+            return 0.0
+        return self.total_node_seconds / self.elapsed_seconds / max(1, self.worker_count)
+
+    def by_node(self) -> Dict[int, NodeMetrics]:
+        return {node.node_id: node for node in self.nodes}
+
+    def merge(self, other: "EngineMetrics") -> None:
+        """Fold another run's metrics in (used for multi-region scripts)."""
+        self.elapsed_seconds += other.elapsed_seconds
+        self.nodes.extend(other.nodes)
+
+    def summary(self) -> str:
+        """One-line human-readable digest (used by the CLI's --report)."""
+        return (
+            f"{len(self.nodes)} nodes on {self.worker_count} workers in "
+            f"{self.elapsed_seconds * 1000:.1f} ms; "
+            f"{self.total_bytes_moved} bytes moved; "
+            f"utilization {self.worker_utilization:.0%}"
+        )

@@ -1,0 +1,286 @@
+"""The multiprocess DFG scheduler.
+
+Instantiates a :class:`~repro.dfg.graph.DataflowGraph` the way PaSh's runtime
+does (§5.2): one OS pipe per internal edge, one process per node, launched in
+topological order, with the parent waiting only for the graph's output
+producers (reports, here).  Unlike the in-process executor — which evaluates
+nodes one at a time — every node of the graph runs concurrently, so parallel
+branches created by the optimizer overlap on real hardware.
+
+Graph-input edges (stdin, input files) are resolved against the execution
+environment up front and handed to the workers inline; graph-output edges are
+collected from the worker reports and delivered through the same
+:func:`repro.runtime.executor.deliver_output` path as the interpreter, so the
+two backends are observationally identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.commands.base import Stream
+from repro.dfg.edges import Edge, EdgeKind
+from repro.dfg.graph import DataflowGraph
+from repro.engine.channels import DEFAULT_CHUNK_SIZE, Channel
+from repro.engine.metrics import EngineMetrics, NodeMetrics
+from repro.engine.workers import InputPort, OutputPort, WorkerPlan, execute_plan
+from repro.runtime.executor import (
+    ExecutionEnvironment,
+    ExecutionError,
+    ExecutionResult,
+    deliver_output,
+)
+
+
+@dataclass
+class SchedulerOptions:
+    """Knobs of the parallel scheduler."""
+
+    #: Exec real host binaries for eligible command nodes instead of the
+    #: Python implementations (see workers.host_command_available).
+    use_host_commands: bool = False
+    #: Channel framing-chunk size in bytes.
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: How long to wait for any single worker report before declaring the
+    #: run wedged.
+    report_timeout_seconds: float = 120.0
+    #: Preferred multiprocessing start method.  ``fork`` keeps channel file
+    #: descriptors and the (possibly customized) command registry intact;
+    #: platforms without it fall back to the default method.
+    start_method: str = "fork"
+
+
+class ParallelScheduler:
+    """Executes dataflow graphs with one worker process per node."""
+
+    def __init__(
+        self,
+        environment: Optional[ExecutionEnvironment] = None,
+        options: Optional[SchedulerOptions] = None,
+    ) -> None:
+        self.environment = environment or ExecutionEnvironment()
+        self.options = options or SchedulerOptions()
+
+    # ------------------------------------------------------------------
+
+    def execute(self, graph: DataflowGraph) -> Tuple[ExecutionResult, EngineMetrics]:
+        """Run ``graph``; returns its outputs and the measured metrics.
+
+        Raises :class:`ExecutionError` when any worker fails or the run
+        wedges (a worker died without reporting).
+        """
+        graph.validate()
+        started = time.perf_counter()
+        metrics = EngineMetrics(backend="parallel")
+        result = ExecutionResult()
+
+        if not graph.nodes:
+            self._deliver(graph, {}, result)
+            metrics.elapsed_seconds = time.perf_counter() - started
+            return result, metrics
+
+        context = self._context()
+        channels = self._open_channels(graph)
+        all_fds = [fd for channel in channels.values() for fd in channel.fds()]
+        try:
+            plans = [
+                self._plan(node_id, graph, channels, all_fds) for node_id in self._topo_ids(graph)
+            ]
+        except Exception:
+            for channel in channels.values():
+                channel.close()
+            raise
+
+        report_queue = context.Queue()
+        processes = []
+        try:
+            for plan in plans:
+                process = context.Process(
+                    target=execute_plan, args=(plan, report_queue), name=f"pash-node-{plan.node.node_id}"
+                )
+                process.start()
+                processes.append((plan.node, process))
+        finally:
+            # The parent holds no edge: drop every channel fd so that EOF
+            # propagation is entirely between the workers.
+            for channel in channels.values():
+                channel.close()
+
+        reports = self._collect_reports(report_queue, processes, len(plans))
+        for _, process in processes:
+            process.join(timeout=self.options.report_timeout_seconds)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+
+        failures = [report for report in reports.values() if report["error"]]
+        if failures:
+            detail = "; ".join(f"{report['label']}: {report['error']}" for report in failures)
+            raise ExecutionError(f"{len(failures)} worker(s) failed: {detail}")
+
+        edge_values: Dict[int, Stream] = {}
+        for report in reports.values():
+            edge_values.update(report["outputs"])
+            metrics.nodes.append(
+                NodeMetrics(
+                    node_id=report["node_id"],
+                    label=report["label"],
+                    kind=report["kind"],
+                    pid=report["pid"],
+                    wall_seconds=report["wall_seconds"],
+                    bytes_in=report["bytes_in"],
+                    bytes_out=report["bytes_out"],
+                    lines_in=report["lines_in"],
+                    lines_out=report["lines_out"],
+                    host_command=report["host_command"],
+                )
+            )
+        metrics.nodes.sort(key=lambda node: node.node_id)
+
+        self._deliver(graph, edge_values, result)
+        result.edge_values.update(edge_values)
+        metrics.elapsed_seconds = time.perf_counter() - started
+        return result, metrics
+
+    # ------------------------------------------------------------------
+
+    def _context(self):
+        try:
+            return multiprocessing.get_context(self.options.start_method)
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            return multiprocessing.get_context()
+
+    @staticmethod
+    def _topo_ids(graph: DataflowGraph) -> List[int]:
+        return [node.node_id for node in graph.topological_order()]
+
+    def _open_channels(self, graph: DataflowGraph) -> Dict[int, Channel]:
+        """One OS pipe per internal edge (produced and consumed in-graph)."""
+        channels: Dict[int, Channel] = {}
+        for edge_id in sorted(graph.edges):
+            edge = graph.edges[edge_id]
+            if edge.source is not None and edge.target is not None:
+                channels[edge_id] = Channel(edge_id, chunk_size=self.options.chunk_size)
+        return channels
+
+    def _plan(
+        self,
+        node_id: int,
+        graph: DataflowGraph,
+        channels: Dict[int, Channel],
+        all_fds: List[int],
+    ) -> WorkerPlan:
+        node = graph.node(node_id)
+        inputs = []
+        for edge_id in node.inputs:
+            if edge_id in channels:
+                inputs.append(InputPort(edge_id, fd=channels[edge_id].read_fd))
+            else:
+                inputs.append(InputPort(edge_id, data=self._resolve_input(graph.edge(edge_id))))
+        outputs = []
+        for edge_id in node.outputs:
+            if edge_id in channels:
+                outputs.append(OutputPort(edge_id, fd=channels[edge_id].write_fd))
+            else:
+                outputs.append(OutputPort(edge_id))
+        return WorkerPlan(
+            node=node,
+            inputs=inputs,
+            outputs=outputs,
+            registry=self.environment.registry,
+            use_host_commands=self.options.use_host_commands,
+            chunk_size=self.options.chunk_size,
+            close_fds=all_fds,
+        )
+
+    def _resolve_input(self, edge: Edge) -> Stream:
+        """Materialize a graph-input edge from the environment."""
+        if edge.kind is EdgeKind.STDIN:
+            return list(self.environment.stdin)
+        if edge.kind is EdgeKind.FILE:
+            try:
+                return self.environment.filesystem.read(edge.name or "")
+            except FileNotFoundError as exc:
+                raise ExecutionError(str(exc)) from exc
+        # A dangling pipe input (should not occur in valid graphs).
+        return []
+
+    def _collect_reports(self, report_queue, processes, expected: int) -> Dict[int, dict]:
+        """Gather one report per worker, failing fast on dead workers.
+
+        A worker killed by a signal (SIGKILL, OOM) never reaches its
+        ``finally`` block, so its report never arrives; waiting for the full
+        timeout would hang the run for minutes on an already-observable
+        death.  Poll in short slices and check the process table between
+        them.
+        """
+        reports: Dict[int, dict] = {}
+        deadline = time.monotonic() + self.options.report_timeout_seconds
+        while len(reports) < expected:
+            try:
+                report = report_queue.get(timeout=0.25)
+                reports[report["node_id"]] = report
+                continue
+            except queue_module.Empty:
+                pass
+            dead = [
+                (node, process)
+                for node, process in processes
+                if node.node_id not in reports and not process.is_alive()
+            ]
+            if dead:
+                # Grace period: a report written just before exit may still
+                # be in flight through the queue's pipe.
+                try:
+                    while len(reports) < expected:
+                        report = report_queue.get(timeout=1.0)
+                        reports[report["node_id"]] = report
+                except queue_module.Empty:
+                    pass
+                silent = [
+                    (node, process)
+                    for node, process in dead
+                    if node.node_id not in reports
+                ]
+                if silent:
+                    self._terminate(processes)
+                    detail = "; ".join(
+                        f"{node.label()} (exit code {process.exitcode})"
+                        for node, process in silent
+                    )
+                    raise ExecutionError(f"worker(s) died without reporting: {detail}")
+            if time.monotonic() > deadline:
+                self._terminate(processes)
+                missing = expected - len(reports)
+                raise ExecutionError(
+                    f"parallel execution wedged: {missing} worker(s) never reported "
+                    f"(timeout {self.options.report_timeout_seconds}s)"
+                )
+        return reports
+
+    @staticmethod
+    def _terminate(processes) -> None:
+        for _, process in processes:
+            if process.is_alive():
+                process.terminate()
+
+    def _deliver(
+        self, graph: DataflowGraph, edge_values: Dict[int, Stream], result: ExecutionResult
+    ) -> None:
+        for edge in graph.output_edges():
+            stream = edge_values.get(edge.edge_id)
+            if stream is None:
+                stream = self._resolve_input(edge) if edge.source is None else []
+            deliver_output(edge, stream, result, self.environment.filesystem)
+
+
+def execute_graph_parallel(
+    graph: DataflowGraph,
+    environment: Optional[ExecutionEnvironment] = None,
+    options: Optional[SchedulerOptions] = None,
+) -> Tuple[ExecutionResult, EngineMetrics]:
+    """Convenience wrapper: execute ``graph`` on the parallel scheduler."""
+    return ParallelScheduler(environment, options).execute(graph)

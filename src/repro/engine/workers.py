@@ -1,0 +1,212 @@
+"""Worker-process bodies for the parallel engine.
+
+Every DFG node becomes one OS process whose body is :func:`execute_plan`:
+drain all inputs concurrently (eager pumps), evaluate the node, write the
+outputs.  Command nodes either exec the real host binary (when enabled and
+available) or run the registry's pure-Python implementation — either way in
+a separate process, so parallel branches genuinely overlap.
+
+Workers never raise: every outcome, including failure, is delivered to the
+scheduler as a report on the shared queue, and all owned file descriptors are
+closed on the way out so that downstream workers always observe EOF instead
+of hanging.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.commands.base import CommandRegistry, Stream
+from repro.dfg.nodes import CommandNode, DFGNode
+from repro.engine.channels import (
+    DEFAULT_CHUNK_SIZE,
+    ChannelReader,
+    ChannelWriter,
+    EagerPump,
+    decode_lines,
+    encode_lines,
+)
+from repro.runtime.executor import evaluate_node
+
+
+@dataclass
+class InputPort:
+    """Where a worker reads one input edge from.
+
+    ``fd`` is the read end of an engine channel; when None the edge is a
+    graph input whose stream the scheduler resolved up front (``data``).
+    """
+
+    edge_id: int
+    fd: Optional[int] = None
+    data: Optional[List[str]] = None
+
+
+@dataclass
+class OutputPort:
+    """Where a worker writes one output edge to.
+
+    ``fd`` is the write end of an engine channel; when None the edge is a
+    graph output collected into the worker's report for the scheduler.
+    """
+
+    edge_id: int
+    fd: Optional[int] = None
+
+
+@dataclass
+class WorkerPlan:
+    """Everything one worker process needs to execute its node."""
+
+    node: DFGNode
+    inputs: List[InputPort] = field(default_factory=list)
+    outputs: List[OutputPort] = field(default_factory=list)
+    registry: Optional[CommandRegistry] = None
+    use_host_commands: bool = False
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: Every channel fd in the graph; the worker closes the ones it does not
+    #: own so that EOF propagates correctly after the fork.
+    close_fds: List[int] = field(default_factory=list)
+
+
+def host_command_available(node: DFGNode, use_host_commands: bool) -> bool:
+    """Whether this node can exec a real binary instead of the Python impl.
+
+    Restricted to single-input single-output command nodes: those map onto a
+    plain ``argv < stdin > stdout`` invocation without /dev/fd plumbing.
+    """
+    return (
+        use_host_commands
+        and isinstance(node, CommandNode)
+        and len(node.inputs) <= 1
+        and len(node.outputs) <= 1
+        and shutil.which(node.name) is not None
+    )
+
+
+def _run_host_command(node: CommandNode, inputs: List[Stream]) -> Stream:
+    """Execute the node as a real subprocess (input via stdin, LC_ALL=C)."""
+    argv = [node.name] + list(node.arguments)
+    payload = encode_lines(inputs[0]) if inputs else b""
+    environment = dict(os.environ, LC_ALL="C")
+    completed = subprocess.run(
+        argv, input=payload, stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=environment
+    )
+    if completed.returncode != 0:
+        detail = completed.stderr.decode("utf-8", "replace").strip()
+        raise RuntimeError(f"host command {node.name!r} exited {completed.returncode}: {detail}")
+    return decode_lines(completed.stdout)
+
+
+def _inline_size(lines: List[str]) -> int:
+    """Approximate framed size of an inline stream (exact for ASCII)."""
+    return sum(len(line) + 1 for line in lines)
+
+
+def execute_plan(plan: WorkerPlan, report_queue) -> None:
+    """Process body: evaluate one node and report the outcome.
+
+    The report always reaches the queue, carrying either the node's metrics
+    (and any graph-output streams) or an error string.
+    """
+    node = plan.node
+    report: Dict[str, object] = {
+        "node_id": node.node_id,
+        "label": node.label(),
+        "kind": node.kind,
+        "pid": os.getpid(),
+        "error": None,
+        "outputs": {},
+        "wall_seconds": 0.0,
+        "bytes_in": 0,
+        "bytes_out": 0,
+        "lines_in": 0,
+        "lines_out": 0,
+        "host_command": False,
+    }
+    started = time.perf_counter()
+    mine = {port.fd for port in plan.inputs + plan.outputs if port.fd is not None}
+    writers: List[ChannelWriter] = []
+    try:
+        for fd in plan.close_fds:
+            if fd not in mine:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+
+        # Drain every channel input concurrently so producers never block on
+        # an idle consumer (engine-level eager buffering; see channels.py).
+        readers: Dict[int, ChannelReader] = {}
+        pumps: Dict[int, EagerPump] = {}
+        for port in plan.inputs:
+            if port.fd is not None:
+                reader = ChannelReader(port.fd, chunk_size=plan.chunk_size)
+                readers[port.edge_id] = reader
+                pump = EagerPump(reader)
+                pump.start()
+                pumps[port.edge_id] = pump
+
+        inputs: List[Stream] = []
+        for port in plan.inputs:
+            if port.fd is not None:
+                inputs.append(pumps[port.edge_id].result())
+                report["bytes_in"] += readers[port.edge_id].bytes_read
+                report["lines_in"] += readers[port.edge_id].lines_read
+            else:
+                stream = list(port.data or [])
+                inputs.append(stream)
+                report["bytes_in"] += _inline_size(stream)
+                report["lines_in"] += len(stream)
+
+        if host_command_available(node, plan.use_host_commands):
+            report["host_command"] = True
+            outputs = [_run_host_command(node, inputs)]
+        else:
+            registry = plan.registry
+            if registry is None:
+                from repro.commands import standard_registry
+
+                registry = standard_registry()
+            outputs = evaluate_node(node, inputs, registry)
+
+        # Mirror the interpreter's arity check: a mismatch must be a loud
+        # error, not silently-empty downstream edges.
+        if len(outputs) != len(plan.outputs):
+            raise RuntimeError(
+                f"node {node.label()} produced {len(outputs)} streams for "
+                f"{len(plan.outputs)} output edges"
+            )
+
+        for port, stream in zip(plan.outputs, outputs):
+            report["lines_out"] += len(stream)
+            if port.fd is not None:
+                writer = ChannelWriter(port.fd, chunk_size=plan.chunk_size)
+                writers.append(writer)
+                try:
+                    writer.write_lines(stream)
+                    writer.close()
+                except BrokenPipeError:
+                    # The consumer exited early (e.g. head); stop writing,
+                    # exactly like a process receiving SIGPIPE.
+                    writer.abandon()
+                report["bytes_out"] += writer.bytes_written
+            else:
+                report["bytes_out"] += _inline_size(stream)
+                report["outputs"][port.edge_id] = stream  # type: ignore[index]
+    except BaseException as exc:  # noqa: BLE001 - reported, never raised
+        report["error"] = f"{type(exc).__name__}: {exc}"
+    finally:
+        # Guarantee EOF downstream even on failure paths.
+        for fd in mine:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        report["wall_seconds"] = time.perf_counter() - started
+        report_queue.put(report)

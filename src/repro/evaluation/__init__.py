@@ -13,7 +13,10 @@
 
 from repro.evaluation.harness import (
     BenchmarkRun,
+    MeasuredRun,
     check_benchmark_correctness,
+    measure_benchmark,
+    measured_speedup,
     simulate_benchmark,
     speedup_for_width,
 )
@@ -24,10 +27,13 @@ from repro.evaluation.microbench import gnu_parallel_comparison, parallel_sort_c
 
 __all__ = [
     "BenchmarkRun",
+    "MeasuredRun",
     "check_benchmark_correctness",
     "figure7_series",
     "figure8_series",
     "gnu_parallel_comparison",
+    "measure_benchmark",
+    "measured_speedup",
     "noaa_usecase",
     "parallel_sort_comparison",
     "simulate_benchmark",

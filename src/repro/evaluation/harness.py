@@ -1,17 +1,28 @@
-"""Shared plumbing for the evaluation: compile, simulate, check correctness."""
+"""Shared plumbing for the evaluation: compile, simulate, measure, check.
+
+Two kinds of performance numbers coexist here:
+
+* *simulated* (``simulate_benchmark``) — the discrete-event cost model used
+  to regenerate the paper's figures at paper-scale inputs, and
+* *measured* (``measure_benchmark``) — real wall-clock runs of the same
+  scripts on the execution engine (``repro.engine``), over datasets small
+  enough to execute, with per-node metrics from the worker processes.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import engine
 from repro.annotations.classes import ParallelizabilityClass
 from repro.annotations.library import AnnotationLibrary, standard_library
 from repro.annotations.model import simple_record
-from repro.dfg.builder import DFGBuilder, UntranslatableRegion, translate_script
+from repro.dfg.builder import DFGBuilder, UntranslatableRegion
 from repro.dfg.graph import DataflowGraph
 from repro.dfg.regions import find_parallelizable_regions
-from repro.runtime.executor import DFGExecutor, ExecutionEnvironment
+from repro.engine.metrics import EngineMetrics
+from repro.runtime.executor import ExecutionEnvironment
 from repro.runtime.interpreter import ShellInterpreter
 from repro.runtime.streams import VirtualFileSystem
 from repro.shell.parser import parse
@@ -166,6 +177,86 @@ def speedup_for_width(
 
 
 # ---------------------------------------------------------------------------
+# Measured (wall-clock) execution on the engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MeasuredRun:
+    """One real execution of a benchmark script on an engine backend."""
+
+    name: str
+    width: int
+    backend: str
+    elapsed_seconds: float
+    stdout_lines: int
+    output_lines: int
+    metrics: EngineMetrics
+
+
+def measure_benchmark(
+    benchmark: BenchmarkScript,
+    width: int,
+    backend: str = "parallel",
+    lines: int = 2400,
+    config: Optional[ParallelizationConfig] = None,
+    environment: Optional[ExecutionEnvironment] = None,
+    **backend_options,
+) -> MeasuredRun:
+    """Execute one benchmark for real and report measured wall-clock time.
+
+    ``config=None`` runs the unoptimized graphs (the sequential shape);
+    passing a :class:`ParallelizationConfig` measures the parallelized
+    graphs on the chosen backend.
+    """
+    if environment is None:
+        dataset = benchmark.correctness_dataset(width, lines)
+        environment = ExecutionEnvironment(
+            filesystem=VirtualFileSystem({name: list(data) for name, data in dataset.items()})
+        )
+    preexisting = set(environment.filesystem.names())
+    result = engine.run_script(
+        benchmark.script_for_width(width),
+        backend=backend,
+        environment=environment,
+        config=config,
+        **backend_options,
+    )
+    produced = {name: data for name, data in result.files.items() if name not in preexisting}
+    return MeasuredRun(
+        name=benchmark.name,
+        width=width,
+        backend=backend,
+        elapsed_seconds=result.elapsed_seconds,
+        stdout_lines=len(result.stdout),
+        output_lines=sum(len(data) for data in produced.values()),
+        metrics=result.metrics,
+    )
+
+
+def measured_speedup(
+    benchmark: BenchmarkScript,
+    width: int,
+    lines: int = 2400,
+    config: Optional[ParallelizationConfig] = None,
+    **backend_options,
+) -> Tuple[MeasuredRun, MeasuredRun, float]:
+    """Wall-clock comparison: interpreter baseline vs parallel engine.
+
+    Returns (baseline run, parallel run, speedup).  Unlike the simulator's
+    Fig. 7 numbers, these are honest measurements on this machine's cores.
+    """
+    config = config or ParallelizationConfig.paper_default(width)
+    baseline = measure_benchmark(benchmark, width, backend="interpreter", lines=lines)
+    parallel = measure_benchmark(
+        benchmark, width, backend="parallel", lines=lines, config=config, **backend_options
+    )
+    if parallel.elapsed_seconds <= 0:
+        return baseline, parallel, float("inf")
+    return baseline, parallel, baseline.elapsed_seconds / parallel.elapsed_seconds
+
+
+# ---------------------------------------------------------------------------
 # Correctness checking
 # ---------------------------------------------------------------------------
 
@@ -187,18 +278,21 @@ def check_benchmark_correctness(
     width: int = 4,
     lines: int = 1200,
     config: Optional[ParallelizationConfig] = None,
+    backend: str = "interpreter",
 ) -> CorrectnessReport:
     """Execute a benchmark sequentially and in parallel over a small dataset.
 
-    Both executions run in-process over the command substrate; the comparison
-    covers stdout plus every file the script writes.
+    The sequential baseline runs on the shell interpreter; the parallelized
+    graphs run on the chosen engine backend (``interpreter`` keeps the
+    historical in-process check, ``parallel`` exercises the multiprocess
+    engine).  The comparison covers stdout plus every file the script writes.
     """
     config = config or ParallelizationConfig.paper_default(width)
     dataset = benchmark.correctness_dataset(width, lines)
     script = benchmark.script_for_width(width)
 
     sequential_files, sequential_stdout = _run_sequential(script, dataset)
-    parallel_files, parallel_stdout = _run_parallel(script, dataset, config)
+    parallel_files, parallel_stdout = _run_parallel(script, dataset, config, backend)
 
     sequential_all = sequential_stdout + _flatten(sequential_files)
     parallel_all = parallel_stdout + _flatten(parallel_files)
@@ -234,18 +328,17 @@ def _run_sequential(script: str, dataset: Dict[str, List[str]]):
     return files, stdout
 
 
-def _run_parallel(script: str, dataset: Dict[str, List[str]], config: ParallelizationConfig):
-    translation = translate_script(script)
+def _run_parallel(
+    script: str,
+    dataset: Dict[str, List[str]],
+    config: ParallelizationConfig,
+    backend: str = "interpreter",
+):
     environment = ExecutionEnvironment(filesystem=VirtualFileSystem(dict(dataset)))
-    stdout: List[str] = []
-    for region in translation.regions:
-        graph = region.dfg
-        optimize_graph(graph, config)
-        result = DFGExecutor(environment).execute(graph)
-        stdout.extend(result.stdout)
+    result = engine.run_script(script, backend=backend, environment=environment, config=config)
     files = {
         name: environment.filesystem.read(name)
         for name in environment.filesystem.names()
         if name not in dataset
     }
-    return files, stdout
+    return files, result.stdout

@@ -52,10 +52,14 @@ def run_split(arguments: argparse.Namespace) -> int:
 
 
 def run_agg(arguments: argparse.Namespace) -> int:
-    # Everything after a literal "--" (or any dash-prefixed token) is a flag
-    # of the original command (e.g. `-rn` for merge_sort, `-c` for merge_uniq).
+    # Everything after a literal "--" (see main) is the original command's
+    # argument vector, passed verbatim — flag values such as `head -n 100`'s
+    # count must not be mistaken for input paths.  Dash-prefixed tokens mixed
+    # into the inputs are accepted as flags too, for hand-written invocations.
     paths = [token for token in arguments.inputs if not token.startswith("-") or token == "-"]
-    flags = [token for token in arguments.inputs if token.startswith("-") and token != "-"]
+    flags = [
+        token for token in arguments.inputs if token.startswith("-") and token != "-"
+    ] + list(getattr(arguments, "command_flags", []))
     streams = []
     for path in paths:
         with open(path) as handle:
@@ -92,8 +96,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: List[str] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Split at the first "--" ourselves: argparse drops the separator, which
+    # would make flag values (e.g. `-n 100`) indistinguishable from paths.
+    command_flags: List[str] = []
+    if "--" in argv:
+        separator = argv.index("--")
+        argv, command_flags = argv[:separator], argv[separator + 1 :]
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    arguments.command_flags = command_flags
     return arguments.handler(arguments)
 
 

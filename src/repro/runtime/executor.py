@@ -26,6 +26,41 @@ class ExecutionError(RuntimeError):
     """Raised when a graph cannot be executed."""
 
 
+def evaluate_node(node: DFGNode, inputs: List[Stream], registry: CommandRegistry) -> List[Stream]:
+    """Evaluate one node over its input streams.
+
+    Returns one stream per output edge (at least one for nodes without
+    outputs, whose stream the caller discards).  The returned streams are
+    independent lists: multi-output command nodes replicate their output, and
+    a downstream consumer mutating its copy must not corrupt sibling edges.
+
+    This is the single node-semantics kernel shared by the in-process
+    executor and the parallel engine's worker processes.
+    """
+    if isinstance(node, CommandNode):
+        output = registry.run(node.name, node.arguments, inputs)
+        count = max(1, len(node.outputs))
+        return [list(output) for _ in range(count)]
+    if isinstance(node, AggregatorNode):
+        output = apply_aggregator(node.aggregator, inputs, node.command_arguments)
+        return [output]
+    if isinstance(node, CatNode):
+        combined: Stream = []
+        for stream in inputs:
+            combined.extend(stream)
+        return [combined]
+    if isinstance(node, SplitNode):
+        if len(inputs) != 1:
+            raise ExecutionError("split nodes take exactly one input")
+        return split_stream(inputs[0], max(1, len(node.outputs)), strategy=node.strategy)
+    if isinstance(node, RelayNode):
+        if len(inputs) != 1:
+            raise ExecutionError("relay nodes take exactly one input")
+        mode = "blocking" if node.blocking else ("eager" if node.eager else "fifo")
+        return [relay(inputs[0], mode=mode)]
+    raise ExecutionError(f"cannot execute node of kind {node.kind!r}")
+
+
 @dataclass
 class ExecutionEnvironment:
     """Everything a graph execution reads and writes."""
@@ -108,43 +143,34 @@ class DFGExecutor:
         return []
 
     def _run_node(self, node: DFGNode, inputs: List[Stream]) -> List[Stream]:
-        if isinstance(node, CommandNode):
-            output = self.environment.registry.run(node.name, node.arguments, inputs)
-            return [output] * max(1, len(node.outputs)) if node.outputs else [output]
-        if isinstance(node, AggregatorNode):
-            output = apply_aggregator(node.aggregator, inputs, node.command_arguments)
-            return [output]
-        if isinstance(node, CatNode):
-            combined: Stream = []
-            for stream in inputs:
-                combined.extend(stream)
-            return [combined]
-        if isinstance(node, SplitNode):
-            if len(inputs) != 1:
-                raise ExecutionError("split nodes take exactly one input")
-            return split_stream(inputs[0], max(1, len(node.outputs)), strategy=node.strategy)
-        if isinstance(node, RelayNode):
-            if len(inputs) != 1:
-                raise ExecutionError("relay nodes take exactly one input")
-            mode = "blocking" if node.blocking else ("eager" if node.eager else "fifo")
-            return [relay(inputs[0], mode=mode)]
-        raise ExecutionError(f"cannot execute node of kind {node.kind!r}")
+        return evaluate_node(node, inputs, self.environment.registry)
 
     def _deliver_output(self, edge: Edge, stream: Stream, result: ExecutionResult) -> None:
-        if edge.kind is EdgeKind.STDOUT or (edge.kind is EdgeKind.PIPE and edge.is_graph_output):
-            result.stdout.extend(stream)
-            return
-        if edge.kind is EdgeKind.FILE:
-            if edge.append:
-                self.environment.filesystem.append(edge.name or "", stream)
-            else:
-                self.environment.filesystem.write(edge.name or "", stream)
-            result.files[edge.name or ""] = self.environment.filesystem.read(edge.name or "")
-            return
-        if edge.kind is EdgeKind.STDIN:
-            # A graph whose only edge is stdin (degenerate); nothing to do.
-            return
+        deliver_output(edge, stream, result, self.environment.filesystem)
+
+
+def deliver_output(
+    edge: Edge, stream: Stream, result: ExecutionResult, filesystem: VirtualFileSystem
+) -> None:
+    """Route one graph-output stream to stdout or the filesystem.
+
+    Shared by the in-process executor and the parallel engine so that every
+    backend delivers outputs with identical semantics.
+    """
+    if edge.kind is EdgeKind.STDOUT or (edge.kind is EdgeKind.PIPE and edge.is_graph_output):
         result.stdout.extend(stream)
+        return
+    if edge.kind is EdgeKind.FILE:
+        if edge.append:
+            filesystem.append(edge.name or "", stream)
+        else:
+            filesystem.write(edge.name or "", stream)
+        result.files[edge.name or ""] = filesystem.read(edge.name or "")
+        return
+    if edge.kind is EdgeKind.STDIN:
+        # A graph whose only edge is stdin (degenerate); nothing to do.
+        return
+    result.stdout.extend(stream)
 
 
 def execute_graph(

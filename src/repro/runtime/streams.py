@@ -33,7 +33,16 @@ class VirtualFileSystem:
         self._files[name] = [str(line) for line in lines]
 
     def append(self, name: str, lines: Iterable[str]) -> None:
-        """Append lines to a (possibly missing) file."""
+        """Append lines to a (possibly missing) file.
+
+        With the real-filesystem fallback enabled, appending to a file that
+        exists only on disk first pulls its content in — matching ``>>``
+        semantics, which never truncate.
+        """
+        if name not in self._files and self.allow_real_files:
+            path = Path(name)
+            if path.exists():
+                self._files[name] = path.read_text().splitlines()
         self._files.setdefault(name, []).extend(str(line) for line in lines)
 
     def read(self, name: str) -> List[str]:

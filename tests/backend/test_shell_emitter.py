@@ -59,7 +59,7 @@ def test_aggregator_uses_sort_m():
 
 def test_custom_aggregator_uses_runtime_cli():
     text = emitted("cat a.txt b.txt | wc -l > out.txt")
-    assert "python3 -m repro.runtime.cli agg merge_wc" in text
+    assert "-m repro.runtime.cli agg merge_wc" in text
 
 
 def test_eager_relays_emitted():

@@ -4,6 +4,8 @@ import pytest
 
 from repro.evaluation.harness import (
     check_benchmark_correctness,
+    measure_benchmark,
+    measured_speedup,
     script_graphs,
     simulate_benchmark,
     simulate_script,
@@ -73,6 +75,35 @@ def test_correctness_report_flags_differences():
     report = check_benchmark_correctness(get_one_liner("wf"), width=3, lines=300)
     assert report.differing_lines == 0
     assert report.sequential_output == report.parallel_output
+
+
+def test_correctness_check_on_parallel_engine_backend():
+    report = check_benchmark_correctness(
+        get_one_liner("grep"), width=2, lines=200, backend="parallel"
+    )
+    assert report.identical
+
+
+def test_measure_benchmark_reports_wall_clock_and_metrics():
+    run = measure_benchmark(
+        get_one_liner("grep"),
+        width=2,
+        backend="parallel",
+        lines=200,
+        config=ParallelizationConfig.paper_default(2),
+    )
+    assert run.backend == "parallel"
+    assert run.elapsed_seconds > 0
+    assert run.metrics.worker_count >= 2
+    assert run.metrics.total_bytes_moved > 0
+
+
+def test_measured_speedup_compares_identical_workloads():
+    baseline, parallel, speedup = measured_speedup(get_one_liner("grep"), width=2, lines=200)
+    assert baseline.backend == "interpreter"
+    assert parallel.backend == "parallel"
+    assert baseline.output_lines == parallel.output_lines
+    assert speedup > 0
 
 
 def test_timing_library_is_a_copy():
