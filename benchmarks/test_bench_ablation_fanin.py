@@ -6,13 +6,13 @@ design choice; this benchmark quantifies it on the Sort one-liner.
 
 from conftest import print_header
 
+from repro.api import PashConfig, SplitMode
 from repro.evaluation.harness import simulate_benchmark
-from repro.transform.pipeline import ParallelizationConfig, SplitMode
 from repro.workloads.oneliners import get_one_liner
 
 
 def _config(width, fan_in):
-    return ParallelizationConfig(width=width, split=SplitMode.GENERAL, aggregation_fan_in=fan_in)
+    return PashConfig(width=width, split=SplitMode.GENERAL, aggregation_fan_in=fan_in).parallelization()
 
 
 def test_bench_ablation_aggregation_fan_in(benchmark):

@@ -20,12 +20,12 @@ import time
 
 from conftest import print_header
 
-from repro import engine
+from repro import api
+from repro.api import PashConfig
 from repro.commands import standard_registry
 from repro.evaluation.harness import measured_speedup
 from repro.runtime.executor import ExecutionEnvironment
 from repro.runtime.streams import VirtualFileSystem
-from repro.transform.pipeline import ParallelizationConfig
 from repro.workloads import text
 from repro.workloads.oneliners import get_one_liner
 
@@ -61,11 +61,11 @@ def _environment():
 def _run_latency_workload():
     chunks = " ".join(f"in{index}.txt" for index in range(WIDTH))
     script = f"cat {chunks} | grep the > out.txt"
-    config = ParallelizationConfig.paper_default(WIDTH)
+    config = PashConfig.paper_default(WIDTH)
 
-    interpreter = engine.run_script(script, backend="interpreter", environment=_environment())
-    parallel = engine.run_script(
-        script, backend="parallel", environment=_environment(), config=config
+    interpreter = api.run(script, backend="interpreter", environment=_environment())
+    parallel = api.run(
+        script, config=config, backend="parallel", environment=_environment()
     )
     return interpreter, parallel
 

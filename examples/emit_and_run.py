@@ -17,7 +17,7 @@ import subprocess
 import tempfile
 from pathlib import Path
 
-from repro import ParallelizationConfig, compile_script
+from repro.api import Pash, PashConfig
 from repro.workloads import text
 
 
@@ -33,7 +33,7 @@ def main() -> None:
         "cat " + " ".join(chunks) + f" | tr A-Z a-z | grep light | sort | uniq -c"
         f" | sort -rn > {workdir}/out.txt"
     )
-    compiled = compile_script(script, ParallelizationConfig.paper_default(4))
+    compiled = Pash.compile(script, PashConfig.paper_default(4))
 
     print("=== sequential script ===")
     print(script)

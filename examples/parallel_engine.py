@@ -19,10 +19,9 @@ Demonstrates the unified backend API of :mod:`repro.engine`:
 
 import shutil
 
-from repro import engine
+from repro.api import Pash, PashConfig
 from repro.runtime.executor import ExecutionEnvironment
 from repro.runtime.streams import VirtualFileSystem
-from repro.transform.pipeline import ParallelizationConfig
 from repro.workloads import text
 
 SCRIPT = "cat part0.txt part1.txt part2.txt part3.txt | tr A-Z a-z | grep light | sort > out.txt"
@@ -35,7 +34,7 @@ def fresh_environment() -> ExecutionEnvironment:
 
 
 def main() -> None:
-    config = ParallelizationConfig.paper_default(WIDTH)
+    compiled = Pash.compile(SCRIPT, PashConfig.paper_default(WIDTH))
     backends = ["interpreter", "parallel"]
     if shutil.which("sh"):
         backends.append("shell")
@@ -46,8 +45,8 @@ def main() -> None:
 
     results = {}
     for backend in backends:
-        results[backend] = engine.run_script(
-            SCRIPT, backend=backend, environment=fresh_environment(), config=config
+        results[backend] = compiled.execute(
+            backend=backend, environment=fresh_environment()
         )
 
     print("=== backends ===")

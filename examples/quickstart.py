@@ -15,12 +15,10 @@ The example follows PaSh's flow end to end:
 4. verify the outputs are identical.
 """
 
-from repro import ParallelizationConfig, compile_script
-from repro.dfg.builder import translate_script
-from repro.runtime.executor import DFGExecutor, ExecutionEnvironment
+from repro.api import Pash, PashConfig
+from repro.runtime.executor import ExecutionEnvironment
 from repro.runtime.interpreter import ShellInterpreter
 from repro.runtime.streams import VirtualFileSystem
-from repro.transform.pipeline import optimize_graph
 from repro.workloads import text
 
 SCRIPT = (
@@ -33,7 +31,7 @@ def main() -> None:
     width = 4
 
     # 1+2. Compile the script and show the emitted parallel shell code.
-    compiled = compile_script(SCRIPT, ParallelizationConfig.paper_default(width))
+    compiled = Pash.compile(SCRIPT, PashConfig.paper_default(width))
     print("=== input script ===")
     print(SCRIPT)
     print()
@@ -53,10 +51,7 @@ def main() -> None:
     sequential = interpreter.run_script(SCRIPT)
 
     environment = ExecutionEnvironment(filesystem=VirtualFileSystem(dict(corpus)))
-    parallel = []
-    for region in translate_script(SCRIPT).regions:
-        optimize_graph(region.dfg, ParallelizationConfig.paper_default(width))
-        parallel.extend(DFGExecutor(environment).execute(region.dfg).stdout)
+    parallel = compiled.execute(backend="interpreter", environment=environment).stdout
 
     # 4. Compare.
     print()

@@ -10,13 +10,11 @@ For a handful of representative pipelines this example shows what PaSh does
 the simulated speedup at 16x parallelism for the whole 34-pipeline corpus.
 """
 
-from repro import ParallelizationConfig
-from repro.dfg.builder import translate_script
+from repro.api import Pash, PashConfig
 from repro.evaluation.figures import figure8_series, figure8_summary
-from repro.runtime.executor import DFGExecutor, ExecutionEnvironment
+from repro.runtime.executor import ExecutionEnvironment
 from repro.runtime.interpreter import ShellInterpreter
 from repro.runtime.streams import VirtualFileSystem
-from repro.transform.pipeline import optimize_graph
 from repro.workloads.unix50 import get_pipeline
 
 SHOWCASE = [0, 11, 13, 2]  # word frequencies, numeric extremes, awk, tiny head
@@ -26,13 +24,10 @@ WIDTH = 4
 def run_both(script, files):
     interpreter = ShellInterpreter(filesystem=VirtualFileSystem(dict(files)))
     sequential = interpreter.run_script(script)
+    compiled = Pash.compile(script, PashConfig.paper_default(WIDTH))
     environment = ExecutionEnvironment(filesystem=VirtualFileSystem(dict(files)))
-    parallel = []
-    translation = translate_script(script)
-    for region in translation.regions:
-        optimize_graph(region.dfg, ParallelizationConfig.paper_default(WIDTH))
-        parallel.extend(DFGExecutor(environment).execute(region.dfg).stdout)
-    return sequential, parallel, translation
+    parallel = compiled.execute(backend="interpreter", environment=environment).stdout
+    return sequential, parallel, compiled.translation
 
 
 def main() -> None:

@@ -12,13 +12,11 @@ archives, fetch and decompress each, slice out the temperature column, drop
 the 999 sentinels, and take the maximum per year.
 """
 
-from repro import ParallelizationConfig
-from repro.dfg.builder import translate_script
+from repro.api import Pash, PashConfig
 from repro.evaluation.usecases import noaa_usecase
-from repro.runtime.executor import DFGExecutor, ExecutionEnvironment
+from repro.runtime.executor import ExecutionEnvironment
 from repro.runtime.interpreter import ShellInterpreter
 from repro.runtime.streams import VirtualFileSystem
-from repro.transform.pipeline import optimize_graph
 from repro.workloads import noaa
 
 YEARS = [2015, 2016, 2017]
@@ -39,12 +37,10 @@ def main() -> None:
         interpreter = ShellInterpreter(filesystem=VirtualFileSystem(dict(dataset)))
         sequential = interpreter.run_script(script)
 
-        # PaSh-parallelized execution.
+        # PaSh-parallelized execution through the library API.
         environment = ExecutionEnvironment(filesystem=VirtualFileSystem(dict(dataset)))
-        parallel = []
-        for region in translate_script(script).regions:
-            optimize_graph(region.dfg, ParallelizationConfig.paper_default(WIDTH))
-            parallel.extend(DFGExecutor(environment).execute(region.dfg).stdout)
+        compiled = Pash.compile(script, PashConfig.paper_default(WIDTH))
+        parallel = compiled.execute(backend="interpreter", environment=environment).stdout
 
         marker = "OK" if parallel == sequential else "MISMATCH"
         print(f"[{marker}] {sequential[0]}")

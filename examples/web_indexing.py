@@ -12,14 +12,12 @@ carries a one-line parallelizability annotation, which is all PaSh needs to
 data-parallelize the bulk of the work.
 """
 
-from repro import ParallelizationConfig
 from repro.annotations.library import standard_library
-from repro.dfg.builder import translate_script
+from repro.api import Pash, PashConfig
 from repro.evaluation.usecases import wikipedia_usecase
-from repro.runtime.executor import DFGExecutor, ExecutionEnvironment
+from repro.runtime.executor import ExecutionEnvironment
 from repro.runtime.interpreter import ShellInterpreter
 from repro.runtime.streams import VirtualFileSystem
-from repro.transform.pipeline import optimize_graph
 from repro.workloads import wikipedia
 
 PAGES = 16
@@ -45,11 +43,11 @@ def main() -> None:
     interpreter.run_script(script)
     sequential_index = interpreter.state.filesystem.read("index.txt")
 
-    # PaSh-parallelized run.
+    # PaSh-parallelized run through the library API.
     environment = ExecutionEnvironment(filesystem=VirtualFileSystem(dict(dataset)))
-    for region in translate_script(script).regions:
-        optimize_graph(region.dfg, ParallelizationConfig.paper_default(WIDTH))
-        DFGExecutor(environment).execute(region.dfg)
+    Pash.compile(script, PashConfig.paper_default(WIDTH)).execute(
+        backend="interpreter", environment=environment
+    )
     parallel_index = environment.filesystem.read("index.txt")
 
     print(f"indexed {PAGES} pages -> {len(sequential_index)} distinct stemmed terms")

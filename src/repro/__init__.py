@@ -1,14 +1,17 @@
 """Reproduction of "PaSh: Light-touch Data-Parallel Shell Processing"
 (EuroSys 2021).
 
-The package exposes the end-to-end compiler plus the subsystems it is built
-from:
+The package exposes one front door — :mod:`repro.api` — plus the subsystems
+it is built from:
 
+* :mod:`repro.api` — ``Pash.compile(source, config) -> CompiledScript``:
+  the library-first compilation API (config, pass pipeline, artifact),
 * :mod:`repro.shell` — POSIX shell parser / expander / unparser,
 * :mod:`repro.annotations` — parallelizability classes and the annotation DSL,
 * :mod:`repro.dfg` — the dataflow-graph IR and the AST→DFG front-end,
-* :mod:`repro.transform` — the parallelization and auxiliary transformations,
+* :mod:`repro.transform` — the named optimization passes and the pass manager,
 * :mod:`repro.backend` — DFG→shell back-end,
+* :mod:`repro.engine` — the multiprocess execution engine and backend registry,
 * :mod:`repro.runtime` — eager relays, split, aggregators, and the in-process
   executor used for correctness checking,
 * :mod:`repro.commands` — pure-Python UNIX command implementations,
@@ -18,24 +21,31 @@ from:
 
 Quick start::
 
-    from repro import compile_script, ParallelizationConfig
+    from repro.api import Pash, PashConfig
 
-    compiled = compile_script(
+    compiled = Pash.compile(
         "cat a.txt b.txt | grep error | sort | uniq -c",
-        ParallelizationConfig.paper_default(width=8),
+        PashConfig.paper_default(width=8),
     )
-    print(compiled.text)
+    print(compiled.text)                       # the parallel shell script
+    result = compiled.execute(backend="parallel")
+
+``repro.compile_script`` and ``repro.ParallelizationConfig`` remain importable
+for older code; ``compile_script`` emits a :class:`DeprecationWarning`.
 """
 
-from repro.backend.compiler import CompiledScript, compile_script
+from repro.api import CompiledScript, Pash, PashConfig
+from repro.backend.compiler import compile_script
 from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "CompiledScript",
     "EagerMode",
     "ParallelizationConfig",
+    "Pash",
+    "PashConfig",
     "SplitMode",
     "compile_script",
     "__version__",

@@ -1,0 +1,50 @@
+"""``repro.api`` — the library-first front door of the PaSh reproduction.
+
+One config, one compile call, one inspectable artifact::
+
+    from repro.api import Pash, PashConfig
+
+    compiled = Pash.compile(
+        "cat logs0.txt logs1.txt | grep error | sort | uniq -c",
+        PashConfig.paper_default(width=8),
+    )
+    print(compiled.text)                      # the parallel shell script
+    result = compiled.execute(backend="parallel")
+    print(result.stdout)
+
+The pieces, and where they live:
+
+* :class:`PashConfig` (:mod:`repro.api.config`) — one frozen object carrying
+  every knob: optimizer width/eager/split/fan-in, pass toggling, backend
+  selection, scheduler options, and emitter options.  Round-trips through
+  ``to_dict``/``from_dict`` so future caching layers can key on it.
+* :class:`Pash` / :func:`compile` (:mod:`repro.api.pash`) — parse + region
+  discovery, then the named pass pipeline per region
+  (``split-insertion → parallelize → aggregation-lowering → eager-relays``,
+  see :mod:`repro.transform.passes`), then emission.
+* :class:`CompiledScript` (:mod:`repro.api.artifact`) — the artifact: AST,
+  regions, per-region DFGs and per-pass reports, ``.emit()`` for shell text,
+  ``.execute()`` for any engine backend.
+* :func:`run` — script-in, result-out execution (the harness's measuring
+  entry point); :func:`optimize` — the pass pipeline over one graph.
+
+The legacy entry points (``repro.compile_script``, ``repro.engine.run_script``)
+remain importable but are deprecation shims over this package.
+"""
+
+from repro.api.artifact import CompilationStats, CompiledScript
+from repro.api.config import PashConfig
+from repro.api.pash import Pash, compile, optimize, run
+from repro.transform.pipeline import EagerMode, SplitMode
+
+__all__ = [
+    "CompilationStats",
+    "CompiledScript",
+    "EagerMode",
+    "Pash",
+    "PashConfig",
+    "SplitMode",
+    "compile",
+    "optimize",
+    "run",
+]

@@ -1,0 +1,239 @@
+"""``CompiledScript`` — the inspectable artifact a compilation produces.
+
+A compilation is no longer a one-way trip to shell text: the artifact keeps
+the parsed AST, the discovered regions with their per-region dataflow graphs,
+and the per-region :class:`~repro.transform.pipeline.OptimizationReport`
+(including per-pass timings), alongside the emitted text.  Two methods close
+the loop:
+
+* :meth:`CompiledScript.emit` — re-render the parallel shell text, optionally
+  with different :class:`~repro.backend.shell_emitter.EmitterOptions`
+  (e.g. a scratch FIFO directory for a sandboxed run), and
+* :meth:`CompiledScript.execute` — run the optimized graphs on any registered
+  engine backend (``interpreter`` | ``parallel`` | ``shell``), sharing one
+  :class:`~repro.runtime.executor.ExecutionEnvironment` across regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.dfg.builder import TranslationResult
+from repro.dfg.graph import DataflowGraph
+from repro.shell.ast_nodes import (
+    AndOr,
+    BackgroundNode,
+    BraceGroup,
+    ForLoop,
+    IfClause,
+    Node,
+    SequenceNode,
+    Subshell,
+    WhileLoop,
+)
+from repro.shell.unparser import unparse, unparse_word
+from repro.transform.pipeline import OptimizationReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine/backend lazy)
+    from repro.api.config import PashConfig
+    from repro.backend.shell_emitter import EmitterOptions
+    from repro.engine.api import EngineResult
+    from repro.runtime.executor import ExecutionEnvironment
+
+
+@dataclass
+class CompilationStats:
+    """Aggregate statistics for one compilation (feeds Table 2)."""
+
+    regions_found: int = 0
+    regions_parallelized: int = 0
+    regions_rejected: int = 0
+    total_nodes: int = 0
+    parallelized_commands: List[str] = field(default_factory=list)
+    compile_time_seconds: float = 0.0
+
+    def record_report(self, report: OptimizationReport) -> None:
+        self.parallelized_commands.extend(report.parallelized_commands)
+
+
+@dataclass
+class CompiledScript:
+    """Result of :meth:`repro.api.Pash.compile`."""
+
+    source: str
+    text: str
+    stats: CompilationStats
+    translation: TranslationResult
+    optimized_graphs: List[DataflowGraph] = field(default_factory=list)
+    reports: List[OptimizationReport] = field(default_factory=list)
+    config: Optional["PashConfig"] = None
+
+    @property
+    def ast(self) -> Node:
+        """The parsed shell AST of the source script."""
+        return self.translation.ast
+
+    @property
+    def regions(self):
+        """The discovered parallelizable regions (with their DFGs)."""
+        return self.translation.regions
+
+    @property
+    def node_count(self) -> int:
+        """Total runtime processes across all optimized regions (Table 2)."""
+        return sum(len(graph.nodes) for graph in self.optimized_graphs)
+
+    def emit(self, options: Optional["EmitterOptions"] = None) -> str:
+        """Re-render the parallel shell text.
+
+        With no ``options`` this returns the cached :attr:`text`; passing
+        :class:`EmitterOptions` re-emits every parallelized region (e.g. with
+        a different FIFO directory or a pinned prefix).
+        """
+        if options is None:
+            return self.text
+        return render_script(self.translation, self.optimized_graphs, self.reports, options)
+
+    def execute(
+        self,
+        backend: Optional[str] = None,
+        environment: Optional["ExecutionEnvironment"] = None,
+        **backend_options: Any,
+    ) -> "EngineResult":
+        """Run the compiled graphs on an engine backend.
+
+        ``backend`` defaults to the config's backend selection; per-backend
+        constructor options default to the config's as well (e.g. the
+        parallel scheduler's) unless overridden here.  Regions execute in
+        script order sharing one environment, exactly like running the
+        script top to bottom.  Raises
+        :class:`~repro.runtime.executor.ExecutionError` when part of the
+        source was not translated — executing only the translated regions
+        would silently drop the rest of the script.
+        """
+        if self.translation.rejected:
+            raise rejection_error(self.translation.rejected)
+        name, backend_options = resolve_backend(self.config, backend, backend_options)
+        return execute_graphs(self.optimized_graphs, name, environment, backend_options)
+
+
+def rejection_error(rejected) -> "Exception":
+    """The shared refusal for scripts that were not fully translated.
+
+    Executing only the translated regions would silently drop the rejected
+    statements' effects, so both front-door execution paths
+    (:meth:`CompiledScript.execute` and :func:`repro.api.run`) refuse with
+    this error rather than return wrong output.
+    """
+    from repro.runtime.executor import ExecutionError
+
+    reasons = "; ".join(reason for _, reason in rejected)
+    return ExecutionError(
+        f"{len(rejected)} region(s) of the script cannot be translated for "
+        f"engine execution: {reasons}; run the emitted script under a shell "
+        "instead"
+    )
+
+
+def resolve_backend(
+    config: Optional["PashConfig"],
+    backend: Optional[str],
+    backend_options: Optional[Dict[str, Any]],
+):
+    """Pick the backend name and constructor options for one execution.
+
+    An explicit ``backend`` wins over the config's selection; explicit
+    ``backend_options`` win over the config-derived ones (e.g. the parallel
+    scheduler's).
+    """
+    name = backend or (config.backend if config is not None else "interpreter")
+    if not backend_options and config is not None:
+        backend_options = config.backend_options(name)
+    return name, backend_options
+
+
+def execute_graphs(
+    graphs: List[DataflowGraph],
+    backend: str,
+    environment: Optional["ExecutionEnvironment"] = None,
+    backend_options: Optional[Dict[str, Any]] = None,
+) -> "EngineResult":
+    """Execute graphs in order on one backend, sharing one environment.
+
+    The common tail of :meth:`CompiledScript.execute` and
+    :func:`repro.api.run`: each graph's result is folded into one combined
+    :class:`~repro.engine.api.EngineResult` — the engine-level equivalent of
+    running the script top to bottom.
+    """
+    from repro import engine  # deferred: keeps the artifact importable early
+    from repro.runtime.executor import ExecutionEnvironment
+
+    environment = environment or ExecutionEnvironment()
+    engine_backend = engine.create_backend(backend, **(backend_options or {}))
+    combined = engine.EngineResult(backend=engine_backend.name)
+    for graph in graphs:
+        combined.absorb(engine_backend.execute(graph, environment))
+    combined.metrics.backend = engine_backend.name
+    return combined
+
+
+def render_script(
+    translation: TranslationResult,
+    optimized_graphs: List[DataflowGraph],
+    reports: List[OptimizationReport],
+    options: "EmitterOptions",
+) -> str:
+    """Unparse the AST, substituting parallel fragments for optimized regions."""
+    # Deferred: repro.backend's package init imports this module for the
+    # legacy re-exports, so a module-level import here would be circular.
+    from repro.backend.shell_emitter import emit_parallel_script
+
+    replacements: Dict[int, str] = {}
+    for region, graph, report in zip(translation.regions, optimized_graphs, reports):
+        if report.parallelized_count > 0:
+            replacements[id(region.node)] = emit_parallel_script(graph, options).rstrip("\n")
+    return render_with_replacements(translation.ast, replacements)
+
+
+# ---------------------------------------------------------------------------
+# AST rendering with region replacement
+# ---------------------------------------------------------------------------
+
+
+def render_with_replacements(node: Node, replacements: Dict[int, str]) -> str:
+    """Unparse ``node``, substituting parallel fragments for optimized regions."""
+    if id(node) in replacements:
+        return replacements[id(node)]
+    if isinstance(node, SequenceNode):
+        return "\n".join(render_with_replacements(part, replacements) for part in node.parts)
+    if isinstance(node, AndOr):
+        pieces = [render_with_replacements(node.parts[0], replacements)]
+        for operator, part in zip(node.operators, node.parts[1:]):
+            pieces.append(f" {operator} {render_with_replacements(part, replacements)}")
+        return "".join(pieces)
+    if isinstance(node, BackgroundNode):
+        return f"{render_with_replacements(node.body, replacements)} &"
+    if isinstance(node, Subshell):
+        return f"( {render_with_replacements(node.body, replacements)} )"
+    if isinstance(node, BraceGroup):
+        return "{ " + render_with_replacements(node.body, replacements) + "; }"
+    if isinstance(node, ForLoop):
+        items = " ".join(unparse_word(word) for word in node.items)
+        header = f"for {node.variable} in {items}" if node.items else f"for {node.variable}"
+        return f"{header}; do\n{render_with_replacements(node.body, replacements)}\ndone"
+    if isinstance(node, WhileLoop):
+        keyword = "until" if node.until else "while"
+        return (
+            f"{keyword} {render_with_replacements(node.condition, replacements)}; do\n"
+            f"{render_with_replacements(node.body, replacements)}\ndone"
+        )
+    if isinstance(node, IfClause):
+        text = (
+            f"if {render_with_replacements(node.condition, replacements)}; then\n"
+            f"{render_with_replacements(node.then_body, replacements)}\n"
+        )
+        if node.else_body is not None:
+            text += f"else\n{render_with_replacements(node.else_body, replacements)}\n"
+        return text + "fi"
+    return unparse(node)

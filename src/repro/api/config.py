@@ -1,0 +1,244 @@
+"""``PashConfig`` — every knob of a compilation in one frozen object.
+
+The paper's pitch is *light-touch*: a script plus one knob (the width).
+Internally, though, a compilation touches four layers — the optimizer
+(:class:`~repro.transform.pipeline.ParallelizationConfig`), the shell
+back-end (:class:`~repro.backend.shell_emitter.EmitterOptions`), the
+execution engine (:class:`~repro.engine.scheduler.SchedulerOptions`), and
+backend selection.  :class:`PashConfig` subsumes all four, so the CLI, the
+evaluation harness, the benchmarks, and library users assemble exactly one
+object and every layer derives its own options from it
+(:meth:`PashConfig.parallelization`, :meth:`PashConfig.emitter_options`,
+:meth:`PashConfig.scheduler_options`).
+
+The object is frozen (hashable, safe to share across regions and threads)
+and round-trips through plain JSON-able dicts (:meth:`to_dict` /
+:meth:`from_dict`) so future caching layers can key compilations on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
+
+from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode
+
+if TYPE_CHECKING:  # pragma: no cover - runtime imports stay deferred so that
+    # compile-only users of `import repro` never load the engine stack.
+    from repro.backend.shell_emitter import EmitterOptions
+    from repro.engine.scheduler import SchedulerOptions
+
+
+@dataclass(frozen=True)
+class PashConfig:
+    """One configuration object for the whole compile-and-run pipeline."""
+
+    # -- optimizer knobs (subsume ParallelizationConfig) --------------------
+    #: Parallelism width: how many copies each parallelizable command becomes.
+    width: int = 2
+    #: How relay nodes buffer data (t3).
+    eager: EagerMode = EagerMode.EAGER
+    #: Which split implementation (if any) transformation t2 inserts.
+    split: SplitMode = SplitMode.GENERAL
+    #: Fan-in of the aggregation tree for pure commands (2 = binary tree).
+    aggregation_fan_in: int = 2
+    #: Never parallelize commands whose estimated benefit is below this many
+    #: input streams.
+    minimum_copies: int = 2
+
+    # -- pass-pipeline toggles ----------------------------------------------
+    #: Default passes removed from the pipeline by name (ablations).
+    disabled_passes: Tuple[str, ...] = ()
+    #: Registered non-default passes appended to the pipeline by name.
+    extra_passes: Tuple[str, ...] = ()
+
+    # -- execution ------------------------------------------------------------
+    #: Engine backend used by ``CompiledScript.execute`` when none is given.
+    backend: str = "interpreter"
+    #: Exec real host binaries in the parallel backend's workers when possible.
+    use_host_commands: bool = False
+    #: Channel framing-chunk size in bytes (None = engine default).
+    chunk_size: Optional[int] = None
+    #: How long the parallel scheduler waits for a worker report.
+    report_timeout_seconds: float = 120.0
+
+    # -- emission (subsume EmitterOptions) -----------------------------------
+    #: Directory in which the emitted script creates its FIFOs.
+    fifo_directory: str = "/tmp"
+    #: Fixed FIFO-name prefix; None picks a unique per-emission prefix.
+    fifo_prefix: Optional[str] = None
+    #: Emit a shebang and comment header.
+    emit_header: bool = False
+    #: Emit the trailing cleanup logic (wait + PIPE delivery + fifo removal).
+    emit_cleanup: bool = True
+
+    # ------------------------------------------------------------------
+    # Named constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def paper_default(cls, width: int, **overrides: Any) -> "PashConfig":
+        """The ``Par + Split`` configuration used for the headline results."""
+        return cls(width=width, eager=EagerMode.EAGER, split=SplitMode.GENERAL, **overrides)
+
+    @classmethod
+    def no_eager(cls, width: int, **overrides: Any) -> "PashConfig":
+        return cls(width=width, eager=EagerMode.NONE, split=SplitMode.NONE, **overrides)
+
+    @classmethod
+    def blocking_eager(cls, width: int, **overrides: Any) -> "PashConfig":
+        return cls(width=width, eager=EagerMode.BLOCKING, split=SplitMode.NONE, **overrides)
+
+    @classmethod
+    def parallel_only(cls, width: int, **overrides: Any) -> "PashConfig":
+        return cls(width=width, eager=EagerMode.EAGER, split=SplitMode.NONE, **overrides)
+
+    @classmethod
+    def blocking_split(cls, width: int, **overrides: Any) -> "PashConfig":
+        return cls(width=width, eager=EagerMode.EAGER, split=SplitMode.INPUT_AWARE, **overrides)
+
+    @classmethod
+    def named_configurations(cls, width: int) -> Dict[str, "PashConfig"]:
+        """The named configurations plotted in Fig. 7 for a given width."""
+        return {
+            "Par + Split": cls.paper_default(width),
+            "Par + B. Split": cls.blocking_split(width),
+            "Parallel": cls.parallel_only(width),
+            "Blocking Eager": cls.blocking_eager(width),
+            "No Eager": cls.no_eager(width),
+        }
+
+    @classmethod
+    def from_cli_args(cls, arguments: Any) -> "PashConfig":
+        """Build a config from the ``pash-compile`` argparse namespace."""
+        if getattr(arguments, "no_eager", False):
+            eager = EagerMode.NONE
+        elif getattr(arguments, "blocking_eager", False):
+            eager = EagerMode.BLOCKING
+        else:
+            eager = EagerMode.EAGER
+        return cls(
+            width=arguments.width,
+            eager=eager,
+            split=SplitMode(arguments.split),
+            aggregation_fan_in=arguments.fan_in,
+            disabled_passes=tuple(getattr(arguments, "disable_pass", None) or ()),
+            backend=getattr(arguments, "execute", None) or "interpreter",
+        )
+
+    @classmethod
+    def from_parallelization(
+        cls, config: ParallelizationConfig, **overrides: Any
+    ) -> "PashConfig":
+        """Lift a legacy :class:`ParallelizationConfig` into a full config."""
+        return cls(
+            width=config.width,
+            eager=config.eager,
+            split=config.split,
+            aggregation_fan_in=config.aggregation_fan_in,
+            minimum_copies=config.minimum_copies,
+            **overrides,
+        )
+
+    @classmethod
+    def coerce(cls, config: Any = None) -> "PashConfig":
+        """Accept ``None``, a :class:`PashConfig`, or a legacy config."""
+        if config is None:
+            return cls()
+        if isinstance(config, cls):
+            return config
+        if isinstance(config, ParallelizationConfig):
+            return cls.from_parallelization(config)
+        raise TypeError(
+            f"expected PashConfig or ParallelizationConfig, got {type(config).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived per-layer options
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "PashConfig":
+        """A copy with the given fields changed (the object is frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    def parallelization(self) -> ParallelizationConfig:
+        """The optimizer's view of this configuration."""
+        return ParallelizationConfig(
+            width=self.width,
+            eager=self.eager,
+            split=self.split,
+            aggregation_fan_in=self.aggregation_fan_in,
+            minimum_copies=self.minimum_copies,
+        )
+
+    def pipeline(self):
+        """The pass manager this configuration selects."""
+        from repro.transform.passes import build_pipeline
+
+        return build_pipeline(disabled=self.disabled_passes, extra=self.extra_passes)
+
+    def emitter_options(self, **overrides: Any) -> "EmitterOptions":
+        """The shell back-end's view of this configuration."""
+        from repro.backend.shell_emitter import EmitterOptions
+
+        options: Dict[str, Any] = {
+            "fifo_directory": self.fifo_directory,
+            "header": self.emit_header,
+            "cleanup": self.emit_cleanup,
+        }
+        if self.fifo_prefix is not None:
+            options["fifo_prefix"] = self.fifo_prefix
+        options.update(overrides)
+        return EmitterOptions(**options)
+
+    def scheduler_options(self) -> "SchedulerOptions":
+        """The parallel engine's view of this configuration."""
+        from repro.engine.scheduler import SchedulerOptions
+
+        options = SchedulerOptions(
+            use_host_commands=self.use_host_commands,
+            report_timeout_seconds=self.report_timeout_seconds,
+        )
+        if self.chunk_size is not None:
+            options.chunk_size = self.chunk_size
+        return options
+
+    def backend_options(self, backend: Optional[str] = None) -> Dict[str, Any]:
+        """Constructor keywords for :func:`repro.engine.create_backend`."""
+        if (backend or self.backend) == "parallel":
+            return {"options": self.scheduler_options()}
+        return {}
+
+    # ------------------------------------------------------------------
+    # Round-trippable serialization (the future caching key)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-able dict; ``from_dict`` restores an equal config."""
+        payload: Dict[str, Any] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, (EagerMode, SplitMode)):
+                value = value.value
+            elif isinstance(value, tuple):
+                value = list(value)
+            payload[field.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PashConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        field_names = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - field_names
+        if unknown:
+            raise ValueError(f"unknown PashConfig fields: {', '.join(sorted(unknown))}")
+        values: Dict[str, Any] = dict(payload)
+        if "eager" in values and not isinstance(values["eager"], EagerMode):
+            values["eager"] = EagerMode(values["eager"])
+        if "split" in values and not isinstance(values["split"], SplitMode):
+            values["split"] = SplitMode(values["split"])
+        for name in ("disabled_passes", "extra_passes"):
+            if name in values:
+                values[name] = tuple(values[name])
+        return cls(**values)

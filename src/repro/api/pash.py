@@ -1,0 +1,170 @@
+"""``Pash`` — the single front door for compiling and running scripts.
+
+The compilation pipeline has three fixed script-level stages, with the middle
+one configurable per-graph through the pass manager
+(:mod:`repro.transform.passes`):
+
+1. *front-end* — parse the script and discover parallelizable regions
+   (:func:`repro.dfg.builder.translate_script`), translating each into a
+   dataflow graph;
+2. *optimization* — run the configured pass pipeline
+   (``split-insertion → parallelize → aggregation-lowering → eager-relays``)
+   over every region's graph, collecting one
+   :class:`~repro.transform.pipeline.OptimizationReport` per region;
+3. *back-end* — unparse the script with every parallelized region replaced by
+   its Fig.-3-style parallel instantiation.
+
+The result is an inspectable :class:`~repro.api.artifact.CompiledScript`,
+which can :meth:`~repro.api.artifact.CompiledScript.emit` shell text or
+:meth:`~repro.api.artifact.CompiledScript.execute` on any engine backend.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from repro.api.artifact import CompilationStats, CompiledScript, render_script
+from repro.api.config import PashConfig
+from repro.dfg.builder import translate_script
+
+
+class _HybridCompile:
+    """Let ``compile`` work both as ``Pash.compile(src)`` and ``pash.compile(src)``.
+
+    Called on the class, it binds to a fresh default-configured instance, so
+    the README's ``Pash.compile(source, config)`` one-liner needs no setup.
+    """
+
+    def __get__(self, instance, owner):
+        return (instance if instance is not None else owner())._compile
+
+
+class Pash:
+    """A configured compiler instance.
+
+    ``library`` is an optional :class:`~repro.annotations.library.AnnotationLibrary`
+    overriding the standard parallelizability annotations.
+    """
+
+    compile = _HybridCompile()
+
+    def __init__(self, config: Optional[Any] = None, library: Optional[Any] = None):
+        self.config = PashConfig.coerce(config)
+        self.library = library
+
+    def _compile(
+        self,
+        source: str,
+        config: Optional[Any] = None,
+        context: Optional[Any] = None,
+        emitter_options: Optional[Any] = None,
+    ) -> CompiledScript:
+        """Compile ``source`` into its data-parallel equivalent.
+
+        ``config`` overrides the instance configuration for this call;
+        ``context`` is an optional shell expansion context; ``emitter_options``
+        overrides the emission options derived from the config.
+        """
+        pash_config = self.config if config is None else PashConfig.coerce(config)
+        started = time.perf_counter()
+
+        # Stage 1: front-end (parse + region discovery + DFG translation).
+        translation = translate_script(source, library=self.library, context=context)
+        stats = CompilationStats(
+            regions_found=len(translation.regions) + len(translation.rejected),
+            regions_rejected=len(translation.rejected),
+        )
+
+        # Stage 2: the pass pipeline, once per region.
+        pipeline = pash_config.pipeline()
+        parallelization = pash_config.parallelization()
+        optimized_graphs = []
+        reports = []
+        for region in translation.regions:
+            graph = region.dfg
+            report = pipeline.run(graph, parallelization)
+            stats.record_report(report)
+            optimized_graphs.append(graph)
+            reports.append(report)
+            stats.total_nodes += len(graph.nodes)
+            if report.parallelized_count > 0:
+                stats.regions_parallelized += 1
+
+        # Stage 3: back-end (emit the parallel script text).
+        options = emitter_options or pash_config.emitter_options()
+        text = render_script(translation, optimized_graphs, reports, options)
+
+        stats.compile_time_seconds = time.perf_counter() - started
+        return CompiledScript(
+            source=source,
+            text=text,
+            stats=stats,
+            translation=translation,
+            optimized_graphs=optimized_graphs,
+            reports=reports,
+            config=pash_config,
+        )
+
+    def run(
+        self,
+        source: str,
+        backend: Optional[str] = None,
+        environment: Optional[Any] = None,
+        **backend_options: Any,
+    ):
+        """Compile ``source`` and execute it immediately (one-call form)."""
+        return self._compile(source).execute(
+            backend=backend, environment=environment, **backend_options
+        )
+
+
+def compile(  # noqa: A001 - deliberate: the API's verb is `compile`
+    source: str,
+    config: Optional[Any] = None,
+    library: Optional[Any] = None,
+    context: Optional[Any] = None,
+) -> CompiledScript:
+    """Module-level convenience: ``repro.api.compile(source, config)``."""
+    return Pash(config, library=library).compile(source, context=context)
+
+
+def optimize(graph, config: Optional[Any] = None):
+    """Run the configured pass pipeline over one translated graph, in place.
+
+    Accepts a :class:`PashConfig`, a legacy
+    :class:`~repro.transform.pipeline.ParallelizationConfig`, or ``None``
+    (defaults); returns the :class:`~repro.transform.pipeline.OptimizationReport`.
+    """
+    pash_config = PashConfig.coerce(config)
+    return pash_config.pipeline().run(graph, pash_config.parallelization())
+
+
+def run(
+    source: str,
+    config: Optional[Any] = None,
+    backend: Optional[str] = None,
+    environment: Optional[Any] = None,
+    **backend_options: Any,
+):
+    """Translate, (optionally) optimize, and execute a whole shell script.
+
+    With ``config=None`` the regions run *unoptimized* (the sequential graph
+    shape) — the baseline the evaluation harness measures against.  Passing a
+    config optimizes each region through the pass pipeline first.  Regions
+    execute in order on the chosen backend, sharing one environment, exactly
+    like running the script top to bottom.
+    """
+    from repro.api.artifact import execute_graphs, rejection_error, resolve_backend
+
+    pash_config = PashConfig.coerce(config) if config is not None else None
+    backend, backend_options = resolve_backend(pash_config, backend, backend_options)
+
+    translation = translate_script(source)
+    if translation.rejected:
+        raise rejection_error(translation.rejected)
+    graphs = [region.dfg for region in translation.regions]
+    if pash_config is not None:
+        for graph in graphs:
+            optimize(graph, pash_config)
+    return execute_graphs(graphs, backend, environment, backend_options)

@@ -1,165 +1,65 @@
-"""The end-to-end compiler: sequential script in, parallel script out.
+"""Deprecated end-to-end compiler entry points.
 
-``compile_script`` mirrors PaSh's overall flow (§2.3): parse, find
-parallelizable regions, translate them to DFGs, optimize each DFG, and emit a
-new script in which every optimized region has been replaced by its parallel
-instantiation while everything else is preserved verbatim.
+The compilation flow (§2.3: parse, find parallelizable regions, translate
+them to DFGs, optimize each DFG, emit a new script) now lives behind the
+``repro.api`` front door — :class:`repro.api.Pash` and its
+:class:`repro.api.artifact.CompiledScript` artifact.  This module keeps the
+historical names importable:
+
+* :func:`compile_script` — thin shim over ``Pash.compile`` (emits a
+  :class:`DeprecationWarning`),
+* :class:`CompiledScript` / :class:`CompilationStats` — re-exported from
+  :mod:`repro.api.artifact` (same classes, richer than the originals).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import Dict, Tuple
 
-from repro.annotations.library import AnnotationLibrary
-from repro.backend.shell_emitter import EmitterOptions, emit_parallel_script
-from repro.dfg.builder import TranslationResult, translate_script
-from repro.dfg.graph import DataflowGraph
-from repro.shell.ast_nodes import (
-    AndOr,
-    BackgroundNode,
-    BraceGroup,
-    ForLoop,
-    IfClause,
-    Node,
-    SequenceNode,
-    Subshell,
-    WhileLoop,
+from repro.api.artifact import (  # noqa: F401 - re-exported for compatibility
+    CompilationStats,
+    CompiledScript,
 )
-from repro.shell.expansion import ExpansionContext
-from repro.shell.parser import parse
-from repro.shell.unparser import unparse
-from repro.transform.pipeline import OptimizationReport, ParallelizationConfig, optimize_graph
-
-
-@dataclass
-class CompilationStats:
-    """Aggregate statistics for one compilation (feeds Table 2)."""
-
-    regions_found: int = 0
-    regions_parallelized: int = 0
-    regions_rejected: int = 0
-    total_nodes: int = 0
-    parallelized_commands: List[str] = field(default_factory=list)
-    compile_time_seconds: float = 0.0
-
-    def record_report(self, report: OptimizationReport) -> None:
-        self.parallelized_commands.extend(report.parallelized_commands)
-
-
-@dataclass
-class CompiledScript:
-    """Result of :func:`compile_script`."""
-
-    source: str
-    text: str
-    stats: CompilationStats
-    translation: TranslationResult
-    optimized_graphs: List[DataflowGraph] = field(default_factory=list)
-
-    @property
-    def node_count(self) -> int:
-        """Total runtime processes across all optimized regions (Table 2)."""
-        return sum(len(graph.nodes) for graph in self.optimized_graphs)
 
 
 def compile_script(
     source: str,
-    config: Optional[ParallelizationConfig] = None,
-    library: Optional[AnnotationLibrary] = None,
-    context: Optional[ExpansionContext] = None,
-    emitter_options: Optional[EmitterOptions] = None,
+    config=None,
+    library=None,
+    context=None,
+    emitter_options=None,
 ) -> CompiledScript:
-    """Compile ``source`` into its data-parallel equivalent."""
-    config = config or ParallelizationConfig()
-    emitter_options = emitter_options or EmitterOptions(header=False, cleanup=True)
-    started = time.perf_counter()
-
-    translation = translate_script(source, library=library, context=context)
-    stats = CompilationStats(
-        regions_found=len(translation.regions) + len(translation.rejected),
-        regions_rejected=len(translation.rejected),
+    """Deprecated: use ``repro.api.Pash.compile`` (or ``repro.api.compile``)."""
+    warnings.warn(
+        "repro.backend.compiler.compile_script is deprecated; "
+        "use repro.api.Pash.compile(source, config) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.api.config import PashConfig
+    from repro.api.pash import Pash
 
-    replacements: Dict[int, str] = {}
-    optimized_graphs: List[DataflowGraph] = []
-    for region in translation.regions:
-        graph = region.dfg
-        report = optimize_graph(graph, config)
-        stats.record_report(report)
-        optimized_graphs.append(graph)
-        stats.total_nodes += len(graph.nodes)
-        if report.parallelized_count > 0:
-            stats.regions_parallelized += 1
-            replacements[id(region.node)] = emit_parallel_script(graph, emitter_options).rstrip("\n")
-
-    text = _render_with_replacements(translation.ast, replacements)
-    stats.compile_time_seconds = time.perf_counter() - started
-    return CompiledScript(
-        source=source,
-        text=text,
-        stats=stats,
-        translation=translation,
-        optimized_graphs=optimized_graphs,
+    return Pash(PashConfig.coerce(config), library=library).compile(
+        source, context=context, emitter_options=emitter_options
     )
-
-
-# ---------------------------------------------------------------------------
-# AST rendering with region replacement
-# ---------------------------------------------------------------------------
-
-
-def _render_with_replacements(node: Node, replacements: Dict[int, str]) -> str:
-    """Unparse ``node``, substituting parallel fragments for optimized regions."""
-    if id(node) in replacements:
-        return replacements[id(node)]
-    if isinstance(node, SequenceNode):
-        return "\n".join(_render_with_replacements(part, replacements) for part in node.parts)
-    if isinstance(node, AndOr):
-        pieces = [_render_with_replacements(node.parts[0], replacements)]
-        for operator, part in zip(node.operators, node.parts[1:]):
-            pieces.append(f" {operator} {_render_with_replacements(part, replacements)}")
-        return "".join(pieces)
-    if isinstance(node, BackgroundNode):
-        return f"{_render_with_replacements(node.body, replacements)} &"
-    if isinstance(node, Subshell):
-        return f"( {_render_with_replacements(node.body, replacements)} )"
-    if isinstance(node, BraceGroup):
-        return "{ " + _render_with_replacements(node.body, replacements) + "; }"
-    if isinstance(node, ForLoop):
-        items = " ".join(unparse_word_safe(word) for word in node.items)
-        header = f"for {node.variable} in {items}" if node.items else f"for {node.variable}"
-        return f"{header}; do\n{_render_with_replacements(node.body, replacements)}\ndone"
-    if isinstance(node, WhileLoop):
-        keyword = "until" if node.until else "while"
-        return (
-            f"{keyword} {_render_with_replacements(node.condition, replacements)}; do\n"
-            f"{_render_with_replacements(node.body, replacements)}\ndone"
-        )
-    if isinstance(node, IfClause):
-        text = (
-            f"if {_render_with_replacements(node.condition, replacements)}; then\n"
-            f"{_render_with_replacements(node.then_body, replacements)}\n"
-        )
-        if node.else_body is not None:
-            text += f"else\n{_render_with_replacements(node.else_body, replacements)}\n"
-        return text + "fi"
-    return unparse(node)
-
-
-def unparse_word_safe(word) -> str:
-    """Render a word for loop headers (delegates to the unparser)."""
-    from repro.shell.unparser import unparse_word
-
-    return unparse_word(word)
 
 
 def compile_and_report(
     source: str, widths: Tuple[int, ...] = (16, 64), **kwargs
 ) -> Dict[int, CompiledScript]:
-    """Compile ``source`` at several widths (used by the Table 2 harness)."""
+    """Deprecated: compile ``source`` at several widths via ``repro.api``."""
+    warnings.warn(
+        "repro.backend.compiler.compile_and_report is deprecated; "
+        "use repro.api.Pash.compile with PashConfig.paper_default(width) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.config import PashConfig
+    from repro.api.pash import Pash
+
+    library = kwargs.pop("library", None)
     return {
-        width: compile_script(source, ParallelizationConfig.paper_default(width), **kwargs)
+        width: Pash(PashConfig.paper_default(width), library=library).compile(source, **kwargs)
         for width in widths
     }

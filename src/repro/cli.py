@@ -5,16 +5,21 @@ Usage examples::
     pash-compile --width 16 script.sh            # print the parallel script
     pash-compile --width 8 --report script.sh    # also print what was done
     pash-compile --width 4 --no-eager script.sh  # ablate the eager relays
+    pash-compile --width 4 --disable-pass eager-relays script.sh  # same, by name
     echo 'cat a b | grep x | sort' | pash-compile --width 4 -
     pash-compile --width 4 --execute parallel script.sh   # run it, too
+    pash-compile --list-backends                 # registered engine backends
+    pash-compile --version
 
-By default the tool never executes anything; like the paper's system it
-emits a new shell script that the user's own shell runs.  With ``--execute``
-it instead runs the compiled graphs on one of the engine backends
-(``interpreter``, ``parallel``, or ``shell``): input files are read from the
-real filesystem, output files are written back to it, and our stdout carries
-the script's output (the compiled script itself is still available through
-``--output``).
+The CLI is a thin veneer over the library API: the flags assemble one
+:class:`repro.api.PashConfig` (via :meth:`PashConfig.from_cli_args`) and the
+work happens in :meth:`repro.api.Pash.compile` /
+:meth:`repro.api.CompiledScript.execute`.  By default the tool never executes
+anything; like the paper's system it emits a new shell script that the user's
+own shell runs.  With ``--execute`` it instead runs the compiled graphs on
+one of the engine backends: input files are read from the real filesystem,
+output files are written back to it, and our stdout carries the script's
+output (the compiled script itself is still available through ``--output``).
 """
 
 from __future__ import annotations
@@ -23,11 +28,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+import repro
 from repro import engine
-from repro.backend.compiler import compile_script
+from repro.api import CompiledScript, Pash, PashConfig
 from repro.runtime.executor import ExecutionEnvironment, ExecutionError
 from repro.runtime.streams import VirtualFileSystem
-from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,7 +40,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="pash-compile",
         description="Compile a POSIX shell script into its data-parallel equivalent.",
     )
-    parser.add_argument("script", help="path to the script, or '-' for stdin")
+    parser.add_argument(
+        "script", nargs="?", default=None, help="path to the script, or '-' for stdin"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__}"
+    )
     parser.add_argument("--width", type=int, default=2, help="parallelism width (default 2)")
     parser.add_argument(
         "--no-eager", action="store_true", help="disable eager relay insertion"
@@ -53,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--fan-in", type=int, default=2, help="aggregation tree fan-in (default 2)"
     )
     parser.add_argument(
+        "--disable-pass",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="remove an optimization pass by name (repeatable; e.g. "
+        "'eager-relays', 'split-insertion')",
+    )
+    parser.add_argument(
         "--report", action="store_true", help="print a compilation report to stderr"
     )
     parser.add_argument(
@@ -60,37 +78,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--execute",
-        choices=tuple(engine.available_backends()),
         default=None,
+        metavar="BACKEND",
         help="run the compiled graphs on the given engine backend instead of "
-        "printing the script (combine with --output to keep the script too)",
+        "printing the script (see --list-backends; combine with --output to "
+        "keep the script too)",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="print the registered engine backends and exit",
     )
     return parser
-
-
-def _config_from_arguments(arguments: argparse.Namespace) -> ParallelizationConfig:
-    if arguments.no_eager:
-        eager = EagerMode.NONE
-    elif arguments.blocking_eager:
-        eager = EagerMode.BLOCKING
-    else:
-        eager = EagerMode.EAGER
-    split = {
-        "general": SplitMode.GENERAL,
-        "input-aware": SplitMode.INPUT_AWARE,
-        "none": SplitMode.NONE,
-    }[arguments.split]
-    return ParallelizationConfig(
-        width=arguments.width,
-        eager=eager,
-        split=split,
-        aggregation_fan_in=arguments.fan_in,
-    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
+
+    if arguments.list_backends:
+        for name in engine.available_backends():
+            print(name)
+        return 0
+    if arguments.script is None:
+        parser.error("the script argument is required (or '-' for stdin)")
+    if arguments.execute and arguments.execute not in engine.available_backends():
+        print(
+            f"pash-compile: unknown backend {arguments.execute!r}; "
+            f"available: {', '.join(engine.available_backends())}",
+            file=sys.stderr,
+        )
+        return 2
 
     if arguments.script == "-":
         source = sys.stdin.read()
@@ -98,7 +116,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(arguments.script) as handle:
             source = handle.read()
 
-    compiled = compile_script(source, _config_from_arguments(arguments))
+    try:
+        config = PashConfig.from_cli_args(arguments)
+        compiled = Pash(config).compile(source)
+    except ValueError as exc:  # e.g. an unknown --disable-pass name
+        print(f"pash-compile: {exc}", file=sys.stderr)
+        return 2
 
     if arguments.output:
         with open(arguments.output, "w") as handle:
@@ -143,7 +166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
-def _execute(compiled, arguments: argparse.Namespace) -> None:
+def _execute(compiled: CompiledScript, arguments: argparse.Namespace) -> None:
     """Run the already-compiled graphs on the selected engine backend.
 
     Input files are read from the real filesystem (via the VFS fallback);
@@ -166,10 +189,7 @@ def _execute(compiled, arguments: argparse.Namespace) -> None:
         filesystem=VirtualFileSystem(allow_real_files=True),
         stdin=stdin_lines,
     )
-    backend = engine.create_backend(arguments.execute)
-    result = engine.EngineResult(backend=backend.name)
-    for graph in compiled.optimized_graphs:
-        result.absorb(backend.execute(graph, environment))
+    result = compiled.execute(backend=arguments.execute, environment=environment)
     for line in result.stdout:
         print(line)
     for name, lines in result.files.items():

@@ -11,8 +11,10 @@ registry:
   shell, then fold the results back into the virtual filesystem.
 
 The CLI, the evaluation harness, benchmarks, and tests all select backends
-through :func:`run` / :func:`run_script`, so adding a backend (e.g. a
-distributed one) is one ``register_backend`` call.
+through the ``repro.api`` front door (``CompiledScript.execute`` /
+``repro.api.run``), which resolves names against this registry — so adding a
+backend (e.g. a distributed one) is one ``register_backend`` call.
+:func:`run_script` remains as a deprecated shim over ``repro.api.run``.
 """
 
 from __future__ import annotations
@@ -27,7 +29,6 @@ from typing import Callable, Dict, List, Optional
 
 from repro.backend.shell_emitter import EmitterOptions, emit_parallel_script
 from repro.commands.base import Stream
-from repro.dfg.builder import translate_script
 from repro.dfg.edges import EdgeKind
 from repro.dfg.graph import DataflowGraph
 from repro.engine.channels import decode_lines
@@ -39,7 +40,7 @@ from repro.runtime.executor import (
     ExecutionError,
     ExecutionResult,
 )
-from repro.transform.pipeline import ParallelizationConfig, optimize_graph
+from repro.transform.pipeline import ParallelizationConfig
 
 
 @dataclass
@@ -332,29 +333,17 @@ def run_script(
     config: Optional[ParallelizationConfig] = None,
     **options,
 ) -> EngineResult:
-    """Translate, (optionally) optimize, and execute a whole shell script.
+    """Deprecated: use :func:`repro.api.run` (same semantics, one front door)."""
+    import warnings
 
-    Every parallelizable region becomes one graph, optimized when ``config``
-    is given and executed in order on the chosen backend, sharing one
-    environment — the engine-level equivalent of running the script top to
-    bottom.
-    """
-    environment = environment or ExecutionEnvironment()
-    engine_backend = create_backend(backend, **options)
-    translation = translate_script(source)
-    if translation.rejected:
-        # Executing only the translated regions would silently drop the
-        # rejected statements' effects; refuse rather than return wrong output.
-        reasons = "; ".join(reason for _, reason in translation.rejected)
-        raise ExecutionError(
-            f"{len(translation.rejected)} region(s) of the script cannot be "
-            f"translated for engine execution: {reasons}"
-        )
-    combined = EngineResult(backend=engine_backend.name)
-    for region in translation.regions:
-        graph = region.dfg
-        if config is not None:
-            optimize_graph(graph, config)
-        combined.absorb(engine_backend.execute(graph, environment))
-    combined.metrics.backend = engine_backend.name
-    return combined
+    warnings.warn(
+        "repro.engine.run_script is deprecated; use repro.api.run(source, "
+        "config=..., backend=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.pash import run as api_run
+
+    return api_run(
+        source, config=config, backend=backend, environment=environment, **options
+    )

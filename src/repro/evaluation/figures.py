@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro.api import PashConfig
 from repro.simulator.machine import MachineModel
 from repro.transform.pipeline import ParallelizationConfig, relevant_configurations
 from repro.evaluation.harness import simulate_benchmark, simulate_script
@@ -83,7 +84,7 @@ def figure8_point(
     input_lines = pipeline.input_line_counts(width)
 
     sequential, parallel, _ = simulate_script(
-        script, input_lines, ParallelizationConfig.paper_default(width), machine=machine
+        script, input_lines, PashConfig.paper_default(width).parallelization(), machine=machine
     )
     speedup = sequential.total_seconds / parallel.total_seconds if parallel.total_seconds else 0.0
     return {

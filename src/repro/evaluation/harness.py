@@ -14,10 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro import engine
+from repro import api
 from repro.annotations.classes import ParallelizabilityClass
 from repro.annotations.library import AnnotationLibrary, standard_library
 from repro.annotations.model import simple_record
+from repro.api import PashConfig
 from repro.dfg.builder import DFGBuilder, UntranslatableRegion
 from repro.dfg.graph import DataflowGraph
 from repro.dfg.regions import find_parallelizable_regions
@@ -29,7 +30,7 @@ from repro.shell.parser import parse
 from repro.simulator.costs import CostModel
 from repro.simulator.machine import MachineModel
 from repro.simulator.simulate import SimulationResult, simulate_script_graphs
-from repro.transform.pipeline import ParallelizationConfig, optimize_graph
+from repro.transform.pipeline import ParallelizationConfig
 from repro.workloads.base import BenchmarkScript
 
 
@@ -86,7 +87,7 @@ def script_graphs(script: str, config: ParallelizationConfig) -> ScriptGraphs:
             result.rejected_statements += 1
             result.parallel.append(baseline)
             continue
-        report = optimize_graph(region.dfg, config)
+        report = api.optimize(region.dfg, config)
         result.compile_time_seconds += report.compile_time_seconds
         result.parallel.append(region.dfg)
     result.node_count = sum(len(graph.nodes) for graph in result.parallel)
@@ -215,11 +216,11 @@ def measure_benchmark(
             filesystem=VirtualFileSystem({name: list(data) for name, data in dataset.items()})
         )
     preexisting = set(environment.filesystem.names())
-    result = engine.run_script(
+    result = api.run(
         benchmark.script_for_width(width),
+        config=config,
         backend=backend,
         environment=environment,
-        config=config,
         **backend_options,
     )
     produced = {name: data for name, data in result.files.items() if name not in preexisting}
@@ -246,7 +247,7 @@ def measured_speedup(
     Returns (baseline run, parallel run, speedup).  Unlike the simulator's
     Fig. 7 numbers, these are honest measurements on this machine's cores.
     """
-    config = config or ParallelizationConfig.paper_default(width)
+    config = config or PashConfig.paper_default(width)
     baseline = measure_benchmark(benchmark, width, backend="interpreter", lines=lines)
     parallel = measure_benchmark(
         benchmark, width, backend="parallel", lines=lines, config=config, **backend_options
@@ -287,7 +288,7 @@ def check_benchmark_correctness(
     historical in-process check, ``parallel`` exercises the multiprocess
     engine).  The comparison covers stdout plus every file the script writes.
     """
-    config = config or ParallelizationConfig.paper_default(width)
+    config = config or PashConfig.paper_default(width)
     dataset = benchmark.correctness_dataset(width, lines)
     script = benchmark.script_for_width(width)
 
@@ -335,7 +336,7 @@ def _run_parallel(
     backend: str = "interpreter",
 ):
     environment = ExecutionEnvironment(filesystem=VirtualFileSystem(dict(dataset)))
-    result = engine.run_script(script, backend=backend, environment=environment, config=config)
+    result = api.run(script, config=config, backend=backend, environment=environment)
     files = {
         name: environment.filesystem.read(name)
         for name in environment.filesystem.names()

@@ -22,7 +22,7 @@ from repro.runtime.streams import VirtualFileSystem
 from repro.simulator.costs import default_cost_model
 from repro.simulator.machine import MachineModel
 from repro.simulator.simulate import simulate_graph
-from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode, optimize_graph
+from repro.api import EagerMode, PashConfig, SplitMode, optimize
 from repro.workloads import text
 from repro.workloads.base import chunk_names, chunked_line_counts
 
@@ -44,12 +44,12 @@ def _pash_sort_time(
     input_lines = chunked_line_counts(total_lines, width)
     translation = translate_script(script)
     graph = translation.regions[0].dfg
-    config = ParallelizationConfig(
+    config = PashConfig(
         width=width,
         eager=EagerMode.EAGER if eager else EagerMode.NONE,
         split=SplitMode.NONE,
     )
-    optimize_graph(graph, config)
+    optimize(graph, config)
     return simulate_graph(graph, input_lines, machine=machine, include_setup=True).total_seconds
 
 
@@ -129,7 +129,7 @@ def _simulated_times(width: int, total_lines: int, machine: MachineModel) -> Dic
     ).total_seconds
 
     graph = translation.regions[0].dfg
-    optimize_graph(graph, ParallelizationConfig.paper_default(width))
+    optimize(graph, PashConfig.paper_default(width))
     pash = simulate_graph(
         graph, input_lines, machine=machine, cost_model=cost_model, include_setup=True
     ).total_seconds
@@ -203,7 +203,7 @@ def pash_bio_correctness(lines: int = 1600, width: int = 8) -> bool:
     environment = ExecutionEnvironment(filesystem=VirtualFileSystem(dict(dataset)))
     parallel_output: List[str] = []
     for region in translation.regions:
-        optimize_graph(region.dfg, ParallelizationConfig.paper_default(width))
+        optimize(region.dfg, PashConfig.paper_default(width))
         parallel_output.extend(DFGExecutor(environment).execute(region.dfg).stdout)
     return sequential_output == parallel_output
 

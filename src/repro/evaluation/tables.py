@@ -5,8 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.annotations.study import standard_study
-from repro.backend.compiler import compile_script
-from repro.transform.pipeline import ParallelizationConfig
+from repro.api import Pash, PashConfig
 from repro.workloads.base import BenchmarkScript
 from repro.workloads.oneliners import ONE_LINERS
 
@@ -33,9 +32,9 @@ def table2_row(
         "highlights": benchmark.highlights,
     }
     for width in widths:
-        compiled = compile_script(
+        compiled = Pash.compile(
             benchmark.script_for_width(width),
-            ParallelizationConfig.paper_default(width),
+            PashConfig.paper_default(width),
         )
         row[f"nodes_{width}"] = compiled.node_count
         row[f"compile_time_{width}"] = round(compiled.stats.compile_time_seconds, 4)

@@ -12,7 +12,7 @@ from repro.runtime.interpreter import ShellInterpreter
 from repro.runtime.streams import VirtualFileSystem
 from repro.simulator.costs import default_cost_model
 from repro.simulator.machine import MachineModel
-from repro.transform.pipeline import ParallelizationConfig, optimize_graph
+from repro.api import PashConfig, optimize
 from repro.workloads import noaa, wikipedia
 
 
@@ -29,7 +29,7 @@ def _simulate_script(
     sequential, parallel, _ = simulate_script(
         script,
         input_lines,
-        ParallelizationConfig.paper_default(width),
+        PashConfig.paper_default(width).parallelization(),
         machine=machine,
         cost_model=cost_model,
     )
@@ -81,7 +81,7 @@ def noaa_correctness(years: Optional[List[int]] = None, stations: int = 6) -> Di
         translation = translate_script(script)
         environment = ExecutionEnvironment(filesystem=VirtualFileSystem(dict(dataset)))
         for region in translation.regions:
-            optimize_graph(region.dfg, ParallelizationConfig.paper_default(4))
+            optimize(region.dfg, PashConfig.paper_default(4))
             parallel_outputs.extend(DFGExecutor(environment).execute(region.dfg).stdout)
 
     return {
@@ -122,7 +122,7 @@ def wikipedia_correctness(pages: int = 24, width: int = 4) -> Dict[str, object]:
     translation = translate_script(script)
     environment = ExecutionEnvironment(filesystem=VirtualFileSystem(dict(dataset)))
     for region in translation.regions:
-        optimize_graph(region.dfg, ParallelizationConfig.paper_default(width))
+        optimize(region.dfg, PashConfig.paper_default(width))
         DFGExecutor(environment).execute(region.dfg)
     parallel_index = environment.filesystem.read("index.txt")
 

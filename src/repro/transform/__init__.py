@@ -11,6 +11,19 @@ from repro.transform.parallelize import (
     parallelize_node,
     preceding_concatenation,
 )
+from repro.transform.passes import (
+    AggregationLoweringPass,
+    EagerRelayPass,
+    GraphPass,
+    ParallelizePass,
+    PassContext,
+    PassManager,
+    SplitInsertionPass,
+    available_passes,
+    build_pipeline,
+    register_pass,
+    unregister_pass,
+)
 from repro.transform.pipeline import (
     EagerMode,
     OptimizationReport,
@@ -21,10 +34,19 @@ from repro.transform.pipeline import (
 )
 
 __all__ = [
+    "AggregationLoweringPass",
     "EagerMode",
+    "EagerRelayPass",
+    "GraphPass",
     "OptimizationReport",
     "ParallelizationConfig",
+    "ParallelizePass",
+    "PassContext",
+    "PassManager",
+    "SplitInsertionPass",
     "SplitMode",
+    "available_passes",
+    "build_pipeline",
     "insert_cat_for_multi_input",
     "insert_eager_relays",
     "insert_relay",
@@ -32,6 +54,8 @@ __all__ = [
     "is_parallelizable_node",
     "optimize_graph",
     "parallelize_node",
+    "register_pass",
     "relevant_configurations",
     "preceding_concatenation",
+    "unregister_pass",
 ]

@@ -194,37 +194,64 @@ def _build_aggregation_tree(
 ) -> DFGNode:
     """Build a tree of aggregator nodes merging ``stream_edges``."""
     aggregator_name = node.aggregator or DEFAULT_AGGREGATOR
-    if fan_in <= 1 or fan_in >= len(stream_edges):
-        return _make_aggregator(graph, node, aggregator_name, stream_edges)
+    level = reduce_stream_edges(
+        graph, aggregator_name, node.name, node.arguments, list(stream_edges), fan_in
+    )
+    # The root consumes whatever remains (all streams when fan_in <= 1 or
+    # already within the fan-in); the caller re-routes the real output to it.
+    return make_aggregator(graph, aggregator_name, node.name, node.arguments, level)
 
-    level = list(stream_edges)
-    while len(level) > 1:
+
+def reduce_stream_edges(
+    graph: DataflowGraph,
+    aggregator_name: str,
+    command_name: str,
+    command_arguments,
+    edges,
+    fan_in: int,
+):
+    """Merge ``edges`` level-by-level until at most ``fan_in`` remain.
+
+    Each level groups consecutive streams (order-preserving) into aggregators
+    of the given fan-in, single leftovers passing through; the shared
+    tree-shaping used both when lowering inline (``parallelize_node`` with
+    ``fan_in``) and by the ``aggregation-lowering`` pass.  Returns the edges
+    of the final level, each an unconsumed aggregator (or original) output.
+    """
+    level = list(edges)
+    if fan_in <= 1:
+        # 0/1 mean "no tree": grouping by <=1 could never shrink the level
+        # (an infinite loop), so a flat merge is the only sensible reading.
+        return level
+    while len(level) > fan_in:
         next_level = []
         for start in range(0, len(level), fan_in):
             group = level[start : start + fan_in]
             if len(group) == 1:
                 next_level.append(group[0])
                 continue
-            aggregator = _make_aggregator(graph, node, aggregator_name, group)
+            aggregator = make_aggregator(
+                graph, aggregator_name, command_name, command_arguments, group
+            )
             out_edge = graph.add_edge(kind=EdgeKind.PIPE, source=aggregator.node_id)
             aggregator.outputs.append(out_edge.edge_id)
             next_level.append(out_edge)
         level = next_level
-    # The final edge's producer is the root aggregator; remove the dangling
-    # edge we just created for it (the caller re-routes the real output).
-    root_edge = level[0]
-    root = graph.node(root_edge.source)
-    graph.remove_edge(root_edge.edge_id)
-    return root
+    return level
 
 
-def _make_aggregator(
-    graph: DataflowGraph, node: CommandNode, aggregator_name: str, edges
+def make_aggregator(
+    graph: DataflowGraph,
+    aggregator_name: str,
+    command_name: str,
+    command_arguments,
+    edges,
 ) -> AggregatorNode:
+    """Create one aggregator node consuming ``edges`` (which must be free)."""
     aggregator = AggregatorNode(
         aggregator=aggregator_name,
-        command_name=node.name,
-        command_arguments=list(node.arguments),
+        command_name=command_name,
+        command_arguments=list(command_arguments),
     )
     graph.add_node(aggregator)
     for edge in edges:

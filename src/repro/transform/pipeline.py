@@ -1,8 +1,7 @@
-"""The optimization pass driver.
+"""Optimization knobs and the legacy single-call driver.
 
-``optimize_graph`` applies the §4.2 transformations to a DFG under a
-:class:`ParallelizationConfig`, matching the configurations evaluated in
-Fig. 7:
+:class:`ParallelizationConfig` names the §4.2 knobs matching the
+configurations evaluated in Fig. 7:
 
 * ``Par + Split`` — eager relays and the general (counting) split,
 * ``Par + B.Split`` — eager relays and the input-aware (blocking-free) split,
@@ -10,28 +9,21 @@ Fig. 7:
   commuted),
 * ``Blocking Eager`` — relays that buffer but only in blocking mode,
 * ``No Eager`` — neither relays nor split.
+
+The transformations themselves live in :mod:`repro.transform.passes` as an
+ordered pipeline of named passes; :func:`optimize_graph` is kept as the
+one-call wrapper that runs the default pipeline.  New code should prefer the
+``repro.api`` front door (``Pash.compile`` / ``repro.api.optimize``), which
+also exposes per-pass toggling.
 """
 
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.annotations.classes import ParallelizabilityClass
 from repro.dfg.graph import DataflowGraph
-from repro.dfg.nodes import CommandNode
-from repro.transform.auxiliary import (
-    insert_cat_for_multi_input,
-    insert_eager_relays,
-    insert_split_before,
-)
-from repro.transform.parallelize import (
-    is_parallelizable_node,
-    parallelize_node,
-    preceding_concatenation,
-)
 
 
 class EagerMode(enum.Enum):
@@ -95,6 +87,8 @@ class OptimizationReport:
     inserted_splits: int = 0
     inserted_relays: int = 0
     compile_time_seconds: float = 0.0
+    #: Wall time spent in each pass, in pipeline order (pass name -> seconds).
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def parallelized_count(self) -> int:
@@ -105,108 +99,27 @@ def optimize_graph(
     graph: DataflowGraph,
     config: Optional[ParallelizationConfig] = None,
 ) -> OptimizationReport:
-    """Apply the parallelization and auxiliary transformations in place."""
-    config = config or ParallelizationConfig()
-    report = OptimizationReport()
-    started = time.perf_counter()
+    """Apply the parallelization and auxiliary transformations in place.
 
-    if config.width >= 2:
-        _parallelize_commands(graph, config, report)
+    Runs the default pass pipeline (see :mod:`repro.transform.passes`).  The
+    ``repro.api`` front door is the preferred entry point; this wrapper stays
+    for callers that already hold a single translated graph.
+    """
+    from repro.transform.passes import build_pipeline  # deferred: cyclic module
 
-    if config.eager is not EagerMode.NONE:
-        relays = insert_eager_relays(
-            graph,
-            eager=config.eager is EagerMode.EAGER,
-            blocking=config.eager is EagerMode.BLOCKING,
-        )
-        report.inserted_relays = len(relays)
-
-    graph.validate()
-    report.compile_time_seconds = time.perf_counter() - started
-    return report
-
-
-def _parallelize_commands(
-    graph: DataflowGraph, config: ParallelizationConfig, report: OptimizationReport
-) -> None:
-    """Repeatedly apply t1/t2/T until no more commands can be parallelized."""
-    progress = True
-    while progress:
-        progress = False
-        for node in list(graph.topological_order()):
-            if node.node_id not in graph.nodes:
-                continue
-            if not is_parallelizable_node(node):
-                continue
-            assert isinstance(node, CommandNode)
-            if node.parallelized_copy:
-                continue
-            if _uses_positional_offset(node):
-                # head/tail invocations such as `tail -n +2` select lines by
-                # absolute position; splitting their input would change which
-                # lines are skipped, so they stay sequential.
-                continue
-            if _is_trivial_concatenation(graph, node):
-                # A bare `cat` feeding a parallelizable consumer is commuted by
-                # the consumer's transformation; parallelizing it on its own
-                # only adds processes.
-                continue
-
-            concatenation = preceding_concatenation(graph, node)
-            if concatenation is None and len(node.data_inputs) >= 2:
-                concatenation = insert_cat_for_multi_input(graph, node)
-            if concatenation is None and config.split is not SplitMode.NONE:
-                if len(node.data_inputs) == 1:
-                    concatenation = insert_split_before(
-                        graph, node, config.width, strategy=config.split.value
-                    )
-                    if concatenation is not None:
-                        report.inserted_splits += 1
-            if concatenation is None:
-                if node.label() not in report.skipped_commands:
-                    report.skipped_commands.append(node.label())
-                continue
-
-            copies = parallelize_node(
-                graph,
-                node,
-                concatenation,
-                fan_in=config.aggregation_fan_in,
-                max_copies=config.width,
-            )
-            if copies:
-                report.parallelized_commands.append(node.label())
-                progress = True
-                break  # Topological order changed; restart the scan.
-
-
-def _uses_positional_offset(node: CommandNode) -> bool:
-    """True for head/tail invocations addressing absolute line positions."""
-    if node.name not in ("head", "tail"):
-        return False
-    return any(argument.lstrip("-n") .startswith("+") for argument in node.arguments) or any(
-        argument.startswith("+") for argument in node.arguments
-    )
-
-
-def _is_trivial_concatenation(graph: DataflowGraph, node: CommandNode) -> bool:
-    """True for a flag-less ``cat`` whose consumer is itself parallelizable."""
-    if node.name != "cat" or node.arguments:
-        return False
-    successors = graph.successors(node)
-    if len(successors) != 1:
-        # cat writing to the graph output: parallelizing it cannot help.
-        return len(node.data_inputs) >= 1
-    consumer = successors[0]
-    return is_parallelizable_node(consumer) or not isinstance(consumer, CommandNode)
+    return build_pipeline().run(graph, config or ParallelizationConfig())
 
 
 def relevant_configurations(width: int) -> dict:
-    """The named configurations plotted in Fig. 7 for a given width."""
+    """The named configurations plotted in Fig. 7 for a given width.
+
+    Delegates to :meth:`repro.api.PashConfig.named_configurations` — the
+    single source of truth for the Fig. 7 ablation names — projected down to
+    the optimizer's view.
+    """
+    from repro.api.config import PashConfig  # deferred: cyclic module
+
     return {
-        "Par + Split": ParallelizationConfig.paper_default(width),
-        "Par + B. Split": ParallelizationConfig.blocking_split(width),
-        "Parallel": ParallelizationConfig.parallel_only(width),
-        "Blocking Eager": ParallelizationConfig.blocking_eager(width),
-        "No Eager": ParallelizationConfig.no_eager(width),
+        name: config.parallelization()
+        for name, config in PashConfig.named_configurations(width).items()
     }

@@ -1,0 +1,166 @@
+"""PashConfig: one config object, four derived views, round-trippable."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import EagerMode, PashConfig, SplitMode
+from repro.cli import build_parser
+from repro.engine.scheduler import SchedulerOptions
+from repro.transform.pipeline import ParallelizationConfig
+
+
+def test_defaults_match_legacy_parallelization_config():
+    config = PashConfig()
+    legacy = ParallelizationConfig()
+    assert config.width == legacy.width
+    assert config.eager is legacy.eager
+    assert config.split is legacy.split
+    assert config.aggregation_fan_in == legacy.aggregation_fan_in
+    assert config.minimum_copies == legacy.minimum_copies
+    assert config.backend == "interpreter"
+
+
+def test_is_frozen_and_hashable():
+    config = PashConfig.paper_default(4)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.width = 8
+    assert hash(config) == hash(PashConfig.paper_default(4))
+
+
+def test_named_constructors_mirror_the_fig7_configurations():
+    assert PashConfig.paper_default(8).split is SplitMode.GENERAL
+    assert PashConfig.no_eager(8).eager is EagerMode.NONE
+    assert PashConfig.no_eager(8).split is SplitMode.NONE
+    assert PashConfig.blocking_eager(8).eager is EagerMode.BLOCKING
+    assert PashConfig.parallel_only(8).split is SplitMode.NONE
+    assert PashConfig.blocking_split(8).split is SplitMode.INPUT_AWARE
+    named = PashConfig.named_configurations(8)
+    assert set(named) == {
+        "Par + Split",
+        "Par + B. Split",
+        "Parallel",
+        "Blocking Eager",
+        "No Eager",
+    }
+    assert all(config.width == 8 for config in named.values())
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        PashConfig(),
+        PashConfig.paper_default(16),
+        PashConfig.no_eager(4, aggregation_fan_in=4),
+        PashConfig(
+            width=7,
+            eager=EagerMode.BLOCKING,
+            split=SplitMode.INPUT_AWARE,
+            disabled_passes=("eager-relays",),
+            backend="parallel",
+            use_host_commands=True,
+            chunk_size=4096,
+            fifo_directory="/dev/shm",
+            fifo_prefix="edge",
+            emit_header=True,
+        ),
+    ],
+)
+def test_to_dict_from_dict_round_trips(config):
+    payload = config.to_dict()
+    json.dumps(payload)  # must be plain JSON-able data (the future cache key)
+    assert PashConfig.from_dict(payload) == config
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown PashConfig fields"):
+        PashConfig.from_dict({"widht": 4})
+
+
+def test_from_dict_accepts_enum_strings():
+    config = PashConfig.from_dict({"width": 3, "eager": "blocking", "split": "none"})
+    assert config.eager is EagerMode.BLOCKING
+    assert config.split is SplitMode.NONE
+
+
+def test_coerce_lifts_legacy_config_and_rejects_junk():
+    legacy = ParallelizationConfig(width=5, eager=EagerMode.NONE, aggregation_fan_in=3)
+    lifted = PashConfig.coerce(legacy)
+    assert (lifted.width, lifted.eager, lifted.aggregation_fan_in) == (5, EagerMode.NONE, 3)
+    assert PashConfig.coerce(None) == PashConfig()
+    config = PashConfig.paper_default(2)
+    assert PashConfig.coerce(config) is config
+    with pytest.raises(TypeError):
+        PashConfig.coerce(42)
+
+
+def test_parallelization_view_round_trips():
+    config = PashConfig.blocking_split(6, aggregation_fan_in=4, minimum_copies=3)
+    legacy = config.parallelization()
+    assert isinstance(legacy, ParallelizationConfig)
+    assert PashConfig.from_parallelization(legacy) == config
+
+
+def test_emitter_options_view():
+    config = PashConfig(fifo_directory="/dev/shm", fifo_prefix="edge", emit_header=True)
+    options = config.emitter_options()
+    assert options.fifo_directory == "/dev/shm"
+    assert options.fifo_prefix == "edge"
+    assert options.header is True
+    assert options.cleanup is True
+    # Without an explicit prefix every emission gets a unique one.
+    first = PashConfig().emitter_options().fifo_prefix
+    second = PashConfig().emitter_options().fifo_prefix
+    assert first != second
+
+
+def test_scheduler_options_view():
+    config = PashConfig(use_host_commands=True, chunk_size=1024, report_timeout_seconds=5.0)
+    options = config.scheduler_options()
+    assert isinstance(options, SchedulerOptions)
+    assert options.use_host_commands is True
+    assert options.chunk_size == 1024
+    assert options.report_timeout_seconds == 5.0
+    # Engine default chunk size is preserved when unset.
+    assert PashConfig().scheduler_options().chunk_size == SchedulerOptions().chunk_size
+
+
+def test_backend_options_only_parallel_gets_scheduler_options():
+    config = PashConfig(backend="parallel", use_host_commands=True)
+    assert config.backend_options()["options"].use_host_commands is True
+    assert PashConfig(backend="interpreter").backend_options() == {}
+    assert config.backend_options("shell") == {}
+
+
+def test_from_cli_args_subsumes_the_flag_surface():
+    arguments = build_parser().parse_args(
+        [
+            "x.sh",
+            "--width",
+            "9",
+            "--blocking-eager",
+            "--split",
+            "input-aware",
+            "--fan-in",
+            "4",
+            "--disable-pass",
+            "eager-relays",
+            "--execute",
+            "parallel",
+        ]
+    )
+    config = PashConfig.from_cli_args(arguments)
+    assert config.width == 9
+    assert config.eager is EagerMode.BLOCKING
+    assert config.split is SplitMode.INPUT_AWARE
+    assert config.aggregation_fan_in == 4
+    assert config.disabled_passes == ("eager-relays",)
+    assert config.backend == "parallel"
+
+
+def test_replace_returns_modified_copy():
+    base = PashConfig.paper_default(4)
+    wider = base.replace(width=16)
+    assert wider.width == 16 and base.width == 4
+    assert wider.split is base.split

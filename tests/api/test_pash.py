@@ -1,0 +1,131 @@
+"""Pash.compile -> CompiledScript: the one front door, and the legacy shims."""
+
+import pytest
+
+from repro import api, engine
+from repro.api import CompiledScript, Pash, PashConfig
+from repro.backend.shell_emitter import EmitterOptions
+from repro.runtime.executor import ExecutionEnvironment, ExecutionError
+from repro.runtime.interpreter import ShellInterpreter
+from repro.runtime.streams import VirtualFileSystem
+
+SCRIPT = "cat a.txt b.txt | grep x | sort > out.txt"
+FILES = {"a.txt": ["xb", "ya", "xa"], "b.txt": ["xc", "zz"]}
+
+
+def env():
+    return ExecutionEnvironment(
+        filesystem=VirtualFileSystem({name: list(lines) for name, lines in FILES.items()})
+    )
+
+
+def test_compile_returns_inspectable_artifact():
+    compiled = Pash.compile(SCRIPT, PashConfig.paper_default(2))
+    assert isinstance(compiled, CompiledScript)
+    assert compiled.source == SCRIPT
+    assert "mkfifo" in compiled.text
+    assert compiled.text.count("grep x") == 2
+    # The artifact exposes the AST, the regions, and per-region reports.
+    assert compiled.ast is compiled.translation.ast
+    assert len(compiled.regions) == 1
+    assert len(compiled.reports) == 1
+    assert compiled.reports[0].parallelized_count >= 1
+    assert list(compiled.reports[0].pass_seconds)[0] == "split-insertion"
+    assert compiled.stats.regions_parallelized == 1
+    assert compiled.node_count == len(compiled.optimized_graphs[0].nodes)
+    assert compiled.config == PashConfig.paper_default(2)
+
+
+def test_compile_works_as_instance_method_with_held_config():
+    # Single input: the split decides the copy count, i.e. the config's width.
+    script = "cat big.txt | grep x | sort > out.txt"
+    pash = Pash(PashConfig.paper_default(4))
+    compiled = pash.compile(script)
+    assert compiled.text.count("grep x") == 4
+    # A per-call config overrides the instance's.
+    assert pash.compile(script, PashConfig.paper_default(2)).text.count("grep x") == 2
+
+
+def test_emit_with_custom_options_rerenders():
+    compiled = Pash.compile(SCRIPT, PashConfig.paper_default(2))
+    text = compiled.emit(EmitterOptions(fifo_directory="/dev/shm", fifo_prefix="edge"))
+    assert "/dev/shm/edge_" in text
+    assert compiled.emit() == compiled.text  # no options -> the cached text
+
+
+def test_execute_on_interpreter_matches_sequential_shell():
+    interpreter = ShellInterpreter(
+        filesystem=VirtualFileSystem({name: list(lines) for name, lines in FILES.items()})
+    )
+    interpreter.run_script(SCRIPT)
+    expected = interpreter.state.filesystem.read("out.txt")
+
+    environment = env()
+    result = Pash.compile(SCRIPT, PashConfig.paper_default(2)).execute(
+        backend="interpreter", environment=environment
+    )
+    assert result.files["out.txt"] == expected
+    assert result.backend == "interpreter"
+
+
+def test_execute_uses_the_config_backend_by_default():
+    config = PashConfig.paper_default(2, backend="parallel")
+    result = Pash.compile(SCRIPT, config).execute(environment=env())
+    assert result.backend == "parallel"
+    assert result.metrics.worker_count >= 2
+
+
+def test_execute_refuses_partially_translated_scripts():
+    compiled = Pash.compile("cat a.txt | grep x\nwhile true; do echo x; done")
+    assert compiled.translation.rejected
+    with pytest.raises(ExecutionError, match="cannot be translated"):
+        compiled.execute(environment=env())
+
+
+def test_api_run_without_config_runs_sequential_graphs():
+    sequential = api.run(SCRIPT, environment=env())
+    optimized = api.run(SCRIPT, config=PashConfig.paper_default(2), environment=env())
+    assert sequential.files["out.txt"] == optimized.files["out.txt"]
+    assert sequential.backend == "interpreter"
+
+
+def test_api_run_uses_config_backend_and_options():
+    result = api.run(SCRIPT, config=PashConfig.paper_default(2, backend="parallel"), environment=env())
+    assert result.backend == "parallel"
+
+
+def test_module_level_compile_convenience():
+    compiled = api.compile(SCRIPT, PashConfig.paper_default(2))
+    assert compiled.text.count("grep x") == 2
+
+
+def test_legacy_compile_script_is_a_warning_shim():
+    from repro.backend.compiler import compile_script
+
+    with pytest.warns(DeprecationWarning, match="Pash.compile"):
+        compiled = compile_script(SCRIPT)
+    assert isinstance(compiled, CompiledScript)
+    assert "mkfifo" in compiled.text
+
+
+def test_legacy_compile_script_matches_new_front_door_bit_for_bit():
+    config = PashConfig.paper_default(4, fifo_prefix="fifo")
+    with pytest.warns(DeprecationWarning):
+        from repro.backend.compiler import compile_script
+
+        legacy = compile_script(SCRIPT, config)
+    assert legacy.text == Pash.compile(SCRIPT, config).text
+
+
+def test_legacy_engine_run_script_is_a_warning_shim():
+    with pytest.warns(DeprecationWarning, match="repro.api.run"):
+        result = engine.run_script(SCRIPT, environment=env())
+    assert result.files["out.txt"]
+
+
+def test_legacy_names_still_importable_from_package_root():
+    import repro
+
+    assert repro.compile_script is not None
+    assert repro.CompiledScript is CompiledScript
+    assert repro.PashConfig is PashConfig

@@ -1,9 +1,10 @@
-"""Cross-backend equivalence: one assertion, three execution engines.
+"""Cross-backend equivalence: one compile, one artifact, three engines.
 
-For the Table-2 one-liner workloads, the interpreter (in-process oracle),
-the parallel engine (real processes and pipes), and — where the command
-substrate is faithful to coreutils — the emitted shell script must produce
-byte-identical outputs.
+For the Table-2 one-liner workloads, a single ``Pash.compile`` produces one
+:class:`~repro.api.CompiledScript`, and ``CompiledScript.execute(backend=...)``
+must yield byte-identical outputs on the interpreter (in-process oracle), the
+parallel engine (real processes and pipes), and — where the command substrate
+is faithful to coreutils — the emitted shell script.
 
 The shell leg is restricted to benchmarks whose commands behave identically
 under real coreutils: the remaining five hit known substrate-fidelity gaps,
@@ -17,10 +18,9 @@ import shutil
 
 import pytest
 
-from repro import engine
+from repro.api import Pash, PashConfig
 from repro.runtime.executor import ExecutionEnvironment
 from repro.runtime.streams import VirtualFileSystem
-from repro.transform.pipeline import ParallelizationConfig
 from repro.workloads.oneliners import ONE_LINERS, get_one_liner
 
 WIDTH = 2
@@ -40,16 +40,15 @@ SHELL_FAITHFUL = [
 
 
 def run_backend(benchmark, backend):
+    """Compile once through the front door, execute on the named backend."""
     dataset = benchmark.correctness_dataset(WIDTH, LINES)
     environment = ExecutionEnvironment(
         filesystem=VirtualFileSystem({name: list(lines) for name, lines in dataset.items()})
     )
-    result = engine.run_script(
-        benchmark.script_for_width(WIDTH),
-        backend=backend,
-        environment=environment,
-        config=ParallelizationConfig.paper_default(WIDTH),
+    compiled = Pash.compile(
+        benchmark.script_for_width(WIDTH), PashConfig.paper_default(WIDTH)
     )
+    result = compiled.execute(backend=backend, environment=environment)
     produced = {name: lines for name, lines in result.files.items() if name not in dataset}
     return result.stdout, produced, result.metrics
 
