@@ -33,7 +33,7 @@ remain importable but are deprecation shims over this package.
 """
 
 from repro.api.artifact import CompilationStats, CompiledScript
-from repro.api.config import PashConfig
+from repro.api.config import PashConfig, StreamingConfig
 from repro.api.pash import Pash, compile, optimize, run
 from repro.transform.pipeline import EagerMode, SplitMode
 
@@ -44,6 +44,7 @@ __all__ = [
     "Pash",
     "PashConfig",
     "SplitMode",
+    "StreamingConfig",
     "compile",
     "optimize",
     "run",

@@ -31,6 +31,45 @@ if TYPE_CHECKING:  # pragma: no cover - runtime imports stay deferred so that
 
 
 @dataclass(frozen=True)
+class StreamingConfig:
+    """The engine's bounded-memory streaming knobs (one section of the config).
+
+    The parallel engine moves data in framed byte chunks and buffers each
+    edge in a spill-to-disk eager relay (dgsh-tee behaviour, §5.2): at most
+    ``spill_threshold`` bytes of a stream sit in memory per buffer; anything
+    beyond spills to a temp file and is restored in order.  ``None`` fields
+    defer to the engine defaults (64 KiB chunks, 8 MiB buffers, the system
+    temp directory).
+    """
+
+    #: Framing-chunk size in bytes: the granularity of channel writes,
+    #: incremental reads, and stateless batch evaluation.
+    chunk_size: Optional[int] = None
+    #: In-memory buffer size in bytes per stream buffer (eager-pump window /
+    #: graph-output accumulator) — the spill high-water mark.
+    spill_threshold: Optional[int] = None
+    #: Directory for spill files (None = the system temp directory).
+    spill_directory: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {field.name: getattr(self, field.name) for field in dataclasses.fields(self)}
+
+    @classmethod
+    def coerce(cls, value: Any) -> "StreamingConfig":
+        """Accept a :class:`StreamingConfig` or its dict form."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            unknown = set(value) - {field.name for field in dataclasses.fields(cls)}
+            if unknown:
+                raise ValueError(
+                    f"unknown StreamingConfig fields: {', '.join(sorted(unknown))}"
+                )
+            return cls(**dict(value))
+        raise TypeError(f"expected StreamingConfig or mapping, got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
 class PashConfig:
     """One configuration object for the whole compile-and-run pipeline."""
 
@@ -59,9 +98,12 @@ class PashConfig:
     #: Exec real host binaries in the parallel backend's workers when possible.
     use_host_commands: bool = False
     #: Channel framing-chunk size in bytes (None = engine default).
+    #: Deprecated alias for ``streaming.chunk_size``, which wins when set.
     chunk_size: Optional[int] = None
     #: How long the parallel scheduler waits for a worker report.
     report_timeout_seconds: float = 120.0
+    #: Bounded-memory streaming knobs of the engine data plane.
+    streaming: StreamingConfig = StreamingConfig()
 
     # -- emission (subsume EmitterOptions) -----------------------------------
     #: Directory in which the emitted script creates its FIFOs.
@@ -200,8 +242,17 @@ class PashConfig:
             use_host_commands=self.use_host_commands,
             report_timeout_seconds=self.report_timeout_seconds,
         )
-        if self.chunk_size is not None:
-            options.chunk_size = self.chunk_size
+        chunk_size = (
+            self.streaming.chunk_size
+            if self.streaming.chunk_size is not None
+            else self.chunk_size
+        )
+        if chunk_size is not None:
+            options.chunk_size = chunk_size
+        if self.streaming.spill_threshold is not None:
+            options.spill_threshold = self.streaming.spill_threshold
+        if self.streaming.spill_directory is not None:
+            options.spill_directory = self.streaming.spill_directory
         return options
 
     def backend_options(self, backend: Optional[str] = None) -> Dict[str, Any]:
@@ -223,6 +274,8 @@ class PashConfig:
                 value = value.value
             elif isinstance(value, tuple):
                 value = list(value)
+            elif isinstance(value, StreamingConfig):
+                value = value.to_dict()
             payload[field.name] = value
         return payload
 
@@ -241,4 +294,6 @@ class PashConfig:
         for name in ("disabled_passes", "extra_passes"):
             if name in values:
                 values[name] = tuple(values[name])
+        if "streaming" in values:
+            values["streaming"] = StreamingConfig.coerce(values["streaming"])
         return cls(**values)

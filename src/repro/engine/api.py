@@ -6,7 +6,10 @@ registry:
 * ``interpreter`` — the single-threaded in-process oracle
   (:class:`repro.runtime.executor.DFGExecutor`),
 * ``parallel`` — the multiprocess scheduler with OS-pipe channels
-  (:class:`repro.engine.scheduler.ParallelScheduler`),
+  (:class:`repro.engine.scheduler.ParallelScheduler`); its data plane
+  streams chunk-by-chunk in bounded memory, spilling eager buffers to disk
+  past :class:`~repro.engine.scheduler.SchedulerOptions`'s
+  ``spill_threshold`` (see :mod:`repro.engine.channels`),
 * ``shell`` — emit the Fig. 3-style script and run it under a real POSIX
   shell, then fold the results back into the virtual filesystem.
 
@@ -99,7 +102,15 @@ class InterpreterBackend(ExecutionBackend):
 
 
 class ParallelBackend(ExecutionBackend):
-    """The multiprocess scheduler: one worker process per node."""
+    """The multiprocess scheduler: one worker process per node.
+
+    Constructor keywords become :class:`SchedulerOptions` fields, so
+    ``engine.run(graph, backend="parallel", spill_threshold=1 << 20)``
+    bounds every stream buffer at 1 MiB (excess spills to disk) and
+    ``chunk_size=...`` sets the framing granularity.  The run's
+    :class:`~repro.engine.metrics.EngineMetrics` report the observed
+    ``peak_buffered_bytes`` / ``total_spilled_bytes``.
+    """
 
     name = "parallel"
 

@@ -7,22 +7,30 @@ Backpressure is the kernel's: a producer that outruns its consumer blocks in
 ``write(2)`` exactly like a process writing to a full FIFO, which is the
 behaviour PaSh's eager relays exist to mitigate (§5.2).
 
-:class:`EagerPump` is the engine-side counterpart of
-:class:`repro.runtime.eager.EagerBuffer`: a thread that drains a reader into
-an unbounded in-memory buffer as fast as the producer can write.  Every
-worker pumps all of its inputs concurrently, which (a) keeps upstream
-producers from ever blocking on an idle consumer and (b) makes the engine
-deadlock-free for arbitrary fan-in/fan-out graph shapes.
+The hot path is *bounded-memory streaming*: readers iterate chunk-by-chunk
+(:meth:`ChannelReader.iter_chunks` / :meth:`ChannelReader.iter_lines`, which
+decodes incrementally and is correct even when a multi-byte UTF-8 sequence is
+split across a chunk boundary), and :class:`EagerPump` drains a producer into
+a :class:`SpillBuffer` — an in-memory FIFO with a configurable high-water
+mark beyond which chunks spill to an unlinked temporary file, the dgsh-tee
+behaviour PaSh's eager relays adopt for larger-than-memory streams.  The
+pump therefore never blocks the producer *and* never holds more than
+``spill_threshold`` bytes in memory.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 import threading
-from typing import Iterable, List, Optional
+from collections import deque
+from typing import Deque, Iterable, Iterator, List, Optional, Tuple, Union
 
 #: Default framing-chunk size; matches a typical Linux pipe buffer.
 DEFAULT_CHUNK_SIZE = 1 << 16
+
+#: Default per-buffer in-memory high-water mark (bytes) before spilling.
+DEFAULT_SPILL_THRESHOLD = 1 << 23
 
 
 class ChannelError(RuntimeError):
@@ -35,6 +43,23 @@ def encode_lines(lines: Iterable[str]) -> bytes:
     return text.encode("utf-8")
 
 
+def iter_encoded_chunks(lines: Iterable[str], chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+    """Frame a stream as newline-terminated UTF-8 byte chunks.
+
+    The bounded-memory counterpart of :func:`encode_lines`: at most one
+    chunk (plus one line) is materialized at a time.
+    """
+    chunk_size = max(1, chunk_size)
+    buffer = bytearray()
+    for line in lines:
+        buffer += (line + "\n").encode("utf-8")
+        if len(buffer) >= chunk_size:
+            yield bytes(buffer)
+            buffer.clear()
+    if buffer:
+        yield bytes(buffer)
+
+
 def decode_lines(data: bytes) -> List[str]:
     """Inverse of :func:`encode_lines` (tolerates a missing final newline)."""
     if not data:
@@ -44,6 +69,41 @@ def decode_lines(data: bytes) -> List[str]:
     if lines and lines[-1] == "":
         lines.pop()
     return lines
+
+
+def iter_decoded_batches(chunks: Iterable[bytes]) -> Iterator[List[str]]:
+    """Decode framed chunks into per-chunk line batches, incrementally.
+
+    Splitting happens at the *byte* level on ``\\n`` — which can never occur
+    inside a multi-byte UTF-8 sequence — so only complete lines are ever
+    decoded and a sequence split across a chunk boundary round-trips
+    correctly.  A final line without a trailing newline is still yielded.
+    This is the single copy of the split/carry algorithm; the line-wise
+    iterators and the workers' batch evaluation all build on it.
+    """
+    remainder = b""
+    for chunk in chunks:
+        if not chunk:
+            continue
+        data = remainder + chunk
+        pieces = data.split(b"\n")
+        remainder = pieces.pop()
+        if pieces:
+            yield [piece.decode("utf-8") for piece in pieces]
+    if remainder:
+        yield [remainder.decode("utf-8")]
+
+
+def iter_decoded_lines(chunks: Iterable[bytes]) -> Iterator[str]:
+    """Decode framed chunks into lines, incrementally (UTF-8-safe)."""
+    for batch in iter_decoded_batches(chunks):
+        for line in batch:
+            yield line
+
+
+def count_framed_lines(chunk: bytes) -> int:
+    """Number of newline-terminated lines contained in a framed chunk."""
+    return chunk.count(b"\n")
 
 
 class Channel:
@@ -64,8 +124,15 @@ class Channel:
         return ChannelWriter(self.write_fd, chunk_size=self.chunk_size)
 
     def close(self) -> None:
-        """Close both ends (idempotent; used by the parent after forking)."""
-        for fd in (self.read_fd, self.write_fd):
+        """Close both ends (idempotent; used by the parent after forking).
+
+        Truly idempotent: a second call is a no-op rather than a re-close of
+        fd numbers the OS may already have reused for something else.
+        """
+        fds, self.read_fd, self.write_fd = (self.read_fd, self.write_fd), -1, -1
+        for fd in fds:
+            if fd < 0:
+                continue
             try:
                 os.close(fd)
             except OSError:
@@ -94,6 +161,17 @@ class ChannelWriter:
     def write_lines(self, lines: Iterable[str]) -> None:
         for line in lines:
             self.write_line(line)
+
+    def write_chunk(self, data: bytes) -> None:
+        """Forward an already-framed byte chunk (the pass-through hot path)."""
+        if self._closed:
+            raise ChannelError("cannot write to a closed channel")
+        if not data:
+            return
+        self._buffer += data
+        self.lines_written += count_framed_lines(data)
+        if len(self._buffer) >= self.chunk_size:
+            self.flush()
 
     def flush(self) -> None:
         view = memoryview(bytes(self._buffer))
@@ -136,19 +214,29 @@ class ChannelReader:
         self.lines_read = 0
         self._closed = False
 
-    def read_lines(self) -> List[str]:
-        """Drain the channel to EOF and return the framed lines."""
-        chunks: List[bytes] = []
+    def iter_chunks(self) -> Iterator[bytes]:
+        """Yield raw byte chunks until EOF; closes the fd afterwards.
+
+        At most one chunk is held at a time, so a consumer that forwards or
+        folds each chunk runs in bounded memory regardless of stream size.
+        """
         while True:
             chunk = os.read(self.fd, self.chunk_size)
             if not chunk:
                 break
             self.bytes_read += len(chunk)
-            chunks.append(chunk)
-        lines = decode_lines(b"".join(chunks))
-        self.lines_read += len(lines)
+            yield chunk
         self.close()
-        return lines
+
+    def iter_lines(self) -> Iterator[str]:
+        """Yield decoded lines incrementally (UTF-8-safe across chunks)."""
+        for line in iter_decoded_lines(self.iter_chunks()):
+            self.lines_read += 1
+            yield line
+
+    def read_lines(self) -> List[str]:
+        """Drain the channel to EOF and return the framed lines."""
+        return list(self.iter_lines())
 
     def close(self) -> None:
         if self._closed:
@@ -160,29 +248,197 @@ class ChannelReader:
             pass
 
 
-class EagerPump(threading.Thread):
-    """Drain a reader into memory concurrently (the engine's eager relay).
+#: A buffered element: in-memory bytes, or an (offset, length) spill-file ref.
+_Token = Union[bytes, Tuple[int, int]]
 
-    One pump per input edge lets a worker consume all of its inputs at the
-    producers' pace, mirroring :class:`repro.runtime.eager.EagerBuffer`'s
-    unbounded buffering with a real thread instead of a simulated one.
+
+class SpillBuffer:
+    """A FIFO byte-chunk buffer with a bounded in-memory window.
+
+    Chunks are appended by a producer and popped (in order) by a consumer.
+    While the in-memory window holds less than ``spill_threshold`` bytes,
+    chunks stay in memory; beyond the high-water mark they spill to an
+    unlinked temporary file (so crashed processes never leak spill files) and
+    are read back transparently when their turn comes.  Appends therefore
+    *never block*, which is exactly the dgsh-tee eager-relay contract: the
+    producer always makes progress, and memory use stays under the
+    configured bound no matter how far the consumer lags.
+
+    Thread-safe for one producer and one consumer.
     """
 
-    def __init__(self, reader: ChannelReader) -> None:
+    def __init__(
+        self,
+        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
+        directory: Optional[str] = None,
+    ) -> None:
+        self.spill_threshold = max(0, spill_threshold)
+        self.directory = directory
+        self._condition = threading.Condition()
+        self._tokens: Deque[_Token] = deque()
+        self._mem_bytes = 0
+        self._closed = False
+        self._file = None
+        self._write_offset = 0
+        #: High-water mark actually reached by the in-memory window.
+        self.peak_buffered_bytes = 0
+        #: Total bytes written to the spill file.
+        self.spilled_bytes = 0
+        #: Number of chunks that went through the spill file.
+        self.spill_events = 0
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes currently held in memory (excludes spilled chunks)."""
+        with self._condition:
+            return self._mem_bytes
+
+    # -- producer side -------------------------------------------------------
+
+    def append(self, chunk: bytes) -> None:
+        """Enqueue a chunk; spills past the high-water mark, never blocks."""
+        if not chunk:
+            return
+        with self._condition:
+            if self._closed:
+                raise ChannelError("cannot append to a closed spill buffer")
+            if self._mem_bytes + len(chunk) > self.spill_threshold:
+                self._spill(chunk)
+            else:
+                self._tokens.append(bytes(chunk))
+                self._mem_bytes += len(chunk)
+                if self._mem_bytes > self.peak_buffered_bytes:
+                    self.peak_buffered_bytes = self._mem_bytes
+            self._condition.notify_all()
+
+    def _spill(self, chunk: bytes) -> None:
+        if self._file is None:
+            self._file = tempfile.TemporaryFile(prefix="pash-spill-", dir=self.directory)
+        self._file.seek(self._write_offset)
+        self._file.write(chunk)
+        self._tokens.append((self._write_offset, len(chunk)))
+        self._write_offset += len(chunk)
+        self.spilled_bytes += len(chunk)
+        self.spill_events += 1
+
+    def close(self) -> None:
+        """Signal end-of-stream from the producer."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    # -- consumer side -------------------------------------------------------
+
+    def pop(self) -> Optional[bytes]:
+        """Dequeue the next chunk in order; None signals end-of-stream.
+
+        Blocks while the buffer is empty and the producer has not closed it.
+        """
+        with self._condition:
+            while not self._tokens and not self._closed:
+                self._condition.wait()
+            if not self._tokens:
+                self._release_file()
+                return None
+            token = self._tokens.popleft()
+            if isinstance(token, tuple):
+                offset, length = token
+                self._file.seek(offset)
+                data = self._file.read(length)
+            else:
+                data = token
+                self._mem_bytes -= len(data)
+            if self._closed and not self._tokens:
+                self._release_file()
+            return data
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            chunk = self.pop()
+            if chunk is None:
+                return
+            yield chunk
+
+    def discard(self) -> None:
+        """Drop all buffered data and release the spill file."""
+        with self._condition:
+            self._tokens.clear()
+            self._mem_bytes = 0
+            self._closed = True
+            self._release_file()
+            self._condition.notify_all()
+
+    def _release_file(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._file = None
+
+
+class EagerPump(threading.Thread):
+    """Drain a reader into a bounded spill buffer (the engine's eager relay).
+
+    One pump per input edge lets a worker consume all of its inputs at the
+    producers' pace: the pump thread keeps the upstream pipe drained (so
+    producers never block on an idle consumer, making the engine
+    deadlock-free for arbitrary fan-in/fan-out shapes), while the buffer
+    keeps at most ``spill_threshold`` bytes in memory and spills the excess
+    to disk — PaSh's dgsh-tee eager relay, not an unbounded list.
+    """
+
+    def __init__(
+        self,
+        reader: ChannelReader,
+        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
+        spill_directory: Optional[str] = None,
+    ) -> None:
         super().__init__(daemon=True)
         self.reader = reader
-        self._lines: List[str] = []
+        self.buffer = SpillBuffer(spill_threshold, directory=spill_directory)
         self._error: Optional[BaseException] = None
 
     def run(self) -> None:  # pragma: no cover - exercised via result()
         try:
-            self._lines = self.reader.read_lines()
-        except BaseException as exc:  # noqa: BLE001 - re-raised in result()
+            for chunk in self.reader.iter_chunks():
+                self.buffer.append(chunk)
+        except BaseException as exc:  # noqa: BLE001 - re-raised at consumption
             self._error = exc
+        finally:
+            self.buffer.close()
 
-    def result(self) -> List[str]:
-        """Join the pump and return the buffered stream."""
+    # -- consumer side -------------------------------------------------------
+
+    def iter_chunks(self) -> Iterator[bytes]:
+        """Consume buffered chunks as they arrive (concurrent with the pump)."""
+        for chunk in self.buffer:
+            yield chunk
         self.join()
         if self._error is not None:
             raise self._error
-        return self._lines
+
+    def iter_lines(self) -> Iterator[str]:
+        """Consume decoded lines as they arrive (UTF-8-safe across chunks)."""
+        return iter_decoded_lines(self.iter_chunks())
+
+    def result(self) -> List[str]:
+        """Join the pump and return the full (remaining) stream as lines."""
+        self.join()
+        if self._error is not None:
+            raise self._error
+        return list(iter_decoded_lines(self.buffer))
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def peak_buffered_bytes(self) -> int:
+        return self.buffer.peak_buffered_bytes
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self.buffer.spilled_bytes
+
+    @property
+    def spill_events(self) -> int:
+        return self.buffer.spill_events

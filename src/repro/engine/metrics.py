@@ -28,6 +28,14 @@ class NodeMetrics:
     #: True when the node ran a real host binary instead of the Python
     #: command implementation.
     host_command: bool = False
+    #: High-water mark (bytes) of the largest single in-memory stream buffer
+    #: this node held — eager-pump windows and output accumulators.  Stays
+    #: at or below the configured spill threshold when spilling is enabled.
+    peak_buffered_bytes: int = 0
+    #: Total bytes this node's buffers wrote to spill storage on disk.
+    spilled_bytes: int = 0
+    #: Number of chunks that went through spill storage.
+    spill_events: int = 0
 
 
 @dataclass
@@ -54,6 +62,25 @@ class EngineMetrics:
         return sum(node.wall_seconds for node in self.nodes)
 
     @property
+    def peak_buffered_bytes(self) -> int:
+        """Largest single in-memory stream buffer held by any node.
+
+        This is the engine's bounded-memory guarantee, observable: with
+        spilling enabled it never exceeds the configured spill threshold.
+        """
+        return max((node.peak_buffered_bytes for node in self.nodes), default=0)
+
+    @property
+    def total_spilled_bytes(self) -> int:
+        """Bytes the run's buffers spilled to disk (0 = fit in memory)."""
+        return sum(node.spilled_bytes for node in self.nodes)
+
+    @property
+    def total_spill_events(self) -> int:
+        """Chunks that went through spill storage across the whole run."""
+        return sum(node.spill_events for node in self.nodes)
+
+    @property
     def worker_utilization(self) -> float:
         """Mean fraction of the run each worker spent busy (0..1 per worker).
 
@@ -76,9 +103,16 @@ class EngineMetrics:
 
     def summary(self) -> str:
         """One-line human-readable digest (used by the CLI's --report)."""
-        return (
+        digest = (
             f"{len(self.nodes)} nodes on {self.worker_count} workers in "
             f"{self.elapsed_seconds * 1000:.1f} ms; "
             f"{self.total_bytes_moved} bytes moved; "
             f"utilization {self.worker_utilization:.0%}"
         )
+        if self.total_spilled_bytes:
+            digest += (
+                f"; spilled {self.total_spilled_bytes} bytes to disk "
+                f"({self.total_spill_events} chunks, "
+                f"peak buffer {self.peak_buffered_bytes} bytes)"
+            )
+        return digest

@@ -17,7 +17,10 @@ two backends are observationally identical.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_module
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -25,9 +28,20 @@ from typing import Dict, List, Optional, Tuple
 from repro.commands.base import Stream
 from repro.dfg.edges import Edge, EdgeKind
 from repro.dfg.graph import DataflowGraph
-from repro.engine.channels import DEFAULT_CHUNK_SIZE, Channel
+from repro.engine.channels import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_SPILL_THRESHOLD,
+    Channel,
+    iter_decoded_lines,
+)
 from repro.engine.metrics import EngineMetrics, NodeMetrics
-from repro.engine.workers import InputPort, OutputPort, WorkerPlan, execute_plan
+from repro.engine.workers import (
+    SPILL_PATH_KEY,
+    InputPort,
+    OutputPort,
+    WorkerPlan,
+    execute_plan,
+)
 from repro.runtime.executor import (
     ExecutionEnvironment,
     ExecutionError,
@@ -45,6 +59,12 @@ class SchedulerOptions:
     use_host_commands: bool = False
     #: Channel framing-chunk size in bytes.
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: In-memory high-water mark (bytes) of each stream buffer — eager-pump
+    #: windows and graph-output accumulators — beyond which data spills to a
+    #: temp file (the dgsh-tee eager-relay behaviour, §5.2).
+    spill_threshold: int = DEFAULT_SPILL_THRESHOLD
+    #: Directory for spill files (None = the system temp directory).
+    spill_directory: Optional[str] = None
     #: How long to wait for any single worker report before declaring the
     #: run wedged.
     report_timeout_seconds: float = 120.0
@@ -86,59 +106,77 @@ class ParallelScheduler:
         context = self._context()
         channels = self._open_channels(graph)
         all_fds = [fd for channel in channels.values() for fd in channel.fds()]
+        # All of this run's spill files (pump overflow, oversized graph
+        # outputs) live in one run-scoped directory, removed unconditionally
+        # on the way out — so even a worker killed before reporting cannot
+        # leak its spill file.
+        run_spill_directory = tempfile.mkdtemp(
+            prefix="pash-run-spill-", dir=self.options.spill_directory
+        )
         try:
             plans = [
-                self._plan(node_id, graph, channels, all_fds) for node_id in self._topo_ids(graph)
+                self._plan(node_id, graph, channels, all_fds, run_spill_directory)
+                for node_id in self._topo_ids(graph)
             ]
+
+            report_queue = context.Queue()
+            processes = []
+            try:
+                for plan in plans:
+                    process = context.Process(
+                        target=execute_plan,
+                        args=(plan, report_queue),
+                        name=f"pash-node-{plan.node.node_id}",
+                    )
+                    process.start()
+                    processes.append((plan.node, process))
+            finally:
+                # The parent holds no edge: drop every channel fd so that EOF
+                # propagation is entirely between the workers.
+                for channel in channels.values():
+                    channel.close()
+
+            reports = self._collect_reports(report_queue, processes, len(plans))
+            for _, process in processes:
+                process.join(timeout=self.options.report_timeout_seconds)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+
+            failures = [report for report in reports.values() if report["error"]]
+            if failures:
+                detail = "; ".join(
+                    f"{report['label']}: {report['error']}" for report in failures
+                )
+                raise ExecutionError(f"{len(failures)} worker(s) failed: {detail}")
+
+            edge_values: Dict[int, Stream] = {}
+            for report in reports.values():
+                for edge_id, value in report["outputs"].items():
+                    edge_values[edge_id] = self._restore_output(value)
+                metrics.nodes.append(
+                    NodeMetrics(
+                        node_id=report["node_id"],
+                        label=report["label"],
+                        kind=report["kind"],
+                        pid=report["pid"],
+                        wall_seconds=report["wall_seconds"],
+                        bytes_in=report["bytes_in"],
+                        bytes_out=report["bytes_out"],
+                        lines_in=report["lines_in"],
+                        lines_out=report["lines_out"],
+                        host_command=report["host_command"],
+                        peak_buffered_bytes=report.get("peak_buffered_bytes", 0),
+                        spilled_bytes=report.get("spilled_bytes", 0),
+                        spill_events=report.get("spill_events", 0),
+                    )
+                )
+            metrics.nodes.sort(key=lambda node: node.node_id)
         except Exception:
             for channel in channels.values():
                 channel.close()
             raise
-
-        report_queue = context.Queue()
-        processes = []
-        try:
-            for plan in plans:
-                process = context.Process(
-                    target=execute_plan, args=(plan, report_queue), name=f"pash-node-{plan.node.node_id}"
-                )
-                process.start()
-                processes.append((plan.node, process))
         finally:
-            # The parent holds no edge: drop every channel fd so that EOF
-            # propagation is entirely between the workers.
-            for channel in channels.values():
-                channel.close()
-
-        reports = self._collect_reports(report_queue, processes, len(plans))
-        for _, process in processes:
-            process.join(timeout=self.options.report_timeout_seconds)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-
-        failures = [report for report in reports.values() if report["error"]]
-        if failures:
-            detail = "; ".join(f"{report['label']}: {report['error']}" for report in failures)
-            raise ExecutionError(f"{len(failures)} worker(s) failed: {detail}")
-
-        edge_values: Dict[int, Stream] = {}
-        for report in reports.values():
-            edge_values.update(report["outputs"])
-            metrics.nodes.append(
-                NodeMetrics(
-                    node_id=report["node_id"],
-                    label=report["label"],
-                    kind=report["kind"],
-                    pid=report["pid"],
-                    wall_seconds=report["wall_seconds"],
-                    bytes_in=report["bytes_in"],
-                    bytes_out=report["bytes_out"],
-                    lines_in=report["lines_in"],
-                    lines_out=report["lines_out"],
-                    host_command=report["host_command"],
-                )
-            )
-        metrics.nodes.sort(key=lambda node: node.node_id)
+            shutil.rmtree(run_spill_directory, ignore_errors=True)
 
         self._deliver(graph, edge_values, result)
         result.edge_values.update(edge_values)
@@ -172,6 +210,7 @@ class ParallelScheduler:
         graph: DataflowGraph,
         channels: Dict[int, Channel],
         all_fds: List[int],
+        spill_directory: str,
     ) -> WorkerPlan:
         node = graph.node(node_id)
         inputs = []
@@ -179,7 +218,7 @@ class ParallelScheduler:
             if edge_id in channels:
                 inputs.append(InputPort(edge_id, fd=channels[edge_id].read_fd))
             else:
-                inputs.append(InputPort(edge_id, data=self._resolve_input(graph.edge(edge_id))))
+                inputs.append(self._input_port(edge_id, graph.edge(edge_id)))
         outputs = []
         for edge_id in node.outputs:
             if edge_id in channels:
@@ -193,6 +232,8 @@ class ParallelScheduler:
             registry=self.environment.registry,
             use_host_commands=self.options.use_host_commands,
             chunk_size=self.options.chunk_size,
+            spill_threshold=self.options.spill_threshold,
+            spill_directory=spill_directory,
             close_fds=all_fds,
         )
 
@@ -207,6 +248,37 @@ class ParallelScheduler:
                 raise ExecutionError(str(exc)) from exc
         # A dangling pipe input (should not occur in valid graphs).
         return []
+
+    def _input_port(self, edge_id: int, edge: Edge) -> InputPort:
+        """A graph-input port: a streamable on-disk path when possible.
+
+        Files that exist only on the real filesystem (the VFS fallback) are
+        handed to the worker as paths, so the consuming process streams them
+        chunk-by-chunk instead of the parent materializing every line.
+        """
+        if edge.kind is EdgeKind.FILE and edge.name:
+            path = self.environment.filesystem.real_path(edge.name)
+            if path is not None:
+                return InputPort(edge_id, path=path)
+        return InputPort(edge_id, data=self._resolve_input(edge))
+
+    def _restore_output(self, value) -> Stream:
+        """Inline report outputs pass through; spilled ones stream off disk."""
+        if isinstance(value, dict) and SPILL_PATH_KEY in value:
+            path = value[SPILL_PATH_KEY]
+            try:
+                with open(path, "rb") as handle:
+                    return list(
+                        iter_decoded_lines(
+                            iter(lambda: handle.read(self.options.chunk_size), b"")
+                        )
+                    )
+            finally:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+        return value
 
     def _collect_reports(self, report_queue, processes, expected: int) -> Dict[int, dict]:
         """Gather one report per worker, failing fast on dead workers.

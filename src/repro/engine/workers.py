@@ -6,10 +6,26 @@ outputs.  Command nodes either exec the real host binary (when enabled and
 available) or run the registry's pure-Python implementation — either way in
 a separate process, so parallel branches genuinely overlap.
 
+The data plane is *streaming*, not materialize-then-forward.  Each node runs
+in one of three modes, picked by :func:`execution_mode`:
+
+* ``chunks`` — pure pass-through nodes (relays, concatenations) forward raw
+  framed byte chunks from their inputs to their outputs without ever
+  decoding a line; memory use is one chunk.
+* ``batches`` — stateless commands (per the Table-1 annotation classes; see
+  :func:`repro.runtime.executor.node_streams_statelessly`) are evaluated one
+  line batch at a time, which is bit-identical to whole-stream evaluation by
+  the same property that makes them parallelizable; memory use is one batch.
+* ``materialize`` — everything else (sort-likes, aggregators, splits, host
+  commands) still needs the whole stream; the eager pumps that feed it
+  buffer at most ``spill_threshold`` bytes in memory and spill the rest to
+  disk, so the *channel* layer stays bounded even here.
+
 Workers never raise: every outcome, including failure, is delivered to the
 scheduler as a report on the shared queue, and all owned file descriptors are
 closed on the way out so that downstream workers always observe EOF instead
-of hanging.
+of hanging.  Graph-output streams larger than the spill threshold travel to
+the scheduler through a spill file instead of the report queue's pipe.
 """
 
 from __future__ import annotations
@@ -17,34 +33,45 @@ from __future__ import annotations
 import os
 import shutil
 import subprocess
+import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.commands.base import CommandRegistry, Stream
-from repro.dfg.nodes import CommandNode, DFGNode
+from repro.dfg.nodes import CatNode, CommandNode, DFGNode, RelayNode
 from repro.engine.channels import (
     DEFAULT_CHUNK_SIZE,
+    DEFAULT_SPILL_THRESHOLD,
     ChannelReader,
     ChannelWriter,
     EagerPump,
+    SpillBuffer,
+    count_framed_lines,
     decode_lines,
     encode_lines,
+    iter_decoded_batches,
+    iter_encoded_chunks,
 )
-from repro.runtime.executor import evaluate_node
+from repro.runtime.executor import evaluate_node, node_streams_statelessly
+
+#: Report-entry key marking a graph output delivered via a spill file.
+SPILL_PATH_KEY = "spill_path"
 
 
 @dataclass
 class InputPort:
     """Where a worker reads one input edge from.
 
-    ``fd`` is the read end of an engine channel; when None the edge is a
+    ``fd`` is the read end of an engine channel; ``path`` is a real on-disk
+    file the worker streams chunk-by-chunk; when both are None the edge is a
     graph input whose stream the scheduler resolved up front (``data``).
     """
 
     edge_id: int
     fd: Optional[int] = None
     data: Optional[List[str]] = None
+    path: Optional[str] = None
 
 
 @dataclass
@@ -69,6 +96,12 @@ class WorkerPlan:
     registry: Optional[CommandRegistry] = None
     use_host_commands: bool = False
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: In-memory high-water mark (bytes) of every stream buffer this worker
+    #: owns — eager-pump windows and graph-output accumulators — beyond
+    #: which data spills to disk.
+    spill_threshold: int = DEFAULT_SPILL_THRESHOLD
+    #: Directory for spill files (None = the system temp directory).
+    spill_directory: Optional[str] = None
     #: Every channel fd in the graph; the worker closes the ones it does not
     #: own so that EOF propagates correctly after the fork.
     close_fds: List[int] = field(default_factory=list)
@@ -89,6 +122,25 @@ def host_command_available(node: DFGNode, use_host_commands: bool) -> bool:
     )
 
 
+def execution_mode(plan: WorkerPlan) -> str:
+    """Pick the streaming mode for this plan: chunks, batches, or materialize."""
+    node = plan.node
+    if host_command_available(node, plan.use_host_commands):
+        return "materialize"
+    if isinstance(node, (CatNode, RelayNode)):
+        return "chunks"
+    if (
+        isinstance(node, CommandNode)
+        and node.name == "cat"
+        and not node.arguments
+        and not node.config_inputs
+    ):
+        return "chunks"
+    if node_streams_statelessly(node):
+        return "batches"
+    return "materialize"
+
+
 def _run_host_command(node: CommandNode, inputs: List[Stream]) -> Stream:
     """Execute the node as a real subprocess (input via stdin, LC_ALL=C)."""
     argv = [node.name] + list(node.arguments)
@@ -103,16 +155,448 @@ def _run_host_command(node: CommandNode, inputs: List[Stream]) -> Stream:
     return decode_lines(completed.stdout)
 
 
-def _inline_size(lines: List[str]) -> int:
-    """Approximate framed size of an inline stream (exact for ASCII)."""
-    return sum(len(line) + 1 for line in lines)
+# ---------------------------------------------------------------------------
+# Input sources
+# ---------------------------------------------------------------------------
+
+
+class InputSource:
+    """Uniform, counted consumption API over one input port.
+
+    Exactly one of the consumption methods is used per run; each counts the
+    bytes and lines that flowed through so the worker's report stays
+    accurate without a second pass over the data.
+    """
+
+    def __init__(self) -> None:
+        self.bytes_in = 0
+        self.lines_in = 0
+
+    def _raw_chunks(self) -> Iterator[bytes]:
+        raise NotImplementedError
+
+    def iter_chunks(self) -> Iterator[bytes]:
+        """Framed byte chunks, counted (pass-through consumption)."""
+        last = b""
+        for chunk in self._raw_chunks():
+            if not chunk:
+                continue
+            self.bytes_in += len(chunk)
+            self.lines_in += count_framed_lines(chunk)
+            last = chunk[-1:]
+            yield chunk
+        if last and last != b"\n":
+            # A final line without its newline is still a line.
+            self.lines_in += 1
+
+    def iter_batches(self) -> Iterator[List[str]]:
+        """Decoded line batches (one per arriving chunk), counted.
+
+        Built on :func:`repro.engine.channels.iter_decoded_batches`, so the
+        byte-level split (UTF-8-safe across chunk boundaries) lives in one
+        place.
+        """
+
+        def counted() -> Iterator[bytes]:
+            for chunk in self._raw_chunks():
+                self.bytes_in += len(chunk)
+                yield chunk
+
+        for batch in iter_decoded_batches(counted()):
+            self.lines_in += len(batch)
+            yield batch
+
+    def lines(self) -> List[str]:
+        """Materialize the whole stream (counted)."""
+        collected: List[str] = []
+        for batch in self.iter_batches():
+            collected.extend(batch)
+        return collected
+
+    # -- spill accounting (overridden by pump-backed sources) ---------------
+
+    @property
+    def peak_buffered_bytes(self) -> int:
+        return 0
+
+    @property
+    def spilled_bytes(self) -> int:
+        return 0
+
+    @property
+    def spill_events(self) -> int:
+        return 0
+
+
+class PumpSource(InputSource):
+    """A channel input drained concurrently through a bounded eager pump."""
+
+    def __init__(self, reader: ChannelReader, pump: EagerPump) -> None:
+        super().__init__()
+        self.reader = reader
+        self.pump = pump
+
+    def _raw_chunks(self) -> Iterator[bytes]:
+        return self.pump.iter_chunks()
+
+    @property
+    def peak_buffered_bytes(self) -> int:
+        return self.pump.peak_buffered_bytes
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self.pump.spilled_bytes
+
+    @property
+    def spill_events(self) -> int:
+        return self.pump.spill_events
+
+
+class FileSource(InputSource):
+    """A graph-input file streamed straight from disk, chunk-by-chunk.
+
+    Disk reads never block on another worker, so no pump thread is needed;
+    the stream is framed exactly like every other engine stream
+    (newline-delimited UTF-8).
+    """
+
+    def __init__(self, path: str, chunk_size: int) -> None:
+        super().__init__()
+        self.path = path
+        self.chunk_size = max(1, chunk_size)
+
+    def _raw_chunks(self) -> Iterator[bytes]:
+        with open(self.path, "rb") as handle:
+            while True:
+                chunk = handle.read(self.chunk_size)
+                if not chunk:
+                    return
+                yield chunk
+
+
+class InlineSource(InputSource):
+    """A graph input the scheduler resolved up front as a list of lines."""
+
+    def __init__(self, data: List[str], chunk_size: int) -> None:
+        super().__init__()
+        self.data = data
+        self.chunk_size = chunk_size
+
+    def _raw_chunks(self) -> Iterator[bytes]:
+        return iter_encoded_chunks(self.data, self.chunk_size)
+
+    def lines(self) -> List[str]:
+        stream = list(self.data)
+        self.lines_in += len(stream)
+        self.bytes_in += sum(len(line) + 1 for line in stream)
+        return stream
+
+
+def _open_sources(plan: WorkerPlan) -> List[InputSource]:
+    """One source per input port; channel pumps start draining immediately.
+
+    Starting every pump before any consumption is what makes the engine
+    deadlock-free for arbitrary fan-in: no producer ever blocks on an input
+    this worker has not reached yet.
+    """
+    sources: List[InputSource] = []
+    for port in plan.inputs:
+        if port.fd is not None:
+            reader = ChannelReader(port.fd, chunk_size=plan.chunk_size)
+            pump = EagerPump(
+                reader,
+                spill_threshold=plan.spill_threshold,
+                spill_directory=plan.spill_directory,
+            )
+            pump.start()
+            sources.append(PumpSource(reader, pump))
+        elif port.path is not None:
+            sources.append(FileSource(port.path, plan.chunk_size))
+        else:
+            sources.append(InlineSource(list(port.data or []), plan.chunk_size))
+    return sources
+
+
+# ---------------------------------------------------------------------------
+# Output sinks
+# ---------------------------------------------------------------------------
+
+
+class OutputSink:
+    """Uniform, counted production API over one output port."""
+
+    bytes_out = 0
+    lines_out = 0
+
+    def write_chunk(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def write_lines(self, lines: List[str]) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Flush and close the destination (EOF downstream)."""
+
+    def abandon(self) -> None:
+        """Release the destination without flushing (failure path)."""
+
+
+class ChannelSink(OutputSink):
+    """An internal edge: writes go to the channel, chunked and counted.
+
+    A consumer that exited early (e.g. ``head``) surfaces as
+    ``BrokenPipeError``; like a process receiving SIGPIPE, the sink stops
+    writing and swallows the rest of the stream.
+    """
+
+    def __init__(self, fd: int, chunk_size: int) -> None:
+        self.writer = ChannelWriter(fd, chunk_size=chunk_size)
+        self.dead = False
+
+    @property
+    def bytes_out(self) -> int:  # type: ignore[override]
+        return self.writer.bytes_written
+
+    @property
+    def lines_out(self) -> int:  # type: ignore[override]
+        return self.writer.lines_written
+
+    def write_chunk(self, data: bytes) -> None:
+        if self.dead:
+            return
+        try:
+            self.writer.write_chunk(data)
+        except BrokenPipeError:
+            self.dead = True
+            self.writer.abandon()
+
+    def write_lines(self, lines: List[str]) -> None:
+        if self.dead:
+            return
+        try:
+            self.writer.write_lines(lines)
+        except BrokenPipeError:
+            self.dead = True
+            self.writer.abandon()
+
+    def finish(self) -> None:
+        if self.dead:
+            return
+        try:
+            self.writer.close()
+        except BrokenPipeError:
+            self.dead = True
+            self.writer.abandon()
+
+    def abandon(self) -> None:
+        self.writer.abandon()
+
+
+class ReportSink(OutputSink):
+    """A graph-output edge: accumulated for the scheduler, spilling to disk.
+
+    Small outputs travel inline through the report queue; past the spill
+    threshold the framed stream is written to a named temp file instead, so
+    a multi-hundred-megabyte graph output neither sits in worker memory nor
+    squeezes through the report queue's pipe.  The scheduler reads the file
+    back and deletes it.
+    """
+
+    def __init__(
+        self,
+        edge_id: int,
+        spill_threshold: int,
+        directory: Optional[str],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        self.edge_id = edge_id
+        self.spill_threshold = max(0, spill_threshold)
+        self.directory = directory
+        self.chunk_size = chunk_size
+        self._buffer = bytearray()
+        self._file = None
+        self._path: Optional[str] = None
+        self.bytes_out = 0
+        self.lines_out = 0
+        self.peak_buffered_bytes = 0
+        self.spilled_bytes = 0
+        self.spill_events = 0
+
+    def _append(self, data: bytes) -> None:
+        self.bytes_out += len(data)
+        self.lines_out += count_framed_lines(data)
+        if self._file is None and len(self._buffer) + len(data) <= self.spill_threshold:
+            self._buffer += data
+            if len(self._buffer) > self.peak_buffered_bytes:
+                self.peak_buffered_bytes = len(self._buffer)
+            return
+        if self._file is None:
+            handle, self._path = tempfile.mkstemp(
+                prefix="pash-output-", suffix=".spill", dir=self.directory
+            )
+            self._file = os.fdopen(handle, "wb")
+            if self._buffer:
+                self._file.write(self._buffer)
+                self.spilled_bytes += len(self._buffer)
+                self.spill_events += 1
+                self._buffer.clear()
+        self._file.write(data)
+        self.spilled_bytes += len(data)
+        self.spill_events += 1
+
+    def write_chunk(self, data: bytes) -> None:
+        if data:
+            self._append(data)
+
+    def write_lines(self, lines: List[str]) -> None:
+        for chunk in iter_encoded_chunks(lines, self.chunk_size):
+            self._append(chunk)
+
+    def entry(self):
+        """The report-queue representation of this output."""
+        if self._file is not None:
+            return {SPILL_PATH_KEY: self._path, "lines": self.lines_out}
+        return decode_lines(bytes(self._buffer))
+
+    def finish(self) -> None:
+        if self._file is not None:
+            self._file.close()
+
+    def abandon(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            finally:
+                self._file = None
+                if self._path is not None:
+                    try:
+                        os.unlink(self._path)
+                    except OSError:
+                        pass
+                    self._path = None
+        self._buffer.clear()
+
+
+def _open_sinks(plan: WorkerPlan) -> List[OutputSink]:
+    sinks: List[OutputSink] = []
+    for port in plan.outputs:
+        if port.fd is not None:
+            sinks.append(ChannelSink(port.fd, plan.chunk_size))
+        else:
+            sinks.append(
+                ReportSink(
+                    port.edge_id, plan.spill_threshold, plan.spill_directory, plan.chunk_size
+                )
+            )
+    return sinks
+
+
+# ---------------------------------------------------------------------------
+# Streaming node bodies
+# ---------------------------------------------------------------------------
+
+
+def _normalized_chunks(sources: List[InputSource]) -> Iterator[bytes]:
+    """Concatenate the sources' framed streams, chunk-granular.
+
+    A stream whose final line lacks a newline gets one appended before the
+    next stream starts, matching the line-level concatenation the
+    interpreter performs (`cat a b` must not merge a's last line with b's
+    first).
+    """
+    for source in sources:
+        last = b""
+        for chunk in source.iter_chunks():
+            last = chunk[-1:]
+            yield chunk
+        if last and last != b"\n":
+            yield b"\n"
+
+
+def _run_chunk_mode(
+    plan: WorkerPlan, sources: List[InputSource], sinks: List[OutputSink]
+) -> List[SpillBuffer]:
+    """Forward raw chunks input→output; returns any staging buffers used."""
+    node = plan.node
+    if isinstance(node, (CatNode, RelayNode)) and len(plan.outputs) != 1:
+        # Parity with the interpreter's arity check: relays and cats produce
+        # exactly one stream (command nodes replicate, these do not).
+        raise RuntimeError(
+            f"node {node.label()} produced 1 streams for "
+            f"{len(plan.outputs)} output edges"
+        )
+    if isinstance(node, RelayNode) and node.blocking:
+        # Blocking-eager semantics (Fig. 6): absorb the whole stream before
+        # forwarding anything — through a bounded buffer, not a list.
+        stage = SpillBuffer(plan.spill_threshold, directory=plan.spill_directory)
+        for chunk in _normalized_chunks(sources):
+            stage.append(chunk)
+        stage.close()
+        for chunk in stage:
+            for sink in sinks:
+                sink.write_chunk(chunk)
+        return [stage]
+    for chunk in _normalized_chunks(sources):
+        for sink in sinks:
+            sink.write_chunk(chunk)
+    return []
+
+
+def _run_batch_mode(
+    plan: WorkerPlan, sources: List[InputSource], sinks: List[OutputSink],
+    registry: CommandRegistry,
+) -> None:
+    """Evaluate a stateless command one line batch at a time."""
+    node = plan.node
+    assert isinstance(node, CommandNode)
+    saw_input = False
+    for batch in sources[0].iter_batches():
+        saw_input = True
+        output = registry.run(node.name, node.arguments, [batch])
+        for sink in sinks:
+            sink.write_lines(output)
+    if not saw_input:
+        # Preserve exact interpreter behaviour for empty streams even if a
+        # command's annotation overstates its statelessness.
+        output = registry.run(node.name, node.arguments, [[]])
+        for sink in sinks:
+            sink.write_lines(output)
+
+
+def _run_materialize_mode(
+    plan: WorkerPlan, sources: List[InputSource], sinks: List[OutputSink],
+    registry: CommandRegistry, report: Dict[str, object],
+) -> None:
+    """Whole-stream evaluation for nodes that need all their input at once."""
+    node = plan.node
+    inputs: List[Stream] = [source.lines() for source in sources]
+    if host_command_available(node, plan.use_host_commands):
+        report["host_command"] = True
+        outputs = [_run_host_command(node, inputs)]
+    else:
+        outputs = evaluate_node(node, inputs, registry)
+    # Mirror the interpreter's arity check: a mismatch must be a loud
+    # error, not silently-empty downstream edges.
+    if len(outputs) != len(plan.outputs):
+        raise RuntimeError(
+            f"node {node.label()} produced {len(outputs)} streams for "
+            f"{len(plan.outputs)} output edges"
+        )
+    for sink, stream in zip(sinks, outputs):
+        sink.write_lines(stream)
+
+
+# ---------------------------------------------------------------------------
+# The worker body
+# ---------------------------------------------------------------------------
 
 
 def execute_plan(plan: WorkerPlan, report_queue) -> None:
     """Process body: evaluate one node and report the outcome.
 
     The report always reaches the queue, carrying either the node's metrics
-    (and any graph-output streams) or an error string.
+    (and any graph-output streams, inline or as spill-file references) or an
+    error string.
     """
     node = plan.node
     report: Dict[str, object] = {
@@ -128,10 +612,15 @@ def execute_plan(plan: WorkerPlan, report_queue) -> None:
         "lines_in": 0,
         "lines_out": 0,
         "host_command": False,
+        "peak_buffered_bytes": 0,
+        "spilled_bytes": 0,
+        "spill_events": 0,
     }
     started = time.perf_counter()
     mine = {port.fd for port in plan.inputs + plan.outputs if port.fd is not None}
-    writers: List[ChannelWriter] = []
+    sources: List[InputSource] = []
+    sinks: List[OutputSink] = []
+    staging: List[SpillBuffer] = []
     try:
         for fd in plan.close_fds:
             if fd not in mine:
@@ -140,67 +629,34 @@ def execute_plan(plan: WorkerPlan, report_queue) -> None:
                 except OSError:
                     pass
 
-        # Drain every channel input concurrently so producers never block on
-        # an idle consumer (engine-level eager buffering; see channels.py).
-        readers: Dict[int, ChannelReader] = {}
-        pumps: Dict[int, EagerPump] = {}
-        for port in plan.inputs:
-            if port.fd is not None:
-                reader = ChannelReader(port.fd, chunk_size=plan.chunk_size)
-                readers[port.edge_id] = reader
-                pump = EagerPump(reader)
-                pump.start()
-                pumps[port.edge_id] = pump
+        sources = _open_sources(plan)
+        sinks = _open_sinks(plan)
+        registry = plan.registry
+        if registry is None:
+            from repro.commands import standard_registry
 
-        inputs: List[Stream] = []
-        for port in plan.inputs:
-            if port.fd is not None:
-                inputs.append(pumps[port.edge_id].result())
-                report["bytes_in"] += readers[port.edge_id].bytes_read
-                report["lines_in"] += readers[port.edge_id].lines_read
-            else:
-                stream = list(port.data or [])
-                inputs.append(stream)
-                report["bytes_in"] += _inline_size(stream)
-                report["lines_in"] += len(stream)
+            registry = standard_registry()
 
-        if host_command_available(node, plan.use_host_commands):
-            report["host_command"] = True
-            outputs = [_run_host_command(node, inputs)]
+        mode = execution_mode(plan)
+        if mode == "chunks":
+            staging = _run_chunk_mode(plan, sources, sinks)
+        elif mode == "batches":
+            _run_batch_mode(plan, sources, sinks, registry)
         else:
-            registry = plan.registry
-            if registry is None:
-                from repro.commands import standard_registry
+            _run_materialize_mode(plan, sources, sinks, registry, report)
 
-                registry = standard_registry()
-            outputs = evaluate_node(node, inputs, registry)
-
-        # Mirror the interpreter's arity check: a mismatch must be a loud
-        # error, not silently-empty downstream edges.
-        if len(outputs) != len(plan.outputs):
-            raise RuntimeError(
-                f"node {node.label()} produced {len(outputs)} streams for "
-                f"{len(plan.outputs)} output edges"
-            )
-
-        for port, stream in zip(plan.outputs, outputs):
-            report["lines_out"] += len(stream)
-            if port.fd is not None:
-                writer = ChannelWriter(port.fd, chunk_size=plan.chunk_size)
-                writers.append(writer)
-                try:
-                    writer.write_lines(stream)
-                    writer.close()
-                except BrokenPipeError:
-                    # The consumer exited early (e.g. head); stop writing,
-                    # exactly like a process receiving SIGPIPE.
-                    writer.abandon()
-                report["bytes_out"] += writer.bytes_written
-            else:
-                report["bytes_out"] += _inline_size(stream)
-                report["outputs"][port.edge_id] = stream  # type: ignore[index]
+        for sink in sinks:
+            sink.finish()
+        for port, sink in zip(plan.outputs, sinks):
+            if isinstance(sink, ReportSink):
+                report["outputs"][port.edge_id] = sink.entry()  # type: ignore[index]
     except BaseException as exc:  # noqa: BLE001 - reported, never raised
         report["error"] = f"{type(exc).__name__}: {exc}"
+        for sink in sinks:
+            try:
+                sink.abandon()
+            except Exception:  # pragma: no cover - defensive
+                pass
     finally:
         # Guarantee EOF downstream even on failure paths.
         for fd in mine:
@@ -208,5 +664,21 @@ def execute_plan(plan: WorkerPlan, report_queue) -> None:
                 os.close(fd)
             except OSError:
                 pass
+        for source in sources:
+            report["bytes_in"] += source.bytes_in
+            report["lines_in"] += source.lines_in
+        for sink in sinks:
+            report["bytes_out"] += sink.bytes_out
+            report["lines_out"] += sink.lines_out
+        buffers = [
+            *(source for source in sources),
+            *(sink for sink in sinks if isinstance(sink, ReportSink)),
+            *staging,
+        ]
+        report["peak_buffered_bytes"] = max(
+            (buffer.peak_buffered_bytes for buffer in buffers), default=0
+        )
+        report["spilled_bytes"] = sum(buffer.spilled_bytes for buffer in buffers)
+        report["spill_events"] = sum(buffer.spill_events for buffer in buffers)
         report["wall_seconds"] = time.perf_counter() - started
         report_queue.put(report)

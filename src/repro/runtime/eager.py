@@ -2,25 +2,34 @@
 
 In the real system the eager relay is a small program with a tight
 multi-threaded loop: it reads its input as fast as the producer can write,
-buffering in memory (and spilling to disk), so that upstream commands are
-never blocked on a consumer that is not yet reading.
+buffering in memory and — past a high-water mark — spilling to disk
+(dgsh-tee behaviour), so that upstream commands are never blocked on a
+consumer that is not yet reading and memory use stays bounded no matter how
+large the stream grows.
 
 For the in-process executor the relay is simply an identity buffer; its
 scheduling effect — decoupling producer and consumer progress — is what the
 discrete-event simulator models.  This module still implements the buffer as
 a real data structure with the three designs of Fig. 6 so that unit tests can
 exercise their observable differences (blocking vs. non-blocking writes,
-drain-after-EOF behaviour).
+drain-after-EOF behaviour), and with the same spill-to-disk bound the
+parallel engine's :class:`repro.engine.channels.SpillBuffer` enforces, so
+the bounded-memory property can be unit-tested without forking processes.
 """
 
 from __future__ import annotations
 
+import tempfile
 from collections import deque
-from typing import Deque, Iterable, Iterator, List, Optional
+from typing import Deque, Iterable, Iterator, List, Optional, Tuple, Union
+
+#: A buffered line: plain text (no spill accounting), an in-memory
+#: ("m", line, size) entry, or a ("d", offset, length) spill-file ref.
+_Token = Union[str, Tuple[str, str, int], Tuple[str, int, int]]
 
 
 class EagerBuffer:
-    """An unbounded FIFO buffer decoupling a producer from a consumer.
+    """A FIFO buffer decoupling a producer from a consumer.
 
     ``mode`` selects the design point:
 
@@ -32,17 +41,39 @@ class EagerBuffer:
     * ``"fifo"`` — models a plain named pipe with a bounded capacity; writes
       beyond the capacity report that the producer would block, which is the
       pathological behaviour eager relays remove.
+
+    ``spill_threshold`` bounds the buffer's in-memory footprint in bytes:
+    once exceeded, further lines spill to an unlinked temporary file and are
+    restored transparently, in order, as the consumer catches up.  ``None``
+    keeps the buffer fully in memory (the pre-spill behaviour).
     """
 
-    def __init__(self, mode: str = "eager", capacity: int = 65536) -> None:
+    def __init__(
+        self,
+        mode: str = "eager",
+        capacity: int = 65536,
+        spill_threshold: Optional[int] = None,
+        spill_directory: Optional[str] = None,
+    ) -> None:
         if mode not in ("eager", "blocking", "fifo"):
             raise ValueError(f"unknown eager buffer mode {mode!r}")
         self.mode = mode
         self.capacity = capacity
-        self._queue: Deque[str] = deque()
+        self.spill_threshold = spill_threshold
+        self.spill_directory = spill_directory
+        self._queue: Deque[_Token] = deque()
         self._closed = False
+        self._mem_bytes = 0
+        self._file = None
+        self._write_offset = 0
         self.total_buffered = 0
         self.blocked_writes = 0
+        #: High-water mark actually reached by the in-memory window (bytes).
+        self.peak_buffered_bytes = 0
+        #: Total bytes written to the spill file.
+        self.spilled_bytes = 0
+        #: Number of lines that went through the spill file.
+        self.spill_events = 0
 
     # -- producer side -------------------------------------------------------
 
@@ -53,9 +84,33 @@ class EagerBuffer:
         would_block = self.mode == "fifo" and len(self._queue) >= self.capacity
         if would_block:
             self.blocked_writes += 1
-        self._queue.append(line)
+        if self.spill_threshold is None:
+            # Unbounded mode: no byte accounting, no encoding overhead.
+            self._queue.append(line)
+        else:
+            encoded = line.encode("utf-8")
+            size = len(encoded) + 1
+            if self._mem_bytes + size > self.spill_threshold:
+                self._spill(encoded)
+            else:
+                self._queue.append(("m", line, size))
+                self._mem_bytes += size
+                if self._mem_bytes > self.peak_buffered_bytes:
+                    self.peak_buffered_bytes = self._mem_bytes
         self.total_buffered = max(self.total_buffered, len(self._queue))
         return not would_block
+
+    def _spill(self, encoded: bytes) -> None:
+        if self._file is None:
+            self._file = tempfile.TemporaryFile(
+                prefix="pash-eager-spill-", dir=self.spill_directory
+            )
+        self._file.seek(self._write_offset)
+        self._file.write(encoded)
+        self._queue.append(("d", self._write_offset, len(encoded)))
+        self._write_offset += len(encoded)
+        self.spilled_bytes += len(encoded)
+        self.spill_events += 1
 
     def write_all(self, lines: Iterable[str]) -> int:
         """Write many lines; returns the number of would-block events."""
@@ -85,14 +140,37 @@ class EagerBuffer:
         """Pop one line, or None when nothing is currently readable."""
         if not self.readable():
             return None
-        return self._queue.popleft()
+        return self._pop()
+
+    def _pop(self) -> str:
+        token = self._queue.popleft()
+        if isinstance(token, str):
+            line = token  # unbounded mode: nothing to account
+        elif token[0] == "d":
+            _, offset, length = token
+            self._file.seek(offset)
+            line = self._file.read(length).decode("utf-8")
+        else:
+            _, line, size = token
+            self._mem_bytes -= size
+        if self._closed and not self._queue:
+            self._release_file()
+        return line
 
     def drain(self) -> List[str]:
         """Read everything currently readable."""
         lines: List[str] = []
         while self.readable():
-            lines.append(self._queue.popleft())
+            lines.append(self._pop())
         return lines
+
+    def _release_file(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._file = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -101,13 +179,24 @@ class EagerBuffer:
         return iter(self.drain())
 
 
-def relay(lines: Iterable[str], mode: str = "eager") -> List[str]:
+def relay(
+    lines: Iterable[str],
+    mode: str = "eager",
+    spill_threshold: Optional[int] = None,
+    spill_directory: Optional[str] = None,
+) -> List[str]:
     """Run a stream through a relay buffer and return it unchanged.
 
     The identity law (`relay(x) == list(x)`) is what makes relay insertion a
-    semantics-preserving transformation; tests assert it property-based.
+    semantics-preserving transformation; tests assert it property-based —
+    including with a ``spill_threshold``, where part of the stream round-trips
+    through disk.
     """
-    buffer = EagerBuffer(mode=mode if mode != "none" else "eager")
+    buffer = EagerBuffer(
+        mode=mode if mode != "none" else "eager",
+        spill_threshold=spill_threshold,
+        spill_directory=spill_directory,
+    )
     buffer.write_all(lines)
     buffer.close()
     return buffer.drain()

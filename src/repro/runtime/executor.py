@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.annotations.classes import ParallelizabilityClass
 from repro.commands import CommandRegistry, standard_registry
 from repro.commands.base import Stream
 from repro.dfg.edges import Edge, EdgeKind
@@ -59,6 +60,30 @@ def evaluate_node(node: DFGNode, inputs: List[Stream], registry: CommandRegistry
         mode = "blocking" if node.blocking else ("eager" if node.eager else "fifo")
         return [relay(inputs[0], mode=mode)]
     raise ExecutionError(f"cannot execute node of kind {node.kind!r}")
+
+
+def node_streams_statelessly(node: DFGNode) -> bool:
+    """True when the node may be evaluated over line batches incrementally.
+
+    This is the same property the parallelization transformation relies on:
+    a *stateless* command ``f`` satisfies ``f(concat(xs)) == concat(map(f,
+    xs))`` for any line-granular partition of its input, so evaluating it one
+    batch at a time and concatenating the outputs is bit-identical to
+    evaluating it over the whole materialized stream.  The gate reuses the
+    annotation classification (Table 1) rather than guessing from the
+    command name, and is restricted to the single-data-input shape where the
+    batch order is unambiguous.
+
+    The parallel engine's workers use this to process stateless commands
+    chunk-by-chunk instead of list-at-once, which is what keeps the hot
+    path's memory bounded for larger-than-RAM streams.
+    """
+    return (
+        isinstance(node, CommandNode)
+        and node.parallelizability_class is ParallelizabilityClass.STATELESS
+        and len(node.data_inputs) == 1
+        and not node.config_inputs
+    )
 
 
 @dataclass

@@ -6,6 +6,23 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
 
+def _read_framed(path: Path) -> List[str]:
+    """Read a real file with the stream model's framing: lines end at ``\\n``.
+
+    Every layer of this reproduction — encode/decode in the engine channels,
+    the emitted shell scripts, the worker-side file streaming — treats a
+    stream as newline-delimited UTF-8.  The VFS fallback must split the same
+    way (not ``str.splitlines``, which also breaks on ``\\r``/``\\f``/…), or
+    the interpreter oracle and the parallel engine would disagree on files
+    containing those characters.
+    """
+    text = path.read_bytes().decode("utf-8")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    return lines
+
+
 class VirtualFileSystem:
     """A tiny in-memory file namespace.
 
@@ -42,7 +59,7 @@ class VirtualFileSystem:
         if name not in self._files and self.allow_real_files:
             path = Path(name)
             if path.exists():
-                self._files[name] = path.read_text().splitlines()
+                self._files[name] = _read_framed(path)
         self._files.setdefault(name, []).extend(str(line) for line in lines)
 
     def read(self, name: str) -> List[str]:
@@ -52,8 +69,23 @@ class VirtualFileSystem:
         if self.allow_real_files:
             path = Path(name)
             if path.exists():
-                return path.read_text().splitlines()
+                return _read_framed(path)
         raise FileNotFoundError(f"virtual file {name!r} does not exist")
+
+    def real_path(self, name: str) -> Optional[str]:
+        """On-disk path backing ``name``, when it is not an in-memory entry.
+
+        Lets the parallel engine *stream* large real files chunk-by-chunk in
+        the worker that consumes them instead of materializing every input
+        line in the parent process.  Returns None for in-memory files and
+        when the real-filesystem fallback is disabled or the path is absent.
+        """
+        if name in self._files or not self.allow_real_files:
+            return None
+        path = Path(name)
+        if path.is_file():
+            return str(path)
+        return None
 
     def exists(self, name: str) -> bool:
         if name in self._files:

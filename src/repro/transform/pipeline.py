@@ -89,6 +89,9 @@ class OptimizationReport:
     compile_time_seconds: float = 0.0
     #: Wall time spent in each pass, in pipeline order (pass name -> seconds).
     pass_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Freeform annotations for registered (non-default) passes to leave
+    #: their findings in (see docs/PASSES.md).
+    notes: str = ""
 
     @property
     def parallelized_count(self) -> int:

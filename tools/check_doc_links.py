@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Check that every intra-repo link in the Markdown docs resolves.
+
+Scans the given Markdown files (default: README.md, docs/*.md, and the
+repo-root *.md project files) for inline links and reference definitions,
+skips external targets (http/https/mailto) and pure in-page anchors, and
+verifies each remaining target exists relative to the file that links to
+it.  Exits non-zero listing every dangling link, so CI fails when a rename
+breaks the docs.
+
+Usage: python tools/check_doc_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links `[text](target)` and reference definitions `[ref]: target`.
+_LINK_PATTERNS = [
+    re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)"),
+    re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE),
+]
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(text: str):
+    for pattern in _LINK_PATTERNS:
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def check_file(path: Path) -> list:
+    """Return a list of (target, reason) problems for one Markdown file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for target in iter_links(text):
+        if target.startswith(_EXTERNAL):
+            continue
+        if target.startswith("#"):  # in-page anchor
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append((target, f"missing: {resolved}"))
+    return problems
+
+
+def main(argv) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(name) for name in argv]
+    else:
+        files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    failures = 0
+    for path in files:
+        for target, reason in check_file(path):
+            print(f"{path.relative_to(root)}: broken link {target!r} ({reason})")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"checked {len(files)} file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
