@@ -1,11 +1,29 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables or figures and prints
-the reproduced rows/series so that ``pytest benchmarks/ --benchmark-only -s``
-doubles as the artifact that EXPERIMENTS.md is written from.
+Every benchmark regenerates one of the paper's tables or figures (or measures
+the engine for real) and prints the reproduced rows/series so that
+``pytest benchmarks/ --benchmark-only -s`` doubles as the artifact that
+EXPERIMENTS.md is written from.
+
+Machine-readable trajectory: run with ``--bench-json [PATH]`` (default
+``BENCH_engine.json``) and every benchmark that calls the ``bench_record``
+fixture leaves its numbers — wall clocks, speedups, spawn counts — in one
+JSON file stamped with the git sha, so future revisions can diff their
+performance against a recorded baseline (the committed
+``benchmarks/BENCH_engine.json``).  The option lives in this conftest, so it
+is available whenever ``benchmarks/`` (or a file inside it) is part of the
+pytest invocation.
 """
 
 from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from typing import Any, Dict, List
+
+import pytest
 
 
 def print_header(title: str) -> None:
@@ -13,3 +31,82 @@ def print_header(title: str) -> None:
     print("=" * 78)
     print(title)
     print("=" * 78)
+
+
+# ---------------------------------------------------------------------------
+# --bench-json: machine-readable benchmark trajectory
+# ---------------------------------------------------------------------------
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        nargs="?",
+        const="BENCH_engine.json",
+        default=None,
+        metavar="PATH",
+        help="write recorded benchmark measurements (wall clock, speedups, "
+        "spawn counts, git sha) to PATH as JSON (default: BENCH_engine.json)",
+    )
+
+
+def pytest_configure(config) -> None:
+    config._bench_records = []  # type: ignore[attr-defined]
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record one benchmark's measurements for the JSON trajectory.
+
+    Usage::
+
+        def test_bench_something(benchmark, bench_record):
+            ...
+            bench_record("engine_short_pipelines", speedup=ratio, ...)
+
+    Records are kept in memory for the session and written out only when
+    ``--bench-json`` was given.
+    """
+    records: List[Dict[str, Any]] = request.config._bench_records
+
+    def record(name: str, **fields: Any) -> None:
+        records.append({"benchmark": name, **fields})
+
+    return record
+
+
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                timeout=5,
+                check=True,
+            )
+            .stdout.decode("ascii", "replace")
+            .strip()
+        )
+    except Exception:  # noqa: BLE001 - sha is best-effort metadata
+        return "unknown"
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    path = session.config.getoption("--bench-json", default=None)
+    records = getattr(session.config, "_bench_records", [])
+    if not path or not records:
+        return
+    payload = {
+        "schema": 1,
+        "git_sha": _git_sha(),
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": records,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"\n[bench-json] wrote {len(records)} record(s) to {path}")

@@ -2,7 +2,7 @@
 
 Every other benchmark regenerates the paper's numbers through the
 discrete-event simulator; this one runs the same dataflow graphs for real on
-``repro.engine`` and times them.  Two workloads:
+``repro.engine`` and times them.  Three workloads:
 
 * *latency-bound* — grep with a fixed per-line cost (the stand-in for the
   paper's complex-NFA grep, whose real cost is ~0.24 ms/line per Table 2).
@@ -13,6 +13,13 @@ discrete-event simulator; this one runs the same dataflow graphs for real on
   Here the speedup depends on the cores actually available, so the
   assertion only applies on multi-core machines; the measurement is always
   printed.
+* *spawn-bound* — a batch of short Table-2-style pipelines run back to back
+  through one session.  This is where the persistent worker pool, stage
+  fusion, relay elision, and direct (pump-free) edges pay: the same
+  workload is also run on the legacy configuration (one fork per node per
+  run, one pump per edge, no fusion) and the ratio is asserted ≥ 1.5x.
+
+Run with ``--bench-json`` to persist the measurements (see conftest).
 """
 
 import os
@@ -21,8 +28,9 @@ import time
 from conftest import print_header
 
 from repro import api
-from repro.api import PashConfig
+from repro.api import Pash, PashConfig
 from repro.commands import standard_registry
+from repro.engine.scheduler import SchedulerOptions
 from repro.evaluation.harness import measured_speedup
 from repro.runtime.executor import ExecutionEnvironment
 from repro.runtime.streams import VirtualFileSystem
@@ -70,7 +78,7 @@ def _run_latency_workload():
     return interpreter, parallel
 
 
-def test_bench_engine_latency_bound_speedup(benchmark):
+def test_bench_engine_latency_bound_speedup(benchmark, bench_record):
     interpreter, parallel = benchmark.pedantic(_run_latency_workload, rounds=1, iterations=1)
     speedup = interpreter.elapsed_seconds / parallel.elapsed_seconds
 
@@ -83,6 +91,15 @@ def test_bench_engine_latency_bound_speedup(benchmark):
     )
     print(f"speedup: {speedup:.2f}x at width {WIDTH}")
 
+    bench_record(
+        "engine_latency_bound_grep",
+        width=WIDTH,
+        interpreter_seconds=round(interpreter.elapsed_seconds, 4),
+        parallel_seconds=round(parallel.elapsed_seconds, 4),
+        speedup=round(speedup, 3),
+        processes_spawned=parallel.metrics.processes_spawned,
+        processes_reused=parallel.metrics.processes_reused,
+    )
     assert parallel.output_of("out.txt") == interpreter.output_of("out.txt")
     assert parallel.metrics.worker_count >= 2
     # Width-4 stage latency overlaps across worker processes regardless of
@@ -90,11 +107,19 @@ def test_bench_engine_latency_bound_speedup(benchmark):
     assert speedup > 1.3
 
 
-def test_bench_engine_cpu_bound_sort(benchmark):
+def test_bench_engine_cpu_bound_sort(benchmark, bench_record):
     baseline, parallel, speedup = benchmark.pedantic(
         lambda: measured_speedup(get_one_liner("sort"), width=WIDTH, lines=60_000),
         rounds=1,
         iterations=1,
+    )
+    bench_record(
+        "engine_cpu_bound_sort",
+        width=WIDTH,
+        interpreter_seconds=round(baseline.elapsed_seconds, 4),
+        parallel_seconds=round(parallel.elapsed_seconds, 4),
+        speedup=round(speedup, 3),
+        usable_cores=len(os.sched_getaffinity(0)),
     )
 
     print_header("Engine — Table-2 sort one-liner, measured wall clock")
@@ -111,3 +136,103 @@ def test_bench_engine_cpu_bound_sort(benchmark):
     if len(os.sched_getaffinity(0)) >= 4:
         # With the width's worth of cores the parallel engine must win.
         assert speedup > 1.0
+
+
+# ---------------------------------------------------------------------------
+# Spawn-bound: many short pipelines through one session (PR-4 vs PR-3 path)
+# ---------------------------------------------------------------------------
+
+SHORT_RUNS = 8
+SHORT_SCRIPT = "cat in0.txt in1.txt in2.txt in3.txt | grep the | tr A-Z a-z > out.txt"
+
+#: The engine exactly as PR 3 left it: one fresh fork per node per run, an
+#: eager pump (thread + copy hop) on every channel, every relay a process.
+LEGACY_OPTIONS = SchedulerOptions(use_pool=False, pump_policy="all", elide_relays=False)
+
+
+def _short_environment():
+    files = {f"in{i}.txt": text.text_lines(LINES_PER_CHUNK, seed=i) for i in range(4)}
+    return ExecutionEnvironment(filesystem=VirtualFileSystem(files))
+
+
+def _run_batch(compiled, runs, **backend_options):
+    """Execute the compiled script ``runs`` times; returns (seconds, results)."""
+    environments = [_short_environment() for _ in range(runs)]
+    started = time.perf_counter()
+    results = [
+        compiled.execute(backend="parallel", environment=environment, **backend_options)
+        for environment in environments
+    ]
+    return time.perf_counter() - started, results
+
+
+def _run_spawn_workload():
+    fused = Pash(PashConfig.paper_default(WIDTH)).compile(SHORT_SCRIPT)
+    legacy = Pash(
+        PashConfig.paper_default(WIDTH, fuse_stages=False)
+    ).compile(SHORT_SCRIPT)
+
+    expected = api.run(SHORT_SCRIPT, backend="interpreter", environment=_short_environment())
+
+    # Warm-up: pay the pool's startup once, outside the timed window (the
+    # legacy path has no warm-up to pay — that asymmetry is the feature).
+    fused.execute(backend="parallel", environment=_short_environment())
+
+    new_seconds, new_results = _run_batch(fused, SHORT_RUNS)
+    legacy_seconds, legacy_results = _run_batch(legacy, SHORT_RUNS, options=LEGACY_OPTIONS)
+    return expected, new_seconds, new_results, legacy_seconds, legacy_results
+
+
+def test_bench_engine_short_pipeline_batch(benchmark, bench_record):
+    """Persistent pool + fused stages vs the PR-3 fork-per-node hot path."""
+    expected, new_seconds, new_results, legacy_seconds, legacy_results = benchmark.pedantic(
+        _run_spawn_workload, rounds=1, iterations=1
+    )
+    ratio = legacy_seconds / new_seconds
+    new_spawned = sum(result.metrics.processes_spawned for result in new_results)
+    new_reused = sum(result.metrics.processes_reused for result in new_results)
+    legacy_spawned = sum(result.metrics.processes_spawned for result in legacy_results)
+    new_metrics = new_results[-1].metrics
+
+    print_header("Engine — spawn-bound short pipelines, pooled+fused vs PR-3 path")
+    print(f"{'configuration':<22}{'seconds':<10}{'spawned':<9}{'reused':<8}{'per-run ms'}")
+    print(
+        f"{'pool+fuse+direct':<22}{new_seconds:<10.3f}{new_spawned:<9}"
+        f"{new_reused:<8}{new_seconds / SHORT_RUNS * 1000:.1f}"
+    )
+    print(
+        f"{'fork-per-node (PR-3)':<22}{legacy_seconds:<10.3f}{legacy_spawned:<9}"
+        f"{0:<8}{legacy_seconds / SHORT_RUNS * 1000:.1f}"
+    )
+    print(
+        f"speedup vs PR-3 path: {ratio:.2f}x over {SHORT_RUNS} runs "
+        f"(fused {new_metrics.commands_fused} commands into "
+        f"{new_metrics.stages_fused} stages, elided {new_metrics.relays_elided} "
+        f"relays, {new_metrics.edges_direct} direct edges)"
+    )
+
+    bench_record(
+        "engine_short_pipeline_batch",
+        width=WIDTH,
+        runs=SHORT_RUNS,
+        pooled_seconds=round(new_seconds, 4),
+        legacy_seconds=round(legacy_seconds, 4),
+        speedup_vs_pr3=round(ratio, 3),
+        processes_spawned=new_spawned,
+        processes_reused=new_reused,
+        legacy_processes_spawned=legacy_spawned,
+        stages_fused=new_metrics.stages_fused,
+        commands_fused=new_metrics.commands_fused,
+        relays_elided=new_metrics.relays_elided,
+        edges_direct=new_metrics.edges_direct,
+    )
+
+    # Cross-path and cross-backend byte-identity first, speed second.
+    for result in new_results + legacy_results:
+        assert result.output_of("out.txt") == expected.output_of("out.txt")
+    # Stage fusion must be doing real work on this shape (grep|tr chains)...
+    assert new_metrics.stages_fused >= WIDTH
+    # ...and the pooled runs must not be re-forking the graph every time.
+    assert new_spawned < legacy_spawned
+    # The acceptance bar: ≥ 1.5x lower wall clock than the PR-3 engine path.
+    assert ratio >= 1.5

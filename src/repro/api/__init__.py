@@ -20,7 +20,8 @@ The pieces, and where they live:
   ``to_dict``/``from_dict`` so future caching layers can key on it.
 * :class:`Pash` / :func:`compile` (:mod:`repro.api.pash`) — parse + region
   discovery, then the named pass pipeline per region
-  (``split-insertion → parallelize → aggregation-lowering → eager-relays``,
+  (``split-insertion → parallelize → aggregation-lowering → eager-relays →
+  fuse-stages``,
   see :mod:`repro.transform.passes`), then emission.
 * :class:`CompiledScript` (:mod:`repro.api.artifact`) — the artifact: AST,
   regions, per-region DFGs and per-pass reports, ``.emit()`` for shell text,

@@ -143,14 +143,15 @@ def resolve_backend(
 ):
     """Pick the backend name and constructor options for one execution.
 
-    An explicit ``backend`` wins over the config's selection; explicit
-    ``backend_options`` win over the config-derived ones (e.g. the parallel
-    scheduler's).
+    An explicit ``backend`` wins over the config's selection; the config's
+    derived options (e.g. the parallel scheduler's) form the base and
+    explicit ``backend_options`` override them key by key — so a session can
+    add ``pool=...`` without losing the config's scheduler options.
     """
     name = backend or (config.backend if config is not None else "interpreter")
-    if not backend_options and config is not None:
-        backend_options = config.backend_options(name)
-    return name, backend_options
+    options: Dict[str, Any] = config.backend_options(name) if config is not None else {}
+    options.update(backend_options or {})
+    return name, options
 
 
 def execute_graphs(

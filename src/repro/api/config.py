@@ -85,6 +85,12 @@ class PashConfig:
     #: Never parallelize commands whose estimated benefit is below this many
     #: input streams.
     minimum_copies: int = 2
+    #: Collapse linear stateless chains into single-worker fused stages
+    #: (the ``fuse-stages`` pass).  On by default: one worker evaluating
+    #: ``grep | tr | cut`` in-process beats three processes joined by pipes
+    #: and pump threads.  Paper-shape reproductions (Table 2, the simulated
+    #: figures) pin this off explicitly.
+    fuse_stages: bool = True
 
     # -- pass-pipeline toggles ----------------------------------------------
     #: Default passes removed from the pipeline by name (ablations).
@@ -102,6 +108,11 @@ class PashConfig:
     chunk_size: Optional[int] = None
     #: How long the parallel scheduler waits for a worker report.
     report_timeout_seconds: float = 120.0
+    #: Persistent worker-pool size hint for the parallel backend (the CLI's
+    #: ``--jobs``): the pool is pre-warmed to this many processes and grows
+    #: on demand.  ``None`` = fully lazy; ``0`` disables the pool entirely
+    #: (one fresh fork per node per run, the pre-pool behaviour).
+    jobs: Optional[int] = None
     #: Bounded-memory streaming knobs of the engine data plane.
     streaming: StreamingConfig = StreamingConfig()
 
@@ -167,6 +178,7 @@ class PashConfig:
             aggregation_fan_in=arguments.fan_in,
             disabled_passes=tuple(getattr(arguments, "disable_pass", None) or ()),
             backend=getattr(arguments, "execute", None) or "interpreter",
+            jobs=getattr(arguments, "jobs", None),
         )
 
     @classmethod
@@ -180,6 +192,7 @@ class PashConfig:
             split=config.split,
             aggregation_fan_in=config.aggregation_fan_in,
             minimum_copies=config.minimum_copies,
+            fuse_stages=config.fuse_stages,
             **overrides,
         )
 
@@ -212,6 +225,7 @@ class PashConfig:
             split=self.split,
             aggregation_fan_in=self.aggregation_fan_in,
             minimum_copies=self.minimum_copies,
+            fuse_stages=self.fuse_stages,
         )
 
     def pipeline(self):
@@ -242,6 +256,11 @@ class PashConfig:
             use_host_commands=self.use_host_commands,
             report_timeout_seconds=self.report_timeout_seconds,
         )
+        if self.jobs is not None:
+            if self.jobs <= 0:
+                options.use_pool = False
+            else:
+                options.pool_size = self.jobs
         chunk_size = (
             self.streaming.chunk_size
             if self.streaming.chunk_size is not None

@@ -41,10 +41,23 @@ class _HybridCompile:
 
 
 class Pash:
-    """A configured compiler instance.
+    """A configured compiler instance (and, optionally, an execution session).
 
     ``library`` is an optional :class:`~repro.annotations.library.AnnotationLibrary`
     overriding the standard parallelizability annotations.
+
+    Used as a context manager, a ``Pash`` becomes a *session* owning a
+    private persistent worker pool for the parallel backend::
+
+        with Pash(PashConfig.paper_default(4, backend="parallel")) as pash:
+            for script in scripts:
+                pash.run(script)        # worker processes are reused
+        # pool shut down deterministically here
+
+    Outside a ``with`` block, parallel runs draw from the process-wide
+    shared pool (:func:`repro.engine.pool.shared_pool`), so startup is
+    amortized either way; the session form only adds deterministic teardown
+    and isolation.
     """
 
     compile = _HybridCompile()
@@ -52,6 +65,37 @@ class Pash:
     def __init__(self, config: Optional[Any] = None, library: Optional[Any] = None):
         self.config = PashConfig.coerce(config)
         self.library = library
+        self._pool = None
+        self._session = False
+
+    # -- session lifecycle -------------------------------------------------
+
+    def __enter__(self) -> "Pash":
+        self._session = True
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the session's worker pool (idempotent)."""
+        self._session = False
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _session_pool(self):
+        """The session-private pool, created lazily at first parallel run."""
+        if not self._session:
+            return None
+        if self._pool is None or self._pool.closed:
+            from repro.engine.pool import WorkerPool
+
+            options = self.config.scheduler_options()
+            self._pool = WorkerPool(
+                start_method=options.start_method, size=options.pool_size
+            )
+        return self._pool
 
     def _compile(
         self,
@@ -114,6 +158,11 @@ class Pash:
         **backend_options: Any,
     ):
         """Compile ``source`` and execute it immediately (one-call form)."""
+        resolved = backend or self.config.backend
+        if resolved == "parallel" and "pool" not in backend_options:
+            pool = self._session_pool()
+            if pool is not None:
+                backend_options["pool"] = pool
         return self._compile(source).execute(
             backend=backend, environment=environment, **backend_options
         )

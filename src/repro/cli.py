@@ -89,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered engine backends and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="persistent worker-pool size for '--execute parallel' (the pool "
+        "is pre-warmed to N processes and grows on demand; 0 disables the "
+        "pool and forks one fresh process per node)",
+    )
     return parser
 
 

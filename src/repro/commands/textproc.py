@@ -1,8 +1,18 @@
-"""Text-processing commands: grep, tr, cut, sed, awk subset, and friends."""
+"""Text-processing commands: grep, tr, cut, sed, awk subset, and friends.
+
+The grep/sed/tr paths are the engine's inner loop: under the parallel
+backend's batch mode a stateless command is re-invoked once per arriving
+chunk, so anything done per *call* (compiling the pattern, parsing the sed
+script, building the tr translation table) used to repeat thousands of times
+per stream.  Those derivations are now memoized on the argument text
+(bounded ``lru_cache``), and the per-line loops hoist attribute lookups into
+locals — the classic CPython bound-method tax.
+"""
 
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import List
 
 from repro.commands.base import (
@@ -20,6 +30,15 @@ from repro.commands.base import (
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=256)
+def _compiled_grep_pattern(pattern_text: str, flags: int) -> "re.Pattern[str]":
+    """Compile (and cache) a grep pattern — batch mode re-enters per chunk."""
+    try:
+        return re.compile(pattern_text, flags)
+    except re.error as exc:
+        raise CommandError(f"grep: bad pattern {pattern_text!r}: {exc}") from exc
+
+
 def grep(arguments: List[str], inputs: List[Stream]) -> Stream:
     """``grep [-i] [-v] [-c] [-E|-F] [-w] [-x] pattern [file...]``."""
     options, operands = split_flags(arguments)
@@ -34,30 +53,27 @@ def grep(arguments: List[str], inputs: List[Stream]) -> Stream:
         pattern_text = re.escape(pattern_text)
     if has_flag(options, "-w"):
         pattern_text = r"\b(?:%s)\b" % pattern_text
-    try:
-        pattern = re.compile(pattern_text, flags)
-    except re.error as exc:
-        raise CommandError(f"grep: bad pattern {pattern_text!r}: {exc}") from exc
+    pattern = _compiled_grep_pattern(pattern_text, flags)
 
     invert = has_flag(options, "-v")
     whole_line = has_flag(options, "-x")
 
-    def matches(line: str) -> bool:
-        if whole_line:
-            found = pattern.fullmatch(line) is not None
-        else:
-            found = pattern.search(line) is not None
-        return found != invert
-
-    selected = [line for line in data if matches(line)]
+    # Hot loop: one bound-method lookup, not one per line.
+    probe = pattern.fullmatch if whole_line else pattern.search
+    if invert:
+        selected = [line for line in data if probe(line) is None]
+    else:
+        selected = [line for line in data if probe(line) is not None]
     if has_flag(options, "-c"):
         return [str(len(selected))]
     if has_flag(options, "-o"):
         out: Stream = []
+        append = out.append
+        finditer = pattern.finditer
         for line in data:
-            for match in pattern.finditer(line):
+            for match in finditer(line):
                 if bool(match.group(0)) != invert or not invert:
-                    out.append(match.group(0))
+                    append(match.group(0))
         return out
     return selected
 
@@ -77,6 +93,7 @@ _TR_CLASSES = {
 }
 
 
+@lru_cache(maxsize=256)
 def _expand_tr_set(text: str) -> str:
     """Expand character classes, ranges, and escapes in a tr SET."""
     if text in _TR_CLASSES:
@@ -97,6 +114,19 @@ def _expand_tr_set(text: str) -> str:
             expanded.append(char)
             index += 1
     return "".join(expanded)
+
+
+@lru_cache(maxsize=256)
+def _tr_translate_table(set1: str, set2: str):
+    """The (cached) str.translate table for ``tr SET1 SET2``."""
+    padded = set2 + set2[-1] * max(0, len(set1) - len(set2))
+    return str.maketrans(set1, padded[: len(set1)])
+
+
+@lru_cache(maxsize=256)
+def _tr_delete_table(set1: str):
+    """The (cached) str.translate table for ``tr -d SET1``."""
+    return {ord(char): None for char in set1}
 
 
 def tr(arguments: List[str], inputs: List[Stream]) -> Stream:
@@ -123,7 +153,7 @@ def tr(arguments: List[str], inputs: List[Stream]) -> Stream:
             keep = set(set1) | {"\n"}
             text = "".join(char for char in text if char in keep)
         else:
-            text = "".join(char for char in text if char not in set(set1))
+            text = text.translate(_tr_delete_table(set1))
     elif set2:
         if complement:
             members = set(set1)
@@ -132,9 +162,7 @@ def tr(arguments: List[str], inputs: List[Stream]) -> Stream:
                 char if (char in members or char == "\n") else replacement for char in text
             )
         else:
-            padded = set2 + set2[-1] * max(0, len(set1) - len(set2))
-            table = str.maketrans(set1, padded[: len(set1)])
-            text = text.translate(table)
+            text = text.translate(_tr_translate_table(set1, set2))
 
     if squeeze:
         squeeze_set = set(set2) if set2 else set(set1)
@@ -221,6 +249,7 @@ def cut(arguments: List[str], inputs: List[Stream]) -> Stream:
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=256)
 def _parse_sed_script(script: str):
     """Parse an ``s`` or ``y`` sed command with an arbitrary delimiter."""
     if not script or script[0] not in "sy":
@@ -282,14 +311,28 @@ def sed(arguments: List[str], inputs: List[Stream]) -> Stream:
     for script in scripts:
         kind, pattern, replacement, flags = _parse_sed_script(script)
         if kind == "y":
-            table = str.maketrans(pattern, replacement)
+            table = _sed_y_table(pattern, replacement)
             out = [line.translate(table) for line in out]
             continue
         count = 0 if "g" in flags else 1
-        compiled = re.compile(pattern)
-        python_replacement = re.sub(r"\\(\d)", r"\\\1", replacement.replace("&", "\\g<0>"))
-        out = [compiled.sub(python_replacement, line, count=count) for line in out]
+        compiled, python_replacement = _compiled_sed_substitution(pattern, replacement)
+        substitute = compiled.sub
+        out = [substitute(python_replacement, line, count) for line in out]
     return out
+
+
+@lru_cache(maxsize=256)
+def _compiled_sed_substitution(pattern: str, replacement: str):
+    """Compile (and cache) an ``s///`` command's regex and replacement text."""
+    compiled = re.compile(pattern)
+    python_replacement = re.sub(r"\\(\d)", r"\\\1", replacement.replace("&", "\\g<0>"))
+    return compiled, python_replacement
+
+
+@lru_cache(maxsize=256)
+def _sed_y_table(pattern: str, replacement: str):
+    """The (cached) translation table of a ``y///`` command."""
+    return str.maketrans(pattern, replacement)
 
 
 # ---------------------------------------------------------------------------

@@ -111,6 +111,36 @@ class RelayNode(DFGNode):
 
 
 @dataclass
+class FusedStage(DFGNode):
+    """A maximal linear chain of stateless commands evaluated by one worker.
+
+    Produced by the ``fuse-stages`` optimization pass: consecutive
+    single-input single-output commands in the *stateless* annotation class
+    (Table 1) are collapsed into one node that evaluates the whole chain as
+    an in-process generator pipeline.  Semantically the stage is the function
+    composition of its members — stateless commands satisfy
+    ``f(concat(xs)) == concat(map(f, xs))``, and composition preserves that
+    property, so a fused stage streams batch-at-a-time exactly like its
+    members did.  The parallel engine runs the chain in a single worker with
+    no interior OS pipe, pump thread, or chunk re-framing; the shell
+    back-end emits it as a plain ``a | b | c`` pipeline.
+    """
+
+    #: The fused command nodes, in dataflow order.  Their ``node_id``s are
+    #: stale (the members left the graph); only name/arguments/class matter.
+    nodes: List["CommandNode"] = field(default_factory=list)
+    kind: str = "fused"
+
+    def label(self) -> str:
+        rendered = " | ".join(node.label() for node in self.nodes)
+        return rendered if len(rendered) <= 60 else rendered[:57] + "..."
+
+    def parallelizability(self) -> ParallelizabilityClass:
+        """Composition of stateless functions is stateless."""
+        return ParallelizabilityClass.STATELESS
+
+
+@dataclass
 class AggregatorNode(DFGNode):
     """Merge the outputs of parallel copies of a pure command."""
 

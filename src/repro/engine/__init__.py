@@ -6,8 +6,11 @@ that graph with genuine OS-level concurrency.  The engine provides:
 
 * :mod:`repro.engine.channels` — OS-pipe streams with chunked framing,
   kernel backpressure, and eager-relay pumps,
-* :mod:`repro.engine.scheduler` — one worker process per DFG node, wired
-  with channels and launched in topological order,
+* :mod:`repro.engine.pool` — the persistent worker pool: processes created
+  once per session, fed plans (and file descriptors, via ``SCM_RIGHTS``)
+  across runs,
+* :mod:`repro.engine.scheduler` — one pooled worker per DFG node, wired
+  with channels, with identity relays elided and pumps only on fan-in,
 * :mod:`repro.engine.workers` — the worker bodies (Python command
   implementations or real host binaries),
 * :mod:`repro.engine.metrics` — measured per-node wall time, bytes moved,
@@ -37,6 +40,7 @@ from repro.engine.channels import (
     EagerPump,
 )
 from repro.engine.metrics import EngineMetrics, NodeMetrics
+from repro.engine.pool import WorkerPool, shared_pool
 from repro.engine.scheduler import ParallelScheduler, SchedulerOptions, execute_graph_parallel
 
 __all__ = [
@@ -55,6 +59,8 @@ __all__ = [
     "ParallelScheduler",
     "SchedulerOptions",
     "ShellBackend",
+    "WorkerPool",
+    "shared_pool",
     "available_backends",
     "create_backend",
     "execute_graph_parallel",

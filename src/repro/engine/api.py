@@ -22,6 +22,7 @@ backend (e.g. a distributed one) is one ``register_backend`` call.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import signal
 import subprocess
@@ -36,6 +37,7 @@ from repro.dfg.edges import EdgeKind
 from repro.dfg.graph import DataflowGraph
 from repro.engine.channels import decode_lines
 from repro.engine.metrics import EngineMetrics
+from repro.engine.pool import WorkerPool
 from repro.engine.scheduler import ParallelScheduler, SchedulerOptions
 from repro.runtime.executor import (
     DFGExecutor,
@@ -102,24 +104,44 @@ class InterpreterBackend(ExecutionBackend):
 
 
 class ParallelBackend(ExecutionBackend):
-    """The multiprocess scheduler: one worker process per node.
+    """The multiprocess scheduler: one (pooled) worker process per node.
 
     Constructor keywords become :class:`SchedulerOptions` fields, so
     ``engine.run(graph, backend="parallel", spill_threshold=1 << 20)``
     bounds every stream buffer at 1 MiB (excess spills to disk) and
-    ``chunk_size=...`` sets the framing granularity.  The run's
+    ``chunk_size=...`` sets the framing granularity.  ``pool`` pins the
+    backend to a specific :class:`~repro.engine.pool.WorkerPool` (a ``with
+    Pash(...)`` session passes its private pool here); without one the
+    scheduler uses the process-wide shared pool, so process startup is
+    amortized across runs either way.  The run's
     :class:`~repro.engine.metrics.EngineMetrics` report the observed
+    ``processes_spawned`` / ``processes_reused`` /
     ``peak_buffered_bytes`` / ``total_spilled_bytes``.
     """
 
     name = "parallel"
 
-    def __init__(self, options: Optional[SchedulerOptions] = None, **overrides) -> None:
-        self.options = options or SchedulerOptions(**overrides)
+    def __init__(
+        self,
+        options: Optional[SchedulerOptions] = None,
+        pool: Optional["WorkerPool"] = None,
+        **overrides,
+    ) -> None:
+        if options is None:
+            options = SchedulerOptions(**overrides)
+        elif overrides:
+            # A config-derived options object plus loose keywords (e.g.
+            # ``spill_threshold=...`` on CompiledScript.execute): the
+            # explicit keywords win field-by-field.
+            options = dataclasses.replace(options, **overrides)
+        self.options = options
+        self.pool = pool
 
     def execute(self, graph: DataflowGraph, environment: ExecutionEnvironment) -> EngineResult:
         started = time.perf_counter()
-        result, metrics = ParallelScheduler(environment, self.options).execute(graph)
+        result, metrics = ParallelScheduler(
+            environment, self.options, pool=self.pool
+        ).execute(graph)
         elapsed = time.perf_counter() - started
         return self._wrap(result, elapsed, metrics)
 

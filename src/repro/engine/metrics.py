@@ -21,6 +21,12 @@ class NodeMetrics:
     kind: str
     pid: int
     wall_seconds: float = 0.0
+    #: Seconds inside the node's own evaluation (registry/aggregator calls);
+    #: ``wall_seconds - compute_seconds`` is time spent streaming/waiting.
+    compute_seconds: float = 0.0
+    #: True when this node ran on a reused pool worker instead of a fresh
+    #: process.
+    reused_worker: bool = False
     bytes_in: int = 0
     bytes_out: int = 0
     lines_in: int = 0
@@ -45,6 +51,24 @@ class EngineMetrics:
     backend: str = "parallel"
     elapsed_seconds: float = 0.0
     nodes: List[NodeMetrics] = field(default_factory=list)
+    #: OS processes created for this run (pool growth + dedicated forks).
+    processes_spawned: int = 0
+    #: Nodes served by an already-running pool worker (the amortization win).
+    processes_reused: int = 0
+    #: Seconds spent creating processes and dispatching plans this run.
+    spawn_seconds: float = 0.0
+    #: Stateless chains the ``fuse-stages`` pass collapsed in the executed
+    #: graph (each eliminated ``len(chain) - 1`` processes and pipes).
+    stages_fused: int = 0
+    #: Commands eliminated as separate processes by those fusions.
+    commands_fused: int = 0
+    #: Non-blocking relay nodes bridged pipe-to-pipe instead of running as
+    #: forwarder processes.
+    relays_elided: int = 0
+    #: Channel inputs read directly (no eager-pump thread, no extra copy).
+    edges_direct: int = 0
+    #: Channel inputs drained through eager pumps (deadlock-relevant fan-in).
+    edges_buffered: int = 0
 
     @property
     def worker_count(self) -> int:
@@ -96,10 +120,23 @@ class EngineMetrics:
     def by_node(self) -> Dict[int, NodeMetrics]:
         return {node.node_id: node for node in self.nodes}
 
+    @property
+    def total_compute_seconds(self) -> float:
+        """Sum of per-node evaluation time (the rest of node wall is streaming)."""
+        return sum(node.compute_seconds for node in self.nodes)
+
     def merge(self, other: "EngineMetrics") -> None:
         """Fold another run's metrics in (used for multi-region scripts)."""
         self.elapsed_seconds += other.elapsed_seconds
         self.nodes.extend(other.nodes)
+        self.processes_spawned += other.processes_spawned
+        self.processes_reused += other.processes_reused
+        self.spawn_seconds += other.spawn_seconds
+        self.stages_fused += other.stages_fused
+        self.commands_fused += other.commands_fused
+        self.relays_elided += other.relays_elided
+        self.edges_direct += other.edges_direct
+        self.edges_buffered += other.edges_buffered
 
     def summary(self) -> str:
         """One-line human-readable digest (used by the CLI's --report)."""
@@ -109,6 +146,17 @@ class EngineMetrics:
             f"{self.total_bytes_moved} bytes moved; "
             f"utilization {self.worker_utilization:.0%}"
         )
+        if self.processes_spawned or self.processes_reused:
+            digest += (
+                f"; {self.processes_spawned} spawned + "
+                f"{self.processes_reused} reused "
+                f"(spawn {self.spawn_seconds * 1000:.1f} ms)"
+            )
+        if self.stages_fused or self.relays_elided:
+            digest += (
+                f"; fused {self.commands_fused} commands into "
+                f"{self.stages_fused} stages, elided {self.relays_elided} relays"
+            )
         if self.total_spilled_bytes:
             digest += (
                 f"; spilled {self.total_spilled_bytes} bytes to disk "

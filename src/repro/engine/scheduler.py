@@ -1,11 +1,24 @@
 """The multiprocess DFG scheduler.
 
 Instantiates a :class:`~repro.dfg.graph.DataflowGraph` the way PaSh's runtime
-does (§5.2): one OS pipe per internal edge, one process per node, launched in
-topological order, with the parent waiting only for the graph's output
-producers (reports, here).  Unlike the in-process executor — which evaluates
-nodes one at a time — every node of the graph runs concurrently, so parallel
-branches created by the optimizer overlap on real hardware.
+does (§5.2): one OS pipe per internal edge, one worker process per node, all
+running concurrently so parallel branches created by the optimizer overlap on
+real hardware.  Unlike the original one-``fork``-per-node-per-run design, the
+scheduler now draws workers from a persistent :class:`~repro.engine.pool.WorkerPool`
+(processes are created once and reused across runs — the dominant cost of
+short pipelines was our own spawning) and rationalizes the data plane with
+the order-aware dataflow analysis:
+
+* **relay elision** — non-blocking identity relays are not worth a process
+  in-engine: the producer is wired pipe-to-pipe to the relay's consumer, and
+  the eager buffering the relay stood for is provided by the consumer-side
+  pumps (below).  Blocking relays keep their worker — absorb-then-forward is
+  observable timing semantics (Fig. 6).
+* **pump rationalization** — eager-pump threads are started only on edges
+  that are deadlock-relevant: fan-in nodes (aggregators, ``cat`` combiners,
+  anything consuming two or more channels sequentially).  Straight-line
+  edges are read directly, with kernel-pipe backpressure and zero extra
+  copies — see :class:`~repro.engine.workers.DirectSource`.
 
 Graph-input edges (stdin, input files) are resolved against the execution
 environment up front and handed to the workers inline; graph-output edges are
@@ -16,18 +29,21 @@ two backends are observationally identical.
 
 from __future__ import annotations
 
-import multiprocessing
+import itertools
 import os
 import queue as queue_module
 import shutil
 import tempfile
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.commands.base import Stream
+from repro.commands.registry import standard_registry
 from repro.dfg.edges import Edge, EdgeKind
 from repro.dfg.graph import DataflowGraph
+from repro.dfg.nodes import FusedStage, RelayNode
 from repro.engine.channels import (
     DEFAULT_CHUNK_SIZE,
     DEFAULT_SPILL_THRESHOLD,
@@ -35,6 +51,7 @@ from repro.engine.channels import (
     iter_decoded_lines,
 )
 from repro.engine.metrics import EngineMetrics, NodeMetrics
+from repro.engine.pool import WorkerPool, resolve_context, shared_pool
 from repro.engine.workers import (
     SPILL_PATH_KEY,
     InputPort,
@@ -48,6 +65,9 @@ from repro.runtime.executor import (
     ExecutionResult,
     deliver_output,
 )
+
+#: Distinguishes runs on a shared (pool) report queue.
+_run_tokens = itertools.count(1)
 
 
 @dataclass
@@ -68,22 +88,36 @@ class SchedulerOptions:
     #: How long to wait for any single worker report before declaring the
     #: run wedged.
     report_timeout_seconds: float = 120.0
-    #: Preferred multiprocessing start method.  ``fork`` keeps channel file
-    #: descriptors and the (possibly customized) command registry intact;
-    #: platforms without it fall back to the default method.
+    #: Preferred multiprocessing start method.  ``fork`` is cheapest; on
+    #: spawn-only platforms the pool still works (descriptors are passed
+    #: explicitly and the command registry is re-created in the child).
     start_method: str = "fork"
+    #: Serve nodes from a persistent worker pool instead of forking one
+    #: fresh process per node per run.
+    use_pool: bool = True
+    #: Pre-warm the pool to this many workers (None = grow lazily).
+    pool_size: Optional[int] = None
+    #: When to drain channel inputs through eager-pump threads: ``"fan-in"``
+    #: pumps only deadlock-relevant edges, ``"all"`` pumps every edge (the
+    #: pre-rationalization behaviour, kept for ablations).
+    pump_policy: str = "fan-in"
+    #: Bridge non-blocking identity relays pipe-to-pipe instead of running
+    #: them as forwarder processes.
+    elide_relays: bool = True
 
 
 class ParallelScheduler:
-    """Executes dataflow graphs with one worker process per node."""
+    """Executes dataflow graphs with one (pooled) worker process per node."""
 
     def __init__(
         self,
         environment: Optional[ExecutionEnvironment] = None,
         options: Optional[SchedulerOptions] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         self.environment = environment or ExecutionEnvironment()
         self.options = options or SchedulerOptions()
+        self._pool = pool
 
     # ------------------------------------------------------------------
 
@@ -103,8 +137,43 @@ class ParallelScheduler:
             metrics.elapsed_seconds = time.perf_counter() - started
             return result, metrics
 
-        context = self._context()
-        channels = self._open_channels(graph)
+        context = resolve_context(self.options.start_method)
+        pool = self._resolve_pool(context)
+        if pool is None and context.get_start_method() != "fork":
+            raise ExecutionError(
+                "the parallel backend needs the worker pool under the "
+                f"{context.get_start_method()!r} start method (channel "
+                "descriptors cannot be inherited without fork); re-enable "
+                "use_pool or switch to start_method='fork'"
+            )
+
+        skipped, heads, tails = self._plan_elisions(graph)
+        self._annotate_fusion(graph, metrics)
+        metrics.relays_elided = len(skipped)
+
+        # One run at a time per pool: a run's reports travel through the
+        # pool's shared queue, so an interleaved run would steal them.
+        run_guard = pool.run_lock if pool is not None else nullcontext()
+        with run_guard:
+            return self._execute_locked(
+                graph, metrics, result, context, pool, skipped, heads, tails, started
+            )
+
+    def _execute_locked(
+        self, graph, metrics, result, context, pool, skipped, heads, tails, started
+    ) -> Tuple[ExecutionResult, EngineMetrics]:
+        # Grow the pool *before* any of this run's pipes exist: under fork a
+        # worker spawned later would inherit the pipes and hold their write
+        # ends open forever (consumers would never see EOF).
+        pool_growth = 0
+        if pool is not None:
+            spawn_started = time.perf_counter()
+            spawned_before = pool.processes_spawned
+            pool.ensure_idle(len(graph.nodes) - len(skipped))
+            pool_growth = pool.processes_spawned - spawned_before
+            metrics.spawn_seconds += time.perf_counter() - spawn_started
+
+        channels = self._open_channels(graph, skipped, tails)
         all_fds = [fd for channel in channels.values() for fd in channel.fds()]
         # All of this run's spill files (pump overflow, oversized graph
         # outputs) live in one run-scoped directory, removed unconditionally
@@ -113,31 +182,63 @@ class ParallelScheduler:
         run_spill_directory = tempfile.mkdtemp(
             prefix="pash-run-spill-", dir=self.options.spill_directory
         )
+        token = next(_run_tokens)
+        pooled: Dict[int, object] = {}  # node_id -> PoolWorker
+        reports: Dict[int, dict] = {}
         try:
             plans = [
-                self._plan(node_id, graph, channels, all_fds, run_spill_directory)
+                self._plan(
+                    node_id, graph, channels, all_fds, run_spill_directory,
+                    heads, tails, token,
+                )
                 for node_id in self._topo_ids(graph)
+                if node_id not in skipped
             ]
+            self._count_edge_modes(plans, metrics)
 
-            report_queue = context.Queue()
+            report_queue = pool.report_queue if pool is not None else context.Queue()
             processes = []
+            spawn_started = time.perf_counter()
             try:
                 for plan in plans:
+                    if pool is not None:
+                        worker = pool.dispatch(plan)
+                        if worker is not None:
+                            pooled[plan.node.node_id] = worker
+                            processes.append((plan.node, worker.process))
+                            continue
+                    # Dedicated fork: the plan cannot travel to a persistent
+                    # worker (unpicklable custom registry) or pooling is off.
+                    # The child inherits every channel fd and closes the ones
+                    # it does not own.
+                    if context.get_start_method() != "fork":
+                        raise ExecutionError(
+                            f"node {plan.node.label()} carries a command "
+                            "registry that cannot be pickled to a pool worker, "
+                            "and the fallback fork path is unavailable under "
+                            f"the {context.get_start_method()!r} start method"
+                        )
                     process = context.Process(
                         target=execute_plan,
                         args=(plan, report_queue),
                         name=f"pash-node-{plan.node.node_id}",
                     )
                     process.start()
+                    metrics.processes_spawned += 1
                     processes.append((plan.node, process))
             finally:
+                metrics.spawn_seconds += time.perf_counter() - spawn_started
+                metrics.processes_spawned += pool_growth
+                metrics.processes_reused += max(0, len(pooled) - pool_growth)
                 # The parent holds no edge: drop every channel fd so that EOF
                 # propagation is entirely between the workers.
                 for channel in channels.values():
                     channel.close()
 
-            reports = self._collect_reports(report_queue, processes, len(plans))
-            for _, process in processes:
+            reports = self._collect_reports(report_queue, processes, len(plans), token)
+            for node, process in processes:
+                if node.node_id in pooled:
+                    continue  # pool workers stay alive by design
                 process.join(timeout=self.options.report_timeout_seconds)
                 if process.is_alive():  # pragma: no cover - defensive
                     process.terminate()
@@ -160,11 +261,13 @@ class ParallelScheduler:
                         kind=report["kind"],
                         pid=report["pid"],
                         wall_seconds=report["wall_seconds"],
+                        compute_seconds=report.get("compute_seconds", 0.0),
                         bytes_in=report["bytes_in"],
                         bytes_out=report["bytes_out"],
                         lines_in=report["lines_in"],
                         lines_out=report["lines_out"],
                         host_command=report["host_command"],
+                        reused_worker=report["node_id"] in pooled,
                         peak_buffered_bytes=report.get("peak_buffered_bytes", 0),
                         spilled_bytes=report.get("spilled_bytes", 0),
                         spill_events=report.get("spill_events", 0),
@@ -174,8 +277,20 @@ class ParallelScheduler:
         except Exception:
             for channel in channels.values():
                 channel.close()
+            if pool is not None:
+                # Flush reports a wedged or abandoned worker may still queue.
+                pool.drain_stale_reports()
             raise
         finally:
+            if pool is not None:
+                # Exactly one hand-back per dispatched worker: reported ones
+                # return to the idle set, the rest may be wedged mid-node and
+                # are dropped (the pool re-grows lazily next run).
+                for node_id, worker in pooled.items():
+                    if node_id in reports:
+                        pool.release(worker)
+                    else:
+                        pool.discard(worker)
             shutil.rmtree(run_spill_directory, ignore_errors=True)
 
         self._deliver(graph, edge_values, result)
@@ -185,24 +300,91 @@ class ParallelScheduler:
 
     # ------------------------------------------------------------------
 
-    def _context(self):
-        try:
-            return multiprocessing.get_context(self.options.start_method)
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            return multiprocessing.get_context()
+    def _resolve_pool(self, context) -> Optional[WorkerPool]:
+        if not self.options.use_pool:
+            return None
+        pool = self._pool
+        if pool is None or pool.closed:
+            pool = shared_pool(context.get_start_method())
+        if self.options.pool_size:
+            pool.prewarm(self.options.pool_size)
+        return pool
 
     @staticmethod
     def _topo_ids(graph: DataflowGraph) -> List[int]:
         return [node.node_id for node in graph.topological_order()]
 
-    def _open_channels(self, graph: DataflowGraph) -> Dict[int, Channel]:
-        """One OS pipe per internal edge (produced and consumed in-graph)."""
+    @staticmethod
+    def _annotate_fusion(graph: DataflowGraph, metrics: EngineMetrics) -> None:
+        for node in graph.nodes.values():
+            if isinstance(node, FusedStage):
+                metrics.stages_fused += 1
+                metrics.commands_fused += len(node.nodes)
+
+    # -- relay elision -------------------------------------------------------
+
+    def _plan_elisions(self, graph: DataflowGraph):
+        """Bridge non-blocking identity relays out of the process plan.
+
+        Returns ``(skipped, heads, tails)``: the node ids of elided relays
+        plus single-step edge aliases.  ``heads`` maps a relay's output edge
+        to its input edge (follow transitively to find where a consumer's
+        stream really comes from); ``tails`` is the inverse (where a
+        producer's stream really goes).  A relay whose stream would end up
+        with neither a producing nor a consuming worker (graph input straight
+        to graph output) keeps its process — something must move the bytes.
+        """
+        skipped: Dict[int, RelayNode] = {}
+        heads: Dict[int, int] = {}
+        tails: Dict[int, int] = {}
+        if not self.options.elide_relays:
+            return skipped, heads, tails
+
+        for node_id in sorted(graph.nodes):
+            node = graph.nodes[node_id]
+            if not isinstance(node, RelayNode) or node.blocking:
+                continue
+            if len(node.inputs) != 1 or len(node.outputs) != 1:
+                continue
+            into, out = node.inputs[0], node.outputs[0]
+            head_edge = graph.edge(self._follow(heads, into))
+            tail_edge = graph.edge(self._follow(tails, out))
+            producer_gone = head_edge.source is None or head_edge.source in skipped
+            consumer_gone = tail_edge.target is None or tail_edge.target in skipped
+            if producer_gone and consumer_gone:
+                continue  # keep one mover for a source-to-sink stream
+            skipped[node_id] = node
+            heads[out] = into
+            tails[into] = out
+        return skipped, heads, tails
+
+    @staticmethod
+    def _follow(mapping: Dict[int, int], edge_id: int) -> int:
+        while edge_id in mapping:
+            edge_id = mapping[edge_id]
+        return edge_id
+
+    def _open_channels(
+        self, graph: DataflowGraph, skipped: Dict[int, RelayNode], tails: Dict[int, int]
+    ) -> Dict[int, Channel]:
+        """One OS pipe per *stream*: elided relays do not split an edge in two.
+
+        Channels are keyed by the stream's head edge (the producing worker's
+        output edge); consumers look their read end up by following their
+        input edge back to that head.
+        """
         channels: Dict[int, Channel] = {}
         for edge_id in sorted(graph.edges):
             edge = graph.edges[edge_id]
-            if edge.source is not None and edge.target is not None:
-                channels[edge_id] = Channel(edge_id, chunk_size=self.options.chunk_size)
+            if edge.source is None or edge.source in skipped:
+                continue
+            tail = graph.edge(self._follow(tails, edge_id))
+            if tail.target is None:
+                continue
+            channels[edge_id] = Channel(edge_id, chunk_size=self.options.chunk_size)
         return channels
+
+    # -- planning ------------------------------------------------------------
 
     def _plan(
         self,
@@ -211,31 +393,56 @@ class ParallelScheduler:
         channels: Dict[int, Channel],
         all_fds: List[int],
         spill_directory: str,
+        heads: Dict[int, int],
+        tails: Dict[int, int],
+        token: int,
     ) -> WorkerPlan:
         node = graph.node(node_id)
         inputs = []
         for edge_id in node.inputs:
-            if edge_id in channels:
-                inputs.append(InputPort(edge_id, fd=channels[edge_id].read_fd))
+            head = self._follow(heads, edge_id)
+            if head in channels:
+                inputs.append(InputPort(edge_id, fd=channels[head].read_fd))
             else:
-                inputs.append(self._input_port(edge_id, graph.edge(edge_id)))
+                inputs.append(self._input_port(edge_id, graph.edge(head)))
         outputs = []
         for edge_id in node.outputs:
             if edge_id in channels:
                 outputs.append(OutputPort(edge_id, fd=channels[edge_id].write_fd))
             else:
-                outputs.append(OutputPort(edge_id))
+                # Graph output (possibly through elided relays): report the
+                # stream under the final output edge's id so delivery finds it.
+                outputs.append(OutputPort(self._follow(tails, edge_id)))
+        registry = self.environment.registry
+        if registry is standard_registry():
+            # The standard registry is re-created in the worker (cheap, cached
+            # per process); not shipping it keeps plans small and makes them
+            # picklable under every start method.
+            registry = None
         return WorkerPlan(
             node=node,
             inputs=inputs,
             outputs=outputs,
-            registry=self.environment.registry,
+            registry=registry,
             use_host_commands=self.options.use_host_commands,
             chunk_size=self.options.chunk_size,
             spill_threshold=self.options.spill_threshold,
             spill_directory=spill_directory,
             close_fds=all_fds,
+            pump_policy=self.options.pump_policy,
+            run_token=token,
         )
+
+    @staticmethod
+    def _count_edge_modes(plans: List[WorkerPlan], metrics: EngineMetrics) -> None:
+        for plan in plans:
+            channel_inputs = sum(1 for port in plan.inputs if port.fd is not None)
+            if channel_inputs == 0:
+                continue
+            if plan.pump_policy == "all" or channel_inputs >= 2:
+                metrics.edges_buffered += channel_inputs
+            else:
+                metrics.edges_direct += channel_inputs
 
     def _resolve_input(self, edge: Edge) -> Stream:
         """Materialize a graph-input edge from the environment."""
@@ -259,7 +466,9 @@ class ParallelScheduler:
         if edge.kind is EdgeKind.FILE and edge.name:
             path = self.environment.filesystem.real_path(edge.name)
             if path is not None:
-                return InputPort(edge_id, path=path)
+                # Resolved here, against *this* process's cwd: a persistent
+                # pool worker may have been spawned under a different one.
+                return InputPort(edge_id, path=os.path.abspath(path))
         return InputPort(edge_id, data=self._resolve_input(edge))
 
     def _restore_output(self, value) -> Stream:
@@ -280,21 +489,33 @@ class ParallelScheduler:
                     pass
         return value
 
-    def _collect_reports(self, report_queue, processes, expected: int) -> Dict[int, dict]:
+    # -- report collection ---------------------------------------------------
+
+    def _collect_reports(
+        self, report_queue, processes, expected: int, token: int
+    ) -> Dict[int, dict]:
         """Gather one report per worker, failing fast on dead workers.
 
         A worker killed by a signal (SIGKILL, OOM) never reaches its
         ``finally`` block, so its report never arrives; waiting for the full
         timeout would hang the run for minutes on an already-observable
         death.  Poll in short slices and check the process table between
-        them.
+        them.  Reports carrying a different run token are leftovers of an
+        abandoned earlier run on a shared pool queue and are dropped.
         """
         reports: Dict[int, dict] = {}
         deadline = time.monotonic() + self.options.report_timeout_seconds
+
+        def take(block_seconds: float) -> bool:
+            report = report_queue.get(timeout=block_seconds)
+            if report.get("token", token) != token:
+                return False
+            reports[report["node_id"]] = report
+            return True
+
         while len(reports) < expected:
             try:
-                report = report_queue.get(timeout=0.25)
-                reports[report["node_id"]] = report
+                take(0.25)
                 continue
             except queue_module.Empty:
                 pass
@@ -308,8 +529,7 @@ class ParallelScheduler:
                 # be in flight through the queue's pipe.
                 try:
                     while len(reports) < expected:
-                        report = report_queue.get(timeout=1.0)
-                        reports[report["node_id"]] = report
+                        take(1.0)
                 except queue_module.Empty:
                     pass
                 silent = [
@@ -318,14 +538,14 @@ class ParallelScheduler:
                     if node.node_id not in reports
                 ]
                 if silent:
-                    self._terminate(processes)
+                    self._terminate(processes, reports)
                     detail = "; ".join(
                         f"{node.label()} (exit code {process.exitcode})"
                         for node, process in silent
                     )
                     raise ExecutionError(f"worker(s) died without reporting: {detail}")
             if time.monotonic() > deadline:
-                self._terminate(processes)
+                self._terminate(processes, reports)
                 missing = expected - len(reports)
                 raise ExecutionError(
                     f"parallel execution wedged: {missing} worker(s) never reported "
@@ -334,13 +554,19 @@ class ParallelScheduler:
         return reports
 
     @staticmethod
-    def _terminate(processes) -> None:
-        for _, process in processes:
-            if process.is_alive():
+    def _terminate(processes, reports: Dict[int, dict]) -> None:
+        """Stop workers still stuck in this run (reported ones are done)."""
+        for node, process in processes:
+            if node.node_id not in reports and process.is_alive():
                 process.terminate()
 
+    # -- delivery ------------------------------------------------------------
+
     def _deliver(
-        self, graph: DataflowGraph, edge_values: Dict[int, Stream], result: ExecutionResult
+        self,
+        graph: DataflowGraph,
+        edge_values: Dict[int, Stream],
+        result: ExecutionResult,
     ) -> None:
         for edge in graph.output_edges():
             stream = edge_values.get(edge.edge_id)
@@ -353,6 +579,7 @@ def execute_graph_parallel(
     graph: DataflowGraph,
     environment: Optional[ExecutionEnvironment] = None,
     options: Optional[SchedulerOptions] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> Tuple[ExecutionResult, EngineMetrics]:
     """Convenience wrapper: execute ``graph`` on the parallel scheduler."""
-    return ParallelScheduler(environment, options).execute(graph)
+    return ParallelScheduler(environment, options, pool=pool).execute(graph)

@@ -1,10 +1,12 @@
 """Worker-process bodies for the parallel engine.
 
-Every DFG node becomes one OS process whose body is :func:`execute_plan`:
-drain all inputs concurrently (eager pumps), evaluate the node, write the
-outputs.  Command nodes either exec the real host binary (when enabled and
-available) or run the registry's pure-Python implementation — either way in
-a separate process, so parallel branches genuinely overlap.
+Every DFG node is executed by one OS process — a persistent pool worker
+(:mod:`repro.engine.pool`) or a dedicated fork — whose body is
+:func:`execute_plan`: open the input sources (eager pumps on fan-in edges,
+direct pipe reads everywhere else), evaluate the node, write the outputs.
+Command nodes either exec the real host binary (when enabled and available)
+or run the registry's pure-Python implementation — either way in a separate
+process, so parallel branches genuinely overlap.
 
 The data plane is *streaming*, not materialize-then-forward.  Each node runs
 in one of three modes, picked by :func:`execution_mode`:
@@ -12,10 +14,13 @@ in one of three modes, picked by :func:`execution_mode`:
 * ``chunks`` — pure pass-through nodes (relays, concatenations) forward raw
   framed byte chunks from their inputs to their outputs without ever
   decoding a line; memory use is one chunk.
-* ``batches`` — stateless commands (per the Table-1 annotation classes; see
+* ``batches`` — stateless commands and fused stateless chains (per the
+  Table-1 annotation classes; see
   :func:`repro.runtime.executor.node_streams_statelessly`) are evaluated one
   line batch at a time, which is bit-identical to whole-stream evaluation by
   the same property that makes them parallelizable; memory use is one batch.
+  A :class:`~repro.dfg.nodes.FusedStage` runs its whole command chain over
+  each batch in-process — no pipe, pump, or re-framing between members.
 * ``materialize`` — everything else (sort-likes, aggregators, splits, host
   commands) still needs the whole stream; the eager pumps that feed it
   buffer at most ``spill_threshold`` bytes in memory and spill the rest to
@@ -39,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.commands.base import CommandRegistry, Stream
-from repro.dfg.nodes import CatNode, CommandNode, DFGNode, RelayNode
+from repro.dfg.nodes import CatNode, CommandNode, DFGNode, FusedStage, RelayNode
 from repro.engine.channels import (
     DEFAULT_CHUNK_SIZE,
     DEFAULT_SPILL_THRESHOLD,
@@ -53,7 +58,11 @@ from repro.engine.channels import (
     iter_decoded_batches,
     iter_encoded_chunks,
 )
-from repro.runtime.executor import evaluate_node, node_streams_statelessly
+from repro.runtime.executor import (
+    evaluate_node,
+    evaluate_stateless_batch,
+    node_streams_statelessly,
+)
 
 #: Report-entry key marking a graph output delivered via a spill file.
 SPILL_PATH_KEY = "spill_path"
@@ -103,8 +112,17 @@ class WorkerPlan:
     #: Directory for spill files (None = the system temp directory).
     spill_directory: Optional[str] = None
     #: Every channel fd in the graph; the worker closes the ones it does not
-    #: own so that EOF propagates correctly after the fork.
+    #: own so that EOF propagates correctly after the fork.  Empty for pool
+    #: workers, which only ever receive their own descriptors.
     close_fds: List[int] = field(default_factory=list)
+    #: When to drain channel inputs through an eager-pump thread:
+    #: ``"fan-in"`` pumps only nodes with two or more channel inputs (the
+    #: edges the order-aware analysis marks deadlock-relevant); ``"all"``
+    #: reproduces the pump-every-edge behaviour of earlier revisions.
+    pump_policy: str = "fan-in"
+    #: Identifies the scheduler run this plan belongs to; echoed in the
+    #: report so a shared (pool) report queue never mixes runs up.
+    run_token: int = 0
 
 
 def host_command_available(node: DFGNode, use_host_commands: bool) -> bool:
@@ -252,6 +270,25 @@ class PumpSource(InputSource):
         return self.pump.spill_events
 
 
+class DirectSource(InputSource):
+    """A channel input read pipe-to-pipe, with no pump thread or extra copy.
+
+    Used for every edge the order-aware analysis does *not* mark as
+    deadlock-relevant: a node with a single channel input consumes it from
+    the moment it starts, so its producer can never block behind an input
+    this worker "has not reached yet" — the eager buffer would be pure tax
+    (one thread plus one memcpy per chunk).  Backpressure remains the
+    kernel's pipe buffer, exactly like a plain shell pipeline.
+    """
+
+    def __init__(self, reader: ChannelReader) -> None:
+        super().__init__()
+        self.reader = reader
+
+    def _raw_chunks(self) -> Iterator[bytes]:
+        return self.reader.iter_chunks()
+
+
 class FileSource(InputSource):
     """A graph-input file streamed straight from disk, chunk-by-chunk.
 
@@ -293,23 +330,32 @@ class InlineSource(InputSource):
 
 
 def _open_sources(plan: WorkerPlan) -> List[InputSource]:
-    """One source per input port; channel pumps start draining immediately.
+    """One source per input port; fan-in channels get eager pumps.
 
-    Starting every pump before any consumption is what makes the engine
-    deadlock-free for arbitrary fan-in: no producer ever blocks on an input
-    this worker has not reached yet.
+    Deadlock-freedom needs eager buffering only where a worker consumes
+    several channels *sequentially*: starting one pump per channel before
+    any consumption guarantees no producer blocks on an input this worker
+    has not reached yet.  A node with a single channel input is itself a
+    continuous consumer, so (under the default ``"fan-in"`` policy) it reads
+    the pipe directly — zero extra threads, zero extra copies on every
+    straight-line edge.
     """
+    channel_ports = sum(1 for port in plan.inputs if port.fd is not None)
+    pump_channels = plan.pump_policy == "all" or channel_ports >= 2
     sources: List[InputSource] = []
     for port in plan.inputs:
         if port.fd is not None:
             reader = ChannelReader(port.fd, chunk_size=plan.chunk_size)
-            pump = EagerPump(
-                reader,
-                spill_threshold=plan.spill_threshold,
-                spill_directory=plan.spill_directory,
-            )
-            pump.start()
-            sources.append(PumpSource(reader, pump))
+            if pump_channels:
+                pump = EagerPump(
+                    reader,
+                    spill_threshold=plan.spill_threshold,
+                    spill_directory=plan.spill_directory,
+                )
+                pump.start()
+                sources.append(PumpSource(reader, pump))
+            else:
+                sources.append(DirectSource(reader))
         elif port.path is not None:
             sources.append(FileSource(port.path, plan.chunk_size))
         else:
@@ -544,23 +590,28 @@ def _run_chunk_mode(
 
 def _run_batch_mode(
     plan: WorkerPlan, sources: List[InputSource], sinks: List[OutputSink],
-    registry: CommandRegistry,
+    registry: CommandRegistry, report: Dict[str, object],
 ) -> None:
-    """Evaluate a stateless command one line batch at a time."""
+    """Evaluate a stateless command (or fused chain) one line batch at a time."""
     node = plan.node
-    assert isinstance(node, CommandNode)
+    compute = 0.0
     saw_input = False
     for batch in sources[0].iter_batches():
         saw_input = True
-        output = registry.run(node.name, node.arguments, [batch])
+        started = time.perf_counter()
+        output = evaluate_stateless_batch(node, batch, registry)
+        compute += time.perf_counter() - started
         for sink in sinks:
             sink.write_lines(output)
     if not saw_input:
         # Preserve exact interpreter behaviour for empty streams even if a
         # command's annotation overstates its statelessness.
-        output = registry.run(node.name, node.arguments, [[]])
+        started = time.perf_counter()
+        output = evaluate_stateless_batch(node, [], registry)
+        compute += time.perf_counter() - started
         for sink in sinks:
             sink.write_lines(output)
+    report["compute_seconds"] = compute
 
 
 def _run_materialize_mode(
@@ -570,11 +621,13 @@ def _run_materialize_mode(
     """Whole-stream evaluation for nodes that need all their input at once."""
     node = plan.node
     inputs: List[Stream] = [source.lines() for source in sources]
+    started = time.perf_counter()
     if host_command_available(node, plan.use_host_commands):
         report["host_command"] = True
         outputs = [_run_host_command(node, inputs)]
     else:
         outputs = evaluate_node(node, inputs, registry)
+    report["compute_seconds"] = time.perf_counter() - started
     # Mirror the interpreter's arity check: a mismatch must be a loud
     # error, not silently-empty downstream edges.
     if len(outputs) != len(plan.outputs):
@@ -604,9 +657,11 @@ def execute_plan(plan: WorkerPlan, report_queue) -> None:
         "label": node.label(),
         "kind": node.kind,
         "pid": os.getpid(),
+        "token": plan.run_token,
         "error": None,
         "outputs": {},
         "wall_seconds": 0.0,
+        "compute_seconds": 0.0,
         "bytes_in": 0,
         "bytes_out": 0,
         "lines_in": 0,
@@ -641,7 +696,7 @@ def execute_plan(plan: WorkerPlan, report_queue) -> None:
         if mode == "chunks":
             staging = _run_chunk_mode(plan, sources, sinks)
         elif mode == "batches":
-            _run_batch_mode(plan, sources, sinks, registry)
+            _run_batch_mode(plan, sources, sinks, registry, report)
         else:
             _run_materialize_mode(plan, sources, sinks, registry, report)
 

@@ -11,6 +11,7 @@ Two kinds of performance numbers coexist here:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -69,6 +70,11 @@ def script_graphs(script: str, config: ParallelizationConfig) -> ScriptGraphs:
     carried over unoptimized, exactly as the emitted script would leave them
     untouched.
     """
+    # The discrete-event simulator models the paper's one-process-per-node
+    # runtime; our post-paper stage fusion would misrepresent it, so the
+    # simulated graph shapes pin it off (the engine's measured runs keep it).
+    config = dataclasses.replace(PashConfig.coerce(config).parallelization(), fuse_stages=False)
+
     ast = parse(script)
     standard_builder = DFGBuilder(standard_library())
     lenient_builder = DFGBuilder(timing_library())

@@ -16,7 +16,15 @@ from repro.commands import CommandRegistry, standard_registry
 from repro.commands.base import Stream
 from repro.dfg.edges import Edge, EdgeKind
 from repro.dfg.graph import DataflowGraph
-from repro.dfg.nodes import AggregatorNode, CatNode, CommandNode, DFGNode, RelayNode, SplitNode
+from repro.dfg.nodes import (
+    AggregatorNode,
+    CatNode,
+    CommandNode,
+    DFGNode,
+    FusedStage,
+    RelayNode,
+    SplitNode,
+)
 from repro.runtime.aggregators import apply_aggregator
 from repro.runtime.eager import relay
 from repro.runtime.split import split_stream
@@ -42,6 +50,10 @@ def evaluate_node(node: DFGNode, inputs: List[Stream], registry: CommandRegistry
         output = registry.run(node.name, node.arguments, inputs)
         count = max(1, len(node.outputs))
         return [list(output) for _ in range(count)]
+    if isinstance(node, FusedStage):
+        output = evaluate_stateless_batch(node, inputs[0] if inputs else [], registry)
+        count = max(1, len(node.outputs))
+        return [list(output) for _ in range(count)]
     if isinstance(node, AggregatorNode):
         output = apply_aggregator(node.aggregator, inputs, node.command_arguments)
         return [output]
@@ -62,6 +74,23 @@ def evaluate_node(node: DFGNode, inputs: List[Stream], registry: CommandRegistry
     raise ExecutionError(f"cannot execute node of kind {node.kind!r}")
 
 
+def evaluate_stateless_batch(node: DFGNode, batch: Stream, registry: CommandRegistry) -> Stream:
+    """Evaluate one stateless node (or fused chain) over one line batch.
+
+    The single evaluation kernel shared by the interpreter and the parallel
+    engine's batch-mode workers: a :class:`~repro.dfg.nodes.FusedStage` runs
+    its members as an in-process pipeline (each member's output feeds the
+    next, no intermediate framing), a plain command runs once.
+    """
+    if isinstance(node, FusedStage):
+        stream: Stream = batch
+        for member in node.nodes:
+            stream = registry.run(member.name, member.arguments, [stream])
+        return stream
+    assert isinstance(node, CommandNode)
+    return registry.run(node.name, node.arguments, [batch])
+
+
 def node_streams_statelessly(node: DFGNode) -> bool:
     """True when the node may be evaluated over line batches incrementally.
 
@@ -78,6 +107,9 @@ def node_streams_statelessly(node: DFGNode) -> bool:
     chunk-by-chunk instead of list-at-once, which is what keeps the hot
     path's memory bounded for larger-than-RAM streams.
     """
+    if isinstance(node, FusedStage):
+        # Fused by construction from stateless single-input members.
+        return len(node.inputs) == 1
     return (
         isinstance(node, CommandNode)
         and node.parallelizability_class is ParallelizabilityClass.STATELESS

@@ -15,7 +15,15 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
-from repro.dfg.nodes import AggregatorNode, CatNode, CommandNode, DFGNode, RelayNode, SplitNode
+from repro.dfg.nodes import (
+    AggregatorNode,
+    CatNode,
+    CommandNode,
+    DFGNode,
+    FusedStage,
+    RelayNode,
+    SplitNode,
+)
 
 
 @dataclass
@@ -153,10 +161,37 @@ class CostModel:
             return CommandCost(seconds_per_line=3e-8)
         if isinstance(node, SplitNode):
             return CommandCost(seconds_per_line=6e-8, blocking=node.strategy == "general")
+        if isinstance(node, FusedStage):
+            return self._compose(node)
         if isinstance(node, CommandNode):
             base = self.command_costs.get(node.name, self.default)
             return self._refine(node, base)
         return self.default
+
+    def _compose(self, stage: FusedStage) -> CommandCost:
+        """Cost of a fused chain: serialized member work, composed selectivity.
+
+        The figures pipeline simulates the paper's one-process-per-node
+        runtime (fusion pinned off there), so this composition only backs
+        ad-hoc simulations of fused graphs; it charges each member's
+        per-line cost scaled by the fraction of lines reaching it.
+        """
+        seconds = 0.0
+        selectivity = 1.0
+        startup = 0.0
+        blocking = False
+        for member in stage.nodes:
+            cost = self.cost_for(member)
+            seconds += selectivity * cost.seconds_per_line
+            selectivity *= cost.selectivity
+            startup = max(startup, cost.startup_seconds)
+            blocking = blocking or cost.blocking
+        return CommandCost(
+            seconds_per_line=seconds,
+            selectivity=selectivity,
+            startup_seconds=startup,
+            blocking=blocking,
+        )
 
     # ------------------------------------------------------------------
 

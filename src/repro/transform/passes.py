@@ -34,7 +34,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Type
 
 from repro.dfg.graph import DataflowGraph
-from repro.dfg.nodes import AggregatorNode, CommandNode
+from repro.dfg.nodes import AggregatorNode, CommandNode, DFGNode, FusedStage
+from repro.runtime.executor import node_streams_statelessly
 from repro.transform.auxiliary import (
     insert_cat_for_multi_input,
     insert_eager_relays,
@@ -231,6 +232,92 @@ class EagerRelayPass(GraphPass):
         context.report.inserted_relays = len(relays)
 
 
+class FuseStagesPass(GraphPass):
+    """Collapse maximal linear chains of stateless commands into one stage.
+
+    The engine maps one process (plus per-edge pipes and pumps) to every
+    node, so a straight line of stateless commands — ``grep | tr | cut`` —
+    pays an OS pipe, a pump thread, and a chunk re-framing at every interior
+    edge for data that could flow through a single in-process pipeline.
+    This pass replaces each such chain with one
+    :class:`~repro.dfg.nodes.FusedStage` that a single worker evaluates
+    batch-at-a-time.  Fusion is gated on the Table-1 annotation class via
+    :func:`repro.runtime.executor.node_streams_statelessly`, so it never
+    crosses a fan-out/fan-in boundary, a relay (eager or blocking), a split,
+    or an aggregator — exactly the places where the order-aware dataflow
+    analysis needs real inter-process edges for deadlock-freedom.
+
+    Disabled by ``fuse_stages=False`` on the config or by name
+    (``--disable-pass fuse-stages``); the ablation reproduces the unfused
+    graph bit-for-bit because fusion is pure node-composition.
+    """
+
+    name = "fuse-stages"
+    description = "collapse linear stateless chains into single-worker stages"
+
+    def run(self, context: PassContext) -> None:
+        if not getattr(context.config, "fuse_stages", False):
+            return
+        graph = context.graph
+        for node in list(graph.topological_order()):
+            if node.node_id not in graph.nodes:
+                continue  # already fused into an earlier chain
+            if not self._fusable(graph, node):
+                continue
+            producer = self._single_producer(graph, node)
+            if producer is not None and self._fusable(graph, producer):
+                continue  # not a chain head; handled from the head
+            chain = [node]
+            while True:
+                tail = chain[-1]
+                edge = graph.edge(tail.outputs[0])
+                if edge.target is None:
+                    break
+                successor = graph.node(edge.target)
+                if not self._fusable(graph, successor):
+                    break
+                chain.append(successor)
+            if len(chain) >= 2:
+                self._fuse(graph, chain)
+                context.report.fused_stages += 1
+
+    @staticmethod
+    def _fusable(graph: DataflowGraph, node: DFGNode) -> bool:
+        """Single-input single-output stateless command (chain member shape)."""
+        return (
+            isinstance(node, CommandNode)
+            and node_streams_statelessly(node)
+            and len(node.inputs) == 1
+            and len(node.outputs) == 1
+        )
+
+    @staticmethod
+    def _single_producer(graph: DataflowGraph, node: DFGNode) -> Optional[DFGNode]:
+        edge = graph.edge(node.inputs[0])
+        return graph.node(edge.source) if edge.source is not None else None
+
+    @staticmethod
+    def _fuse(graph: DataflowGraph, chain: List[CommandNode]) -> FusedStage:
+        """Splice one FusedStage in place of ``chain``, dropping interior edges."""
+        head, tail = chain[0], chain[-1]
+        input_edge = graph.edge(head.inputs[0])
+        output_edge = graph.edge(tail.outputs[0])
+        interior = [member.outputs[0] for member in chain[:-1]]
+
+        stage = FusedStage(nodes=list(chain))
+        graph.add_node(stage)
+        for member in chain:
+            graph.nodes.pop(member.node_id)
+        for edge_id in interior:
+            graph.edges.pop(edge_id)
+
+        input_edge.target = stage.node_id
+        stage.inputs = [input_edge.edge_id]
+        output_edge.source = stage.node_id
+        stage.outputs = [output_edge.edge_id]
+        return stage
+
+
 def _uses_positional_offset(node: CommandNode) -> bool:
     """True for head/tail invocations addressing absolute line positions."""
     if node.name not in ("head", "tail"):
@@ -262,6 +349,7 @@ DEFAULT_PIPELINE: List[Type[GraphPass]] = [
     ParallelizePass,
     AggregationLoweringPass,
     EagerRelayPass,
+    FuseStagesPass,
 ]
 
 #: Every registered pass, by name (defaults plus user-registered ones).

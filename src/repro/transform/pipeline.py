@@ -55,6 +55,12 @@ class ParallelizationConfig:
     #: input streams (kept at 2: a single stream cannot be parallelized
     #: without split).
     minimum_copies: int = 2
+    #: Collapse linear stateless chains into single-worker fused stages
+    #: (the ``fuse-stages`` pass).  Off by default in this *legacy* config so
+    #: that paper-faithful graph shapes (Table 2 process counts, simulated
+    #: figures) are reproduced unchanged; the ``repro.api.PashConfig`` front
+    #: door defaults it on for the execution engine's hot path.
+    fuse_stages: bool = False
 
     @classmethod
     def paper_default(cls, width: int) -> "ParallelizationConfig":
@@ -86,6 +92,8 @@ class OptimizationReport:
     skipped_commands: List[str] = field(default_factory=list)
     inserted_splits: int = 0
     inserted_relays: int = 0
+    #: Number of stateless chains collapsed by the ``fuse-stages`` pass.
+    fused_stages: int = 0
     compile_time_seconds: float = 0.0
     #: Wall time spent in each pass, in pipeline order (pass name -> seconds).
     pass_seconds: Dict[str, float] = field(default_factory=dict)
@@ -122,7 +130,9 @@ def relevant_configurations(width: int) -> dict:
     """
     from repro.api.config import PashConfig  # deferred: cyclic module
 
+    # The Fig. 7 ablations model the paper's one-process-per-node runtime, so
+    # the simulator-facing projection pins our post-paper stage fusion off.
     return {
-        name: config.parallelization()
+        name: config.replace(fuse_stages=False).parallelization()
         for name, config in PashConfig.named_configurations(width).items()
     }

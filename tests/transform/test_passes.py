@@ -16,7 +16,13 @@ from repro.transform.passes import (
 )
 from repro.transform.pipeline import OptimizationReport, ParallelizationConfig
 
-EXPECTED_ORDER = ["split-insertion", "parallelize", "aggregation-lowering", "eager-relays"]
+EXPECTED_ORDER = [
+    "split-insertion",
+    "parallelize",
+    "aggregation-lowering",
+    "eager-relays",
+    "fuse-stages",
+]
 
 
 def build(script):
@@ -137,7 +143,7 @@ def test_unknown_pass_names_fail_loudly():
 def test_pass_manager_without_returns_a_filtered_copy():
     manager = build_pipeline()
     trimmed = manager.without("eager-relays")
-    assert trimmed.names() == EXPECTED_ORDER[:-1]
+    assert trimmed.names() == [name for name in EXPECTED_ORDER if name != "eager-relays"]
     assert manager.names() == EXPECTED_ORDER  # original untouched
 
 
