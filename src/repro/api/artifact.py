@@ -111,10 +111,19 @@ class CompiledScript:
         :class:`~repro.runtime.executor.ExecutionError` when part of the
         source was not translated — executing only the translated regions
         would silently drop the rest of the script.
+
+        ``backend="jit"`` is the exception to that refusal: the whole parsed
+        AST is handed to a :class:`~repro.jit.driver.JitDriver`, which
+        executes control flow itself, re-compiles each region with the
+        bindings in force when it is reached, and falls back per region —
+        so partially-translatable scripts run (and parallelize) instead of
+        erroring.
         """
+        name, backend_options = resolve_backend(self.config, backend, backend_options)
+        if name == "jit":
+            return execute_jit(self.translation.ast, self.config, environment, backend_options)
         if self.translation.rejected:
             raise rejection_error(self.translation.rejected)
-        name, backend_options = resolve_backend(self.config, backend, backend_options)
         return execute_graphs(self.optimized_graphs, name, environment, backend_options)
 
 
@@ -152,6 +161,28 @@ def resolve_backend(
     options: Dict[str, Any] = config.backend_options(name) if config is not None else {}
     options.update(backend_options or {})
     return name, options
+
+
+def execute_jit(
+    ast_or_source,
+    config: Optional["PashConfig"],
+    environment: Optional["ExecutionEnvironment"] = None,
+    backend_options: Optional[Dict[str, Any]] = None,
+):
+    """Run a script (or parsed AST) through a :class:`~repro.jit.JitDriver`.
+
+    The shared jit tail of :meth:`CompiledScript.execute` and
+    :func:`repro.api.run`.  ``backend_options`` accepts the driver's
+    keywords (``inner_backend``, ``pool``, ``cache``…); a ``config`` key
+    from :meth:`PashConfig.backend_options` is dropped in favour of the
+    explicit ``config`` argument.
+    """
+    from repro.jit.driver import JitDriver
+
+    options = dict(backend_options or {})
+    options.pop("config", None)
+    driver = JitDriver(config=config, environment=environment, **options)
+    return driver.run(ast_or_source)
 
 
 def execute_graphs(

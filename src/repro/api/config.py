@@ -115,6 +115,10 @@ class PashConfig:
     jobs: Optional[int] = None
     #: Bounded-memory streaming knobs of the engine data plane.
     streaming: StreamingConfig = StreamingConfig()
+    #: Engine backend the JIT driver executes compiled regions on
+    #: (``backend="jit"`` orchestrates the script; this picks what runs each
+    #: compiled plan — normally the parallel scheduler).
+    jit_inner_backend: str = "parallel"
 
     # -- emission (subsume EmitterOptions) -----------------------------------
     #: Directory in which the emitted script creates its FIFOs.
@@ -179,6 +183,7 @@ class PashConfig:
             disabled_passes=tuple(getattr(arguments, "disable_pass", None) or ()),
             backend=getattr(arguments, "execute", None) or "interpreter",
             jobs=getattr(arguments, "jobs", None),
+            jit_inner_backend=getattr(arguments, "jit_backend", None) or "parallel",
         )
 
     @classmethod
@@ -276,8 +281,11 @@ class PashConfig:
 
     def backend_options(self, backend: Optional[str] = None) -> Dict[str, Any]:
         """Constructor keywords for :func:`repro.engine.create_backend`."""
-        if (backend or self.backend) == "parallel":
+        resolved = backend or self.backend
+        if resolved == "parallel":
             return {"options": self.scheduler_options()}
+        if resolved == "jit":
+            return {"config": self}
         return {}
 
     # ------------------------------------------------------------------

@@ -157,15 +157,32 @@ class Pash:
         environment: Optional[Any] = None,
         **backend_options: Any,
     ):
-        """Compile ``source`` and execute it immediately (one-call form)."""
+        """Compile ``source`` and execute it immediately (one-call form).
+
+        With ``backend="jit"`` the compiled artifact's AST is driven by a
+        :class:`~repro.jit.driver.JitDriver` instead (control flow executes
+        in-process; each region compiles with live bindings); a session's
+        private worker pool is shared with the driver's inner parallel
+        engine, so worker processes persist across regions *and* scripts.
+        """
         resolved = backend or self.config.backend
-        if resolved == "parallel" and "pool" not in backend_options:
+        uses_parallel = resolved == "parallel" or (
+            resolved == "jit"
+            and backend_options.get("inner_backend", self.config.jit_inner_backend)
+            == "parallel"
+        )
+        if uses_parallel and "pool" not in backend_options:
             pool = self._session_pool()
             if pool is not None:
                 backend_options["pool"] = pool
+        if resolved == "jit" and self.library is not None:
+            backend_options.setdefault("library", self.library)
         return self._compile(source).execute(
             backend=backend, environment=environment, **backend_options
         )
+
+    #: ``run_script`` is the historical name (mirrors ``engine.run_script``).
+    run_script = run
 
 
 def compile(  # noqa: A001 - deliberate: the API's verb is `compile`
@@ -203,11 +220,24 @@ def run(
     config optimizes each region through the pass pipeline first.  Regions
     execute in order on the chosen backend, sharing one environment, exactly
     like running the script top to bottom.
+
+    ``backend="jit"`` bypasses the AOT pipeline entirely: the script is
+    driven by a :class:`~repro.jit.driver.JitDriver`, which executes control
+    flow itself and compiles each region at the moment it is reached — so
+    dynamic scripts (loops, runtime variables, command substitutions) run
+    and parallelize instead of raising on untranslated regions.
     """
-    from repro.api.artifact import execute_graphs, rejection_error, resolve_backend
+    from repro.api.artifact import (
+        execute_graphs,
+        execute_jit,
+        rejection_error,
+        resolve_backend,
+    )
 
     pash_config = PashConfig.coerce(config) if config is not None else None
     backend, backend_options = resolve_backend(pash_config, backend, backend_options)
+    if backend == "jit":
+        return execute_jit(source, pash_config, environment, backend_options)
 
     translation = translate_script(source)
     if translation.rejected:

@@ -99,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
         "is pre-warmed to N processes and grows on demand; 0 disables the "
         "pool and forks one fresh process per node)",
     )
+    parser.add_argument(
+        "--jit-backend",
+        default=None,
+        metavar="BACKEND",
+        help="engine backend the JIT driver executes compiled regions on "
+        "when '--execute jit' is used (default: parallel)",
+    )
     return parser
 
 
@@ -140,10 +147,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(compiled.text)
 
     if arguments.execute:
-        if compiled.translation.rejected:
+        if compiled.translation.rejected and arguments.execute != "jit":
             # Executing only the translated regions would silently skip the
             # rest of the script; the emitted text keeps those statements, so
-            # running it under a real shell is the correct fallback.
+            # running it under a real shell is the correct fallback.  The jit
+            # backend is exempt: it executes control flow itself and falls
+            # back per region, so partially-translatable scripts still run.
             reasons = "; ".join(reason for _, reason in compiled.translation.rejected)
             print(
                 f"pash-compile: cannot --execute: {len(compiled.translation.rejected)} "
@@ -209,6 +218,9 @@ def _execute(compiled: CompiledScript, arguments: argparse.Namespace) -> None:
     if arguments.report:
         print(f"# backend: {result.backend}", file=sys.stderr)
         print(f"# {result.metrics.summary()}", file=sys.stderr)
+        jit_report = getattr(result, "jit", None)
+        if jit_report is not None:
+            print(f"# {jit_report.summary()}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

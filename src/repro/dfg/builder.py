@@ -10,7 +10,10 @@ rejected, leaving the original script fragment untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.streams import VirtualFileSystem
 
 from repro.annotations.classes import ParallelizabilityClass
 from repro.annotations.library import AnnotationLibrary, standard_library
@@ -49,6 +52,12 @@ class TranslationResult:
     ast: Node
     regions: List[ParallelizableRegion] = field(default_factory=list)
     rejected: List[Tuple[RegionCandidate, str]] = field(default_factory=list)
+    #: Assignment-only statements, in program order.  These are *state
+    #: updates*, not dataflow regions: they bind (or, when their value is
+    #: dynamic, unbind) variables in the expansion context and stay in the
+    #: emitted script verbatim, so they are not "rejected" and do not block
+    #: engine execution.
+    assignments: List[RegionCandidate] = field(default_factory=list)
 
     @property
     def parallelizable_command_count(self) -> int:
@@ -68,9 +77,19 @@ class DFGBuilder:
         self,
         library: Optional[AnnotationLibrary] = None,
         context: Optional[ExpansionContext] = None,
+        filesystem: Optional["VirtualFileSystem"] = None,
     ) -> None:
         self.library = library if library is not None else standard_library()
         self.context = context if context is not None else ExpansionContext()
+        #: When set, unquoted glob patterns in command words are resolved
+        #: against this filesystem (the JIT driver passes the live VFS so
+        #: ``cat *.txt`` compiles to the same inputs the interpreter reads).
+        #: The AOT path leaves it None: patterns stay literal, matching the
+        #: historical conservative behaviour.
+        self.filesystem = filesystem
+        #: True when any expanded field contained a glob metacharacter —
+        #: such regions depend on filesystem state and must not be cached.
+        self.saw_glob = False
 
     # ------------------------------------------------------------------
     # Region-level entry points
@@ -225,10 +244,23 @@ class DFGBuilder:
         argv: List[str] = []
         for word in command.words:
             try:
-                argv.extend(expand_word(word, self.context))
+                fields = expand_word(word, self.context)
             except ExpansionError as exc:
                 raise UntranslatableRegion(str(exc)) from exc
+            argv.extend(self._glob_fields(word, fields))
         return argv
+
+    def _glob_fields(self, word, fields: List[str]) -> List[str]:
+        """Apply pathname expansion to one word's fields (JIT mode only)."""
+        from repro.shell.expansion import expand_pathnames
+
+        def resolve(pattern: str) -> List[str]:
+            self.saw_glob = True
+            if self.filesystem is None:
+                return []  # AOT mode: the pattern stays literal
+            return self.filesystem.glob(pattern)
+
+        return expand_pathnames(word, fields, resolve)
 
     def _split_redirections(
         self, command: Command
@@ -283,11 +315,21 @@ def translate_script(
     builder = DFGBuilder(library, context)
     result = TranslationResult(ast)
 
-    # Record top-level assignments so that later regions can use them
-    # (the conservative counterpart of the shell's dynamic scoping).
-    _collect_static_assignments(ast, builder.context)
+    # Candidates arrive in program order, so assignments and loop-variable
+    # bindings update the context exactly when the script would execute
+    # them: regions *before* an assignment (or loop) never see its value,
+    # regions after it do (the conservative counterpart of the shell's
+    # dynamic scoping).
+    from repro.dfg.regions import iter_region_candidates
 
-    for candidate in find_parallelizable_regions(ast):
+    for candidate in iter_region_candidates(
+        ast, on_loop=lambda loop: _apply_loop_binding(loop, builder.context)
+    ):
+        node = candidate.node
+        if isinstance(node, Command) and node.assignments and not node.words:
+            _apply_assignments(node, candidate, builder.context)
+            result.assignments.append(candidate)
+            continue
         try:
             region = builder.build_region(candidate)
         except (UntranslatableRegion, Exception) as exc:  # noqa: BLE001 - conservative by design
@@ -301,27 +343,41 @@ def translate_script(
     return result
 
 
-def _collect_static_assignments(ast: Node, context: ExpansionContext) -> None:
-    """Record literal top-level assignments into the expansion context."""
-    from repro.shell.ast_nodes import ForLoop, SequenceNode
+def _apply_assignments(
+    node: Command, candidate: RegionCandidate, context: ExpansionContext
+) -> None:
+    """Fold one assignment statement into the expansion context.
 
-    def visit(node: Node) -> None:
-        if isinstance(node, Command) and node.assignments and not node.words:
-            for assignment in node.assignments:
-                value = assignment.value.literal_text()
-                if value is not None:
-                    context.bind(assignment.name, value)
-        elif isinstance(node, SequenceNode):
-            for part in node.parts:
-                visit(part)
-        elif isinstance(node, ForLoop):
-            # Loop variables take unknown values at compile time; bind the
-            # first literal item so single-iteration analyses stay possible,
-            # but only when exactly one item exists (otherwise stay unknown).
-            if len(node.items) == 1:
-                value = node.items[0].literal_text()
-                if value is not None:
-                    context.bind(node.variable, value)
-            visit(node.body)
+    Only assignments on the unconditional top-level path bind a value:
+    anything under a loop, conditional, ``&&``/``||`` arm, or subshell may or
+    may not run (or runs repeatedly), so its targets are *unbound* — later
+    regions referencing them are left sequential rather than miscompiled.
+    Dynamic values (command substitutions, unknown variables) unbind too.
+    """
+    from repro.shell.expansion import try_expand_word
 
-    visit(ast)
+    unconditional = all(element.startswith(";") for element in candidate.path)
+    for assignment in node.assignments:
+        fields = try_expand_word(assignment.value, context) if unconditional else None
+        if fields is None:
+            context.unbind(assignment.name)
+        else:
+            context.bind(assignment.name, " ".join(fields))
+
+
+def _apply_loop_binding(loop, context: ExpansionContext) -> None:
+    """Fold a ``for`` loop's variable into the context at loop entry.
+
+    Loop variables take unknown values at compile time; bind the sole
+    literal item when exactly one exists (single-iteration analyses stay
+    possible) and *unbind* otherwise — a stale earlier binding must not
+    leak into the body.  Called in program order (see
+    :func:`repro.dfg.regions.iter_region_candidates`), so regions before
+    the loop never see its variable.
+    """
+    if len(loop.items) == 1:
+        value = loop.items[0].literal_text()
+        if value is not None:
+            context.bind(loop.variable, value)
+            return
+    context.unbind(loop.variable)

@@ -332,9 +332,17 @@ def create_backend(name: str, **options) -> ExecutionBackend:
     return factory(**options)
 
 
+def _jit_backend_factory(**options) -> ExecutionBackend:
+    """Deferred factory: the jit package imports this module, not vice versa."""
+    from repro.jit.driver import JitBackend
+
+    return JitBackend(**options)
+
+
 register_backend("interpreter", InterpreterBackend)
 register_backend("parallel", ParallelBackend)
 register_backend("shell", ShellBackend)
+register_backend("jit", _jit_backend_factory)
 
 
 # ---------------------------------------------------------------------------

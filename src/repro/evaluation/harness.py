@@ -246,17 +246,20 @@ def measured_speedup(
     width: int,
     lines: int = 2400,
     config: Optional[ParallelizationConfig] = None,
+    backend: str = "parallel",
     **backend_options,
 ) -> Tuple[MeasuredRun, MeasuredRun, float]:
-    """Wall-clock comparison: interpreter baseline vs parallel engine.
+    """Wall-clock comparison: interpreter baseline vs a real engine backend.
 
-    Returns (baseline run, parallel run, speedup).  Unlike the simulator's
-    Fig. 7 numbers, these are honest measurements on this machine's cores.
+    Returns (baseline run, measured run, speedup).  ``backend`` defaults to
+    the parallel engine; ``"jit"`` measures the runtime-compiling driver
+    instead.  Unlike the simulator's Fig. 7 numbers, these are honest
+    measurements on this machine's cores.
     """
     config = config or PashConfig.paper_default(width)
     baseline = measure_benchmark(benchmark, width, backend="interpreter", lines=lines)
     parallel = measure_benchmark(
-        benchmark, width, backend="parallel", lines=lines, config=config, **backend_options
+        benchmark, width, backend=backend, lines=lines, config=config, **backend_options
     )
     if parallel.elapsed_seconds <= 0:
         return baseline, parallel, float("inf")

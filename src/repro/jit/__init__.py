@@ -1,0 +1,36 @@
+"""JIT orchestration: a stateful script driver compiling regions at runtime.
+
+The AOT pipeline (``repro.api.Pash.compile``) resolves what it can
+statically and leaves everything else sequential.  This package holds the
+runtime counterpart:
+
+* :class:`~repro.jit.driver.JitDriver` — walks the script AST maintaining
+  concrete shell state and JIT-compiles each dataflow region with the
+  bindings in force when it is reached;
+* :class:`~repro.jit.cache.PlanCache` — compiled plans keyed on (region
+  fingerprint, referenced-binding values, config digest), so loop bodies
+  compile once;
+* :class:`~repro.jit.report.JitReport` — per-run observability: regions
+  seen / compiled / cached / fell back, with reasons.
+
+Select it like any other backend: ``repro.api.run(src, backend="jit")``,
+``Pash.run_script(src, backend="jit")``, or ``pash-repro --execute jit``.
+"""
+
+from repro.jit.cache import CacheStats, CompiledPlan, FailedPlan, PlanCache, config_digest
+from repro.jit.driver import JitBackend, JitDriver, JitResult, run_script
+from repro.jit.report import JitReport, RegionOutcome
+
+__all__ = [
+    "CacheStats",
+    "CompiledPlan",
+    "FailedPlan",
+    "JitBackend",
+    "JitDriver",
+    "JitReport",
+    "JitResult",
+    "PlanCache",
+    "RegionOutcome",
+    "config_digest",
+    "run_script",
+]

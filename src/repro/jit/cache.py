@@ -1,0 +1,118 @@
+"""``PlanCache`` — compiled dataflow plans keyed on runtime state.
+
+A plan is reusable exactly when three things match:
+
+1. the region's structural **fingerprint** (its shell text),
+2. the **values of every parameter the region references** at the moment it
+   is reached (a loop body that does not mention the loop variable hashes
+   identically on every iteration; one that does recompiles whenever the
+   value changes), and
+3. the **configuration digest** (width, passes, streaming knobs… — anything
+   that changes what the pass pipeline produces).
+
+Compilation *failures* are cached too (negative entries), so a loop body the
+compiler refuses once is refused from the cache on later iterations instead
+of re-walking the builder every time.  Regions whose expansion depends on
+state outside the key — command substitutions, glob patterns — are never
+cached; the driver marks them uncacheable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+#: (fingerprint, referenced-binding values, config digest)
+PlanKey = Tuple[str, Tuple[Tuple[str, Optional[str]], ...], str]
+
+
+@dataclass
+class CompiledPlan:
+    """A successfully compiled (and optimized) region, ready to re-execute."""
+
+    graph: Any  # DataflowGraph (kept untyped to avoid an import cycle)
+    report: Any  # OptimizationReport
+    fingerprint: str
+    compile_seconds: float = 0.0
+    #: How many times this plan has been executed (1 = compile run only).
+    executions: int = 0
+
+
+@dataclass
+class FailedPlan:
+    """A cached compilation refusal (the negative entry)."""
+
+    reason: str
+    fingerprint: str
+
+
+PlanEntry = Union[CompiledPlan, FailedPlan]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    negative_hits: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "negative_hits": self.negative_hits,
+            "evictions": self.evictions,
+        }
+
+
+class PlanCache:
+    """A bounded LRU cache of compiled region plans."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("PlanCache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[PlanKey, PlanEntry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: PlanKey) -> Optional[PlanEntry]:
+        """Look up a plan; records a hit/miss and refreshes LRU order."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        if isinstance(entry, FailedPlan):
+            self.stats.negative_hits += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def put(self, key: PlanKey, entry: PlanEntry) -> None:
+        """Insert (or refresh) a plan, evicting the least recently used."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def config_digest(config: Any) -> str:
+    """A stable digest of a :class:`~repro.api.config.PashConfig`.
+
+    Uses the config's round-trippable dict form, so any field that changes
+    compilation output changes the digest (and therefore the cache key).
+    """
+    payload = json.dumps(config.to_dict(), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,409 @@
+"""``JitDriver`` — the stateful script driver that compiles regions at runtime.
+
+PaSh's AOT compiler (§5.1) refuses any region whose words it cannot resolve
+statically: an unknown ``$VAR``, a command substitution, a loop-carried
+binding.  The JIT driver removes the "statically": it *is* the shell for the
+control-flow skeleton — it walks the AST node by node, maintaining concrete
+shell state (variable bindings, ``$?``, positional parameters, the virtual
+filesystem) by inheriting the sequential interpreter's semantics wholesale —
+and at each region candidate (a pipeline or simple command) it invokes the
+compiler **with the current bindings**.  A region that compiles executes on
+an engine backend (the multiprocess parallel scheduler by default, reusing
+the persistent worker pool across regions); a region that still refuses
+falls back to the inherited interpreter path, per region, never for the
+whole script.
+
+Compiled plans land in a :class:`~repro.jit.cache.PlanCache` keyed on
+(region fingerprint, referenced-binding values, config digest), so a loop
+body whose referenced bindings do not change compiles once and re-executes
+from the cache on every later iteration.  Every decision is recorded in a
+:class:`~repro.jit.report.JitReport`.
+
+Semantics notes (beyond the interpreter's, which the driver inherits):
+
+* Compiled regions with a bare-stdin input read the execution environment's
+  stdin (engine semantics); fallback regions read empty stdin (interpreter
+  semantics).  Scripts mixing bare-stdin regions with dynamic state should
+  name their inputs.
+* Command substitutions are evaluated by the sequential interpreter (never
+  JIT'd), and their results are memoized for the duration of one region
+  occurrence so a region that expands ``$(...)`` during compilation and then
+  falls back does not run the substitution twice.
+* Regions containing command substitutions or glob patterns are compiled
+  fresh on every occurrence (their expansion depends on state outside the
+  cache key).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.api.config import PashConfig
+from repro.dfg.builder import DFGBuilder, UntranslatableRegion
+from repro.dfg.regions import referenced_parameters, region_fingerprint
+from repro.engine.api import EngineResult, ExecutionBackend, create_backend
+from repro.engine.metrics import EngineMetrics
+from repro.jit.cache import (
+    CompiledPlan,
+    FailedPlan,
+    PlanCache,
+    PlanKey,
+    config_digest,
+)
+from repro.jit.report import JitReport, RegionOutcome
+from repro.runtime.executor import ExecutionEnvironment
+from repro.runtime.interpreter import BUILTIN_COMMANDS, ShellInterpreter
+from repro.runtime.streams import VirtualFileSystem
+from repro.shell.ast_nodes import Command, Node, Pipeline
+from repro.shell.expansion import ExpansionContext, ExpansionError
+from repro.shell.parser import parse
+from repro.shell.unparser import unparse
+
+
+@dataclass
+class JitResult(EngineResult):
+    """An :class:`~repro.engine.api.EngineResult` plus the JIT report."""
+
+    jit: JitReport = field(default_factory=JitReport)
+
+
+class _RecordingFileSystem(VirtualFileSystem):
+    """A view over an existing VFS that records which names were written.
+
+    Shares the wrapped filesystem's storage (every layer — interpreter
+    fallbacks, engine backends, shell read-back — sees one namespace) and
+    collects the set of written names so the driver can report the script's
+    file outputs like every other backend does.
+    """
+
+    def __init__(self, inner: VirtualFileSystem) -> None:
+        self._files = inner._files  # shared storage, deliberately
+        self.allow_real_files = inner.allow_real_files
+        self.written: Set[str] = set()
+
+    def write(self, name: str, lines) -> None:  # type: ignore[override]
+        super().write(name, lines)
+        self.written.add(name)
+
+    def append(self, name: str, lines) -> None:  # type: ignore[override]
+        super().append(name, lines)
+        self.written.add(name)
+
+
+class JitDriver(ShellInterpreter):
+    """Runs whole scripts, JIT-compiling dataflow regions as they are reached.
+
+    ``environment`` supplies the filesystem/stdin/registry shared by every
+    region (compiled or fallback); ``inner_backend`` picks the engine that
+    executes compiled plans (default: the config's ``jit_inner_backend``,
+    normally ``parallel``); ``pool`` pins parallel execution to a specific
+    persistent :class:`~repro.engine.pool.WorkerPool` (a ``with Pash(...)``
+    session passes its private pool); ``cache`` shares a
+    :class:`PlanCache` across drivers.
+    """
+
+    def __init__(
+        self,
+        config: Optional[Any] = None,
+        environment: Optional[ExecutionEnvironment] = None,
+        library: Optional[Any] = None,
+        inner_backend: Optional[str] = None,
+        pool: Optional[Any] = None,
+        cache: Optional[PlanCache] = None,
+        max_loop_iterations: int = 100_000,
+    ) -> None:
+        base = environment or ExecutionEnvironment()
+        self._fs = _RecordingFileSystem(base.filesystem)
+        self.environment = ExecutionEnvironment(
+            filesystem=self._fs, stdin=list(base.stdin), registry=base.registry
+        )
+        super().__init__(
+            filesystem=self._fs,
+            registry=base.registry,
+            library=library,
+            max_loop_iterations=max_loop_iterations,
+        )
+        self.config = PashConfig.coerce(config)
+        self.inner_backend = inner_backend or self.config.jit_inner_backend
+        self.pool = pool
+        self.cache = cache if cache is not None else PlanCache()
+        self.report = JitReport()
+        self.metrics = EngineMetrics(backend="jit")
+        self._config_digest = config_digest(self.config)
+        self._pipeline = self.config.pipeline()
+        self._parallelization = self.config.parallelization()
+        self._engine: Optional[ExecutionBackend] = None
+        self._in_region = False
+        self._active_memo: Optional[Dict[str, str]] = None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self, source_or_ast) -> JitResult:
+        """Execute a whole script; returns stdout, files, metrics, and report.
+
+        The driver's shell state and plan cache persist across calls, so a
+        sequence of ``run`` invocations behaves like one long-lived shell
+        session with a warm cache; the report and metrics are per-call.
+        """
+        ast = parse(source_or_ast) if isinstance(source_or_ast, str) else source_or_ast
+        self.report = JitReport()
+        self.metrics = EngineMetrics(backend="jit")
+        self._fs.written = set()  # files are reported per call, like the report
+        started = time.perf_counter()
+        stdout = self.run_node(ast)
+        elapsed = time.perf_counter() - started
+        files = {
+            name: self._fs.read(name)
+            for name in sorted(self._fs.written)
+            if self._fs.exists(name)
+        }
+        return JitResult(
+            backend="jit",
+            stdout=list(stdout),
+            files=files,
+            elapsed_seconds=elapsed,
+            metrics=self.metrics,
+            jit=self.report,
+        )
+
+    # ------------------------------------------------------------------
+    # Region interception
+    # ------------------------------------------------------------------
+
+    def _execute(self, node: Node, stdin):
+        if (
+            not self._in_region
+            and not stdin
+            and isinstance(node, (Pipeline, Command))
+            and self._is_region(node)
+        ):
+            previous_memo = self._active_memo
+            self._active_memo = {}
+            try:
+                handled, output = self._try_jit(node)
+                if handled:
+                    return output
+                self._in_region = True
+                try:
+                    return super()._execute(node, stdin)
+                finally:
+                    self._in_region = False
+            finally:
+                self._active_memo = previous_memo
+        return super()._execute(node, stdin)
+
+    @staticmethod
+    def _is_region(node: Node) -> bool:
+        """Pipelines and non-builtin, non-assignment commands are regions."""
+        if isinstance(node, Pipeline):
+            return True
+        if node.assignments and not node.words:
+            return False
+        return node.name not in BUILTIN_COMMANDS
+
+    # ------------------------------------------------------------------
+    # The JIT hot path
+    # ------------------------------------------------------------------
+
+    def _try_jit(self, node: Node) -> Tuple[bool, Optional[List[str]]]:
+        """Compile-or-cache the region and execute it on the inner engine.
+
+        Returns ``(True, stdout)`` when the region ran as a dataflow graph,
+        ``(False, None)`` when the caller must fall back to the interpreter.
+        """
+        fingerprint = region_fingerprint(node)
+        names, has_substitution = referenced_parameters(node)
+        key: PlanKey = (fingerprint, self._bindings_for(names), self._config_digest)
+        cacheable = not has_substitution
+
+        entry = self.cache.get(key) if cacheable else None
+        if isinstance(entry, FailedPlan):
+            self._record(node, fingerprint, "fallback", entry.reason, cached_failure=True)
+            return False, None
+
+        compile_seconds = 0.0
+        action = "cached"
+        if entry is None:
+            compile_started = time.perf_counter()
+            try:
+                graph, opt_report, saw_glob = self._compile(node)
+            except (UntranslatableRegion, ExpansionError) as exc:
+                reason = str(exc)
+                if cacheable:
+                    self.cache.put(key, FailedPlan(reason=reason, fingerprint=fingerprint))
+                self._record(node, fingerprint, "fallback", reason)
+                return False, None
+            compile_seconds = time.perf_counter() - compile_started
+            entry = CompiledPlan(
+                graph=graph,
+                report=opt_report,
+                fingerprint=fingerprint,
+                compile_seconds=compile_seconds,
+            )
+            # Glob-dependent plans resolve against filesystem state that is
+            # not part of the key, so they are compiled fresh every time.
+            if cacheable and not saw_glob:
+                self.cache.put(key, entry)
+            action = "compiled"
+
+        started = time.perf_counter()
+        result = self._engine_backend().execute(entry.graph, self.environment)
+        elapsed = time.perf_counter() - started
+        entry.executions += 1
+        self.metrics.merge(result.metrics)
+        self.state.last_status = 0
+        self._record(
+            node,
+            fingerprint,
+            action,
+            elapsed_seconds=elapsed,
+            compile_seconds=compile_seconds,
+        )
+        return True, list(result.stdout)
+
+    def _compile(self, node: Node):
+        """Run the existing pass pipeline over the region, with live bindings.
+
+        The context is ``strict`` (anything unresolvable refuses, per PaSh)
+        but ``complete``: the driver's state holds *every* set variable, so
+        a missing name is genuinely unset and ``${VAR:-default}`` forms are
+        decidable.  The live dict is adopted by reference so ``:=``
+        assignments persist into driver state like on the fallback path.
+        """
+        context = ExpansionContext(
+            self.state.variables,
+            strict=True,
+            positional=self.state.positional,
+            last_status=self.state.last_status,
+            command_runner=self._run_substitution,
+            complete=True,
+        )
+        builder = DFGBuilder(self.library, context=context, filesystem=self._fs)
+        graph = builder.build_from_node(node)
+        graph.validate()
+        opt_report = self._pipeline.run(graph, self._parallelization)
+        return graph, opt_report, builder.saw_glob
+
+    def _bindings_for(self, names) -> Tuple[Tuple[str, Optional[str]], ...]:
+        """The referenced parameters' current values (the cache key's state part)."""
+        entries: List[Tuple[str, Optional[str]]] = []
+        for name in sorted(names):
+            if name == "?":
+                value: Optional[str] = str(self.state.last_status)
+            elif name == "#":
+                value = str(len(self.state.positional))
+            elif name in ("@", "*"):
+                value = "\x1f".join(self.state.positional)
+            elif name.isdigit():
+                index = int(name)
+                if index == 0:
+                    value = self.state.variables.get("0")
+                elif index <= len(self.state.positional):
+                    value = self.state.positional[index - 1]
+                else:
+                    value = None
+            else:
+                value = self.state.variables.get(name)
+            entries.append((name, value))
+        return tuple(entries)
+
+    def _engine_backend(self) -> ExecutionBackend:
+        """The inner engine backend, created once and reused across regions."""
+        if self._engine is None:
+            options = dict(self.config.backend_options(self.inner_backend))
+            if self.inner_backend == "parallel" and self.pool is not None:
+                options["pool"] = self.pool
+            self._engine = create_backend(self.inner_backend, **options)
+        return self._engine
+
+    def _record(
+        self,
+        node: Node,
+        fingerprint: str,
+        action: str,
+        reason: str = "",
+        elapsed_seconds: float = 0.0,
+        compile_seconds: float = 0.0,
+        cached_failure: bool = False,
+    ) -> None:
+        self.report.record(
+            RegionOutcome(
+                fingerprint=fingerprint,
+                text=unparse(node),
+                action=action,
+                reason=reason,
+                elapsed_seconds=elapsed_seconds,
+                compile_seconds=compile_seconds,
+                cached_failure=cached_failure,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Interpreter hooks
+    # ------------------------------------------------------------------
+
+    def _run_substitution(self, text: str) -> str:
+        """Memoize substitution results for the current region occurrence.
+
+        The memo prevents a ``$(...)`` from running twice when a region
+        expands it during a compilation attempt and then falls back to the
+        interpreter (which would expand it again).
+        """
+        if self._active_memo is not None and text in self._active_memo:
+            return self._active_memo[text]
+        value = ShellInterpreter._run_substitution(self, text)
+        if self._active_memo is not None:
+            self._active_memo[text] = value
+        return value
+
+
+class JitBackend(ExecutionBackend):
+    """The engine-registry face of the JIT subsystem.
+
+    A single pre-built dataflow graph carries no dynamic shell state left to
+    orchestrate, so at graph granularity the backend simply delegates to its
+    inner engine (the parallel scheduler by default) — the registry entry
+    exists so ``--list-backends`` advertises ``jit`` and graph-level callers
+    compose.  Script-level entry points (``repro.api.run``,
+    ``CompiledScript.execute``, the CLI) route ``backend="jit"`` to a full
+    :class:`JitDriver` instead.
+    """
+
+    name = "jit"
+
+    def __init__(
+        self,
+        config: Optional[Any] = None,
+        inner_backend: Optional[str] = None,
+        pool: Optional[Any] = None,
+        **inner_options: Any,
+    ) -> None:
+        self.config = PashConfig.coerce(config)
+        self.inner_backend = inner_backend or self.config.jit_inner_backend
+        self.pool = pool
+        self.inner_options = inner_options
+
+    def execute(self, graph, environment) -> EngineResult:
+        options = dict(self.config.backend_options(self.inner_backend))
+        options.update(self.inner_options)
+        if self.inner_backend == "parallel" and self.pool is not None:
+            options["pool"] = self.pool
+        result = create_backend(self.inner_backend, **options).execute(graph, environment)
+        result.backend = self.name
+        result.metrics.backend = self.name
+        return result
+
+
+def run_script(
+    source: str,
+    config: Optional[Any] = None,
+    environment: Optional[ExecutionEnvironment] = None,
+    **driver_options: Any,
+) -> JitResult:
+    """One-call convenience: drive ``source`` through a fresh :class:`JitDriver`."""
+    driver = JitDriver(config=config, environment=environment, **driver_options)
+    return driver.run(source)

@@ -1,0 +1,98 @@
+"""``JitReport`` — what the JIT driver did to one script run.
+
+Every region candidate the driver reaches is recorded: whether it was
+compiled fresh, served from the plan cache, or fell back to the sequential
+interpreter (and why).  The report is the observability surface the
+acceptance tests and the CLI's ``--report`` read.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class RegionOutcome:
+    """One region occurrence, in execution order."""
+
+    #: Structural fingerprint (see :func:`repro.dfg.regions.region_fingerprint`).
+    fingerprint: str
+    #: The region's shell text (for diagnostics).
+    text: str
+    #: ``"compiled"`` | ``"cached"`` | ``"fallback"``.
+    action: str
+    #: Why the region fell back (empty for compiled/cached regions).
+    reason: str = ""
+    #: Wall time spent executing the region (any path).
+    elapsed_seconds: float = 0.0
+    #: Wall time spent inside the compiler for this occurrence (0 on hits).
+    compile_seconds: float = 0.0
+    #: True when the fallback decision itself came from the negative cache.
+    cached_failure: bool = False
+
+
+@dataclass
+class JitReport:
+    """Aggregate outcome of one JIT-driven script run."""
+
+    outcomes: List[RegionOutcome] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def regions_seen(self) -> int:
+        """Region occurrences reached at runtime (loop bodies count per iteration)."""
+        return len(self.outcomes)
+
+    @property
+    def regions_compiled(self) -> int:
+        """Occurrences that triggered a fresh compilation."""
+        return sum(1 for outcome in self.outcomes if outcome.action == "compiled")
+
+    @property
+    def cache_hits(self) -> int:
+        """Occurrences served straight from the plan cache."""
+        return sum(1 for outcome in self.outcomes if outcome.action == "cached")
+
+    @property
+    def fallbacks(self) -> int:
+        """Occurrences executed by the sequential interpreter instead."""
+        return sum(1 for outcome in self.outcomes if outcome.action == "fallback")
+
+    @property
+    def compile_seconds(self) -> float:
+        """Total wall time spent compiling across the run."""
+        return sum(outcome.compile_seconds for outcome in self.outcomes)
+
+    def fallback_reasons(self) -> Dict[str, int]:
+        """Histogram of why regions fell back (reason -> occurrences)."""
+        return dict(
+            Counter(
+                outcome.reason
+                for outcome in self.outcomes
+                if outcome.action == "fallback"
+            )
+        )
+
+    def record(self, outcome: RegionOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    def summary(self) -> str:
+        """One-line digest (used by the CLI's ``--report``)."""
+        digest = (
+            f"jit: {self.regions_seen} regions seen, "
+            f"{self.regions_compiled} compiled, "
+            f"{self.cache_hits} cache hits, "
+            f"{self.fallbacks} fell back"
+        )
+        if self.compile_seconds:
+            digest += f" (compile {self.compile_seconds * 1000:.1f} ms)"
+        reasons = self.fallback_reasons()
+        if reasons:
+            top = sorted(reasons.items(), key=lambda item: -item[1])[:3]
+            digest += "; top fallback reasons: " + ", ".join(
+                f"{reason!r} x{count}" for reason, count in top
+            )
+        return digest

@@ -1,23 +1,33 @@
 """A small interpreter for the supported shell subset.
 
 The interpreter provides the *sequential baseline*: it executes whole
-scripts (sequences, pipelines, loops) directly over the in-memory command
-implementations, without building any dataflow graph.  PaSh's output is then
-checked against it.
+scripts (sequences, pipelines, loops, conditionals) directly over the
+in-memory command implementations, without building any dataflow graph.
+PaSh's output is then checked against it, and the JIT driver
+(:mod:`repro.jit`) inherits its control-flow semantics wholesale.
 
-Deliberate simplifications, documented here because they bound what the
-benchmark scripts may use:
+Semantics, documented here because they bound what the benchmark scripts
+may use:
 
-* Commands do not produce exit codes; ``&&`` always continues and ``||``
-  always skips its right-hand side.
-* ``while``/``until`` loops and ``if`` conditions are not supported.
-* Command substitution is not evaluated.
+* Exit statuses exist, but only the control-flow builtins produce nonzero
+  ones: ``true``/``:`` (0), ``false`` (1), and ``test``/``[`` (0/1/2).
+  Registry commands always succeed with status 0 (their failures raise
+  :class:`InterpreterError` instead), so ``&&``/``||``/``if``/``while``
+  branch exactly the same way on every backend.
+* ``while``/``until`` loops are bounded by ``max_loop_iterations``
+  (default 100 000) — a runaway condition raises instead of hanging CI.
+* Command substitution ``$(...)`` runs the inner script in a subshell-style
+  child interpreter: it shares the virtual filesystem but variable
+  assignments inside do not leak out.
+* Unquoted words containing ``*``/``?``/``[`` undergo pathname expansion
+  against the virtual filesystem (plus the real one, when the VFS allows
+  real files); per POSIX an unmatched pattern stays literal.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.annotations.library import AnnotationLibrary, standard_library
 from repro.annotations.model import CommandInvocation
@@ -36,13 +46,25 @@ from repro.shell.ast_nodes import (
     SequenceNode,
     Subshell,
     WhileLoop,
+    Word,
 )
-from repro.shell.expansion import ExpansionContext, ExpansionError, expand_word
+from repro.shell.expansion import (
+    ExpansionContext,
+    ExpansionError,
+    expand_pathnames,
+    expand_word,
+)
 from repro.shell.parser import parse
 
 
 class InterpreterError(RuntimeError):
     """Raised when a script uses constructs the interpreter does not support."""
+
+
+#: Control-flow builtins executed by the interpreter itself (not the command
+#: registry).  They are the only sources of nonzero exit statuses, which
+#: keeps `&&`/`if`/`while` branching identical across every backend.
+BUILTIN_COMMANDS = frozenset({"true", "false", ":", "test", "["})
 
 
 @dataclass
@@ -52,6 +74,10 @@ class InterpreterState:
     variables: Dict[str, str] = field(default_factory=dict)
     filesystem: VirtualFileSystem = field(default_factory=VirtualFileSystem)
     stdout: Stream = field(default_factory=list)
+    #: Exit status of the most recently executed command (``$?``).
+    last_status: int = 0
+    #: Positional parameters backing ``$1``…, ``$#``, ``$@``/``$*``.
+    positional: List[str] = field(default_factory=list)
 
 
 class ShellInterpreter:
@@ -63,13 +89,18 @@ class ShellInterpreter:
         variables: Optional[Dict[str, str]] = None,
         registry: Optional[CommandRegistry] = None,
         library: Optional[AnnotationLibrary] = None,
+        positional: Optional[Sequence[str]] = None,
+        max_loop_iterations: int = 100_000,
     ) -> None:
         self.state = InterpreterState(
             variables=dict(variables or {}),
-            filesystem=filesystem or VirtualFileSystem(),
+            # Not `or`: an empty VirtualFileSystem is falsy (it has __len__).
+            filesystem=filesystem if filesystem is not None else VirtualFileSystem(),
+            positional=list(positional or []),
         )
         self.registry = registry if registry is not None else standard_registry()
         self.library = library if library is not None else standard_library()
+        self.max_loop_iterations = max_loop_iterations
 
     # ------------------------------------------------------------------
     # Entry points
@@ -86,7 +117,8 @@ class ShellInterpreter:
         return output
 
     # ------------------------------------------------------------------
-    # Node dispatch — every method returns the node's stdout stream
+    # Node dispatch — every method returns the node's stdout stream and
+    # records its exit status in ``state.last_status``
     # ------------------------------------------------------------------
 
     def _execute(self, node: Node, stdin: Stream) -> Stream:
@@ -102,22 +134,32 @@ class ShellInterpreter:
         if isinstance(node, AndOr):
             output = list(self._execute(node.parts[0], []))
             for operator, part in zip(node.operators, node.parts[1:]):
-                if operator == "&&":
+                succeeded = self.state.last_status == 0
+                if (operator == "&&") == succeeded:
                     output.extend(self._execute(part, []))
-                # `||`: the left side "succeeded", so the right side is skipped.
+                # A skipped operand leaves $? at the deciding status.
             return output
         if isinstance(node, BackgroundNode):
             return self._execute(node.body, stdin)
-        if isinstance(node, (Subshell, BraceGroup)):
+        if isinstance(node, Subshell):
+            # Subshells isolate variable state; filesystem effects persist.
+            saved = dict(self.state.variables)
+            try:
+                return self._execute(node.body, stdin)
+            finally:
+                self.state.variables = saved
+        if isinstance(node, BraceGroup):
             return self._execute(node.body, stdin)
         if isinstance(node, ForLoop):
             return self._execute_for(node)
-        if isinstance(node, (WhileLoop, IfClause)):
-            raise InterpreterError(
-                f"{type(node).__name__} is outside the supported sequential subset"
-            )
+        if isinstance(node, WhileLoop):
+            return self._execute_while(node)
+        if isinstance(node, IfClause):
+            return self._execute_if(node)
         raise InterpreterError(f"cannot interpret node {type(node).__name__}")
 
+    # ------------------------------------------------------------------
+    # Control flow
     # ------------------------------------------------------------------
 
     def _execute_for(self, node: ForLoop) -> Stream:
@@ -125,14 +167,53 @@ class ShellInterpreter:
         context = self._context()
         for word in node.items:
             try:
-                items.extend(expand_word(word, context))
+                items.extend(self._expand_fields(word, context))
             except ExpansionError as exc:
                 raise InterpreterError(str(exc)) from exc
         output: Stream = []
+        self.state.last_status = 0
         for item in items:
             self.state.variables[node.variable] = item
             output.extend(self._execute(node.body, []))
         return output
+
+    def _execute_while(self, node: WhileLoop) -> Stream:
+        output: Stream = []
+        iterations = 0
+        self.state.last_status = 0
+        status = 0
+        while True:
+            output.extend(self._execute(node.condition, []))
+            condition_true = self.state.last_status == 0
+            if node.until:
+                condition_true = not condition_true
+            if not condition_true:
+                break
+            iterations += 1
+            if iterations > self.max_loop_iterations:
+                raise InterpreterError(
+                    f"while loop exceeded {self.max_loop_iterations} iterations"
+                )
+            output.extend(self._execute(node.body, []))
+            status = self.state.last_status
+        # The loop's status is the last body execution's (0 when none ran).
+        self.state.last_status = status
+        return output
+
+    def _execute_if(self, node: IfClause) -> Stream:
+        # Per POSIX the condition's stdout is script output too.
+        output = list(self._execute(node.condition, []))
+        if self.state.last_status == 0:
+            output.extend(self._execute(node.then_body, []))
+        elif node.else_body is not None:
+            output.extend(self._execute(node.else_body, []))
+        else:
+            self.state.last_status = 0
+        return output
+
+    # ------------------------------------------------------------------
+    # Pipelines and commands
+    # ------------------------------------------------------------------
 
     def _execute_pipeline(self, node: Pipeline, stdin: Stream) -> Stream:
         current = list(stdin)
@@ -140,6 +221,8 @@ class ShellInterpreter:
             if not isinstance(element, (Command, Subshell, BraceGroup)):
                 raise InterpreterError("pipelines may only contain simple commands")
             current = self._execute(element, current)
+        if node.negated:
+            self.state.last_status = 0 if self.state.last_status != 0 else 1
         return current
 
     def _execute_command(self, node: Command, stdin: Stream) -> Stream:
@@ -153,20 +236,27 @@ class ShellInterpreter:
                 except ExpansionError:
                     value_fields = [""]
                 self.state.variables[assignment.name] = " ".join(value_fields)
+            self.state.last_status = 0
             return []
 
         argv: List[str] = []
         for word in node.words:
             try:
-                argv.extend(expand_word(word, context))
+                argv.extend(self._expand_fields(word, context))
             except ExpansionError as exc:
                 raise InterpreterError(str(exc)) from exc
         if not argv:
+            self.state.last_status = 0
             return []
         name, arguments = argv[0], argv[1:]
 
+        if name in BUILTIN_COMMANDS:
+            self.state.last_status = self._run_builtin(name, arguments)
+            return []
+
         inputs, remaining_arguments = self._resolve_inputs(name, arguments, stdin, node)
         output = self.registry.run(name, remaining_arguments, inputs)
+        self.state.last_status = 0
 
         # Output redirections swallow the stream.
         for redirection in node.redirections:
@@ -179,6 +269,110 @@ class ShellInterpreter:
                 return []
         return output
 
+    # ------------------------------------------------------------------
+    # Builtins
+    # ------------------------------------------------------------------
+
+    def _run_builtin(self, name: str, arguments: List[str]) -> int:
+        if name in ("true", ":"):
+            return 0
+        if name == "false":
+            return 1
+        if name == "[":
+            if not arguments or arguments[-1] != "]":
+                raise InterpreterError("[: missing closing ']'")
+            arguments = arguments[:-1]
+        return self._evaluate_test(arguments)
+
+    def _evaluate_test(self, arguments: List[str]) -> int:
+        """POSIX ``test``: 0 = true, 1 = false, 2 = usage error (raised)."""
+        if arguments and arguments[0] == "!":
+            inner = self._evaluate_test(arguments[1:])
+            return 1 if inner == 0 else 0
+        if not arguments:
+            return 1
+        if len(arguments) == 1:
+            return 0 if arguments[0] != "" else 1
+        if len(arguments) == 2:
+            operator, operand = arguments
+            if operator == "-n":
+                return 0 if operand != "" else 1
+            if operator == "-z":
+                return 0 if operand == "" else 1
+            if operator in ("-e", "-f", "-r"):
+                return 0 if self.state.filesystem.exists(operand) else 1
+            if operator == "-s":
+                try:
+                    return 0 if self.state.filesystem.read(operand) else 1
+                except FileNotFoundError:
+                    return 1
+            raise InterpreterError(f"test: unknown unary operator {operator!r}")
+        if len(arguments) == 3:
+            left, operator, right = arguments
+            if operator in ("=", "=="):
+                return 0 if left == right else 1
+            if operator == "!=":
+                return 0 if left != right else 1
+            if operator in ("-eq", "-ne", "-lt", "-le", "-gt", "-ge"):
+                try:
+                    lhs, rhs = int(left), int(right)
+                except ValueError as exc:
+                    raise InterpreterError(f"test: integer expected: {exc}") from exc
+                return (
+                    0
+                    if {
+                        "-eq": lhs == rhs,
+                        "-ne": lhs != rhs,
+                        "-lt": lhs < rhs,
+                        "-le": lhs <= rhs,
+                        "-gt": lhs > rhs,
+                        "-ge": lhs >= rhs,
+                    }[operator]
+                    else 1
+                )
+            raise InterpreterError(f"test: unknown binary operator {operator!r}")
+        raise InterpreterError(f"test: too many arguments: {arguments!r}")
+
+    # ------------------------------------------------------------------
+    # Expansion helpers
+    # ------------------------------------------------------------------
+
+    def _expand_fields(self, word: Word, context: ExpansionContext) -> List[str]:
+        """Expand one word into fields, applying pathname expansion."""
+        fields = expand_word(word, context)
+        return expand_pathnames(word, fields, self.state.filesystem.glob)
+
+    def _run_substitution(self, text: str) -> str:
+        """Evaluate one ``$(...)`` body in a subshell-style child interpreter."""
+        child = ShellInterpreter(
+            filesystem=self.state.filesystem,
+            variables=dict(self.state.variables),
+            registry=self.registry,
+            library=self.library,
+            positional=self.state.positional,
+            max_loop_iterations=self.max_loop_iterations,
+        )
+        child.state.last_status = self.state.last_status
+        try:
+            output = child.run_script(text)
+        except InterpreterError as exc:
+            raise ExpansionError(f"command substitution failed: {exc}") from exc
+        return "\n".join(output)
+
+    def _context(self) -> ExpansionContext:
+        # The live variables dict is adopted by reference so ${VAR:=default}
+        # assignments persist into interpreter state, as POSIX requires.
+        return ExpansionContext(
+            self.state.variables,
+            strict=False,
+            positional=self.state.positional,
+            last_status=self.state.last_status,
+            command_runner=self._run_substitution,
+            complete=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Inputs
     # ------------------------------------------------------------------
 
     def _resolve_inputs(
@@ -220,6 +414,3 @@ class ShellInterpreter:
             return self.state.filesystem.read(filename)
         except FileNotFoundError as exc:
             raise InterpreterError(str(exc)) from exc
-
-    def _context(self) -> ExpansionContext:
-        return ExpansionContext(dict(self.state.variables), strict=False)

@@ -98,6 +98,26 @@ class VirtualFileSystem:
     def names(self) -> List[str]:
         return sorted(self._files)
 
+    def glob(self, pattern: str) -> List[str]:
+        """Names matching a glob pattern, for pathname expansion.
+
+        In-memory names are matched with the shared POSIX pattern rule
+        (:func:`repro.shell.expansion.pattern_matches`: case-sensitive,
+        names starting with ``.`` require an explicit leading dot); with the
+        real-filesystem fallback enabled, on-disk matches are merged in so
+        CLI runs can loop over real files.
+        """
+        from repro.shell.expansion import pattern_matches
+
+        matches = {name for name in self._files if pattern_matches(name, pattern)}
+        if self.allow_real_files:
+            import glob as _glob
+
+            matches.update(
+                path for path in _glob.glob(pattern) if Path(path).is_file()
+            )
+        return sorted(matches)
+
     def total_lines(self) -> int:
         """Total number of lines stored (used by workload accounting)."""
         return sum(len(lines) for lines in self._files.values())

@@ -36,6 +36,33 @@ class ParseError(ValueError):
 
 _ASSIGNMENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
 
+
+def _split_assignment(word: Word) -> Optional[Assignment]:
+    """Recognize ``name=value`` at the start of a word, or return None.
+
+    The word qualifies when its first part is an *unquoted* literal whose
+    text starts with ``name=``; everything after the ``=`` (including any
+    further parts — quoted text, ``$var``, ``$(...)``) becomes the value
+    word, so dynamic assignments parse as assignments rather than commands.
+    """
+    from repro.shell.ast_nodes import LiteralPart
+
+    if not word.parts:
+        return None
+    first = word.parts[0]
+    if not isinstance(first, LiteralPart) or first.quoted:
+        return None
+    match = _ASSIGNMENT_RE.match(first.text)
+    if match is None:
+        return None
+    name = first.text[: match.end() - 1]
+    remainder = first.text[match.end() :]
+    value_parts = []
+    if remainder or len(word.parts) == 1:
+        value_parts.append(LiteralPart(remainder))
+    value_parts.extend(word.parts[1:])
+    return Assignment(name, Word(value_parts))
+
 _RESERVED = {
     "if",
     "then",
@@ -285,14 +312,14 @@ class _Parser:
         words: List[Word] = []
         redirections: List[Redirection] = []
 
-        # Leading assignments.
+        # Leading assignments (the value may be any word: literal, quoted,
+        # parameter expansion, or command substitution).
         while self._at(TokenKind.WORD):
             word = self._peek().word
-            text = word.literal_text() if word else None
-            if text is not None and _ASSIGNMENT_RE.match(text) and not words:
+            assignment = _split_assignment(word) if word is not None else None
+            if assignment is not None and not words:
                 self._advance()
-                name, _, value = text.partition("=")
-                assignments.append(Assignment(name, Word.literal(value)))
+                assignments.append(assignment)
             else:
                 break
 

@@ -75,3 +75,65 @@ def test_emitted_shell_script_matches_interpreter(name):
     stdout, files, _ = run_backend(benchmark, "shell")
     assert stdout == expected_stdout
     assert files == expected_files
+
+
+# ---------------------------------------------------------------------------
+# Mid-script assignments: visible to later regions on every backend
+# ---------------------------------------------------------------------------
+
+ASSIGNMENT_SCRIPT = (
+    "pat=light\n"
+    "grep $pat in.txt | sort\n"
+    "pat=dark\n"
+    "grep $pat in.txt\n"
+)
+
+ASSIGNMENT_FILES = {"in.txt": ["light b", "dark c", "light a", "dark d"]}
+
+
+def run_assignment_script(backend):
+    environment = ExecutionEnvironment(
+        filesystem=VirtualFileSystem(
+            {name: list(lines) for name, lines in ASSIGNMENT_FILES.items()}
+        )
+    )
+    compiled = Pash.compile(ASSIGNMENT_SCRIPT, PashConfig.paper_default(WIDTH))
+    result = compiled.execute(backend=backend, environment=environment)
+    return result.stdout
+
+
+def test_assignments_are_not_rejected_regions():
+    compiled = Pash.compile(ASSIGNMENT_SCRIPT, PashConfig.paper_default(WIDTH))
+    assert compiled.translation.rejected == []
+    assert len(compiled.translation.assignments) == 2
+    assert len(compiled.regions) == 2
+
+
+def test_reassignment_orders_correctly_at_compile_time():
+    # The first grep must see pat=light, the second pat=dark: in-order
+    # binding, not last-assignment-wins.
+    compiled = Pash.compile(ASSIGNMENT_SCRIPT, PashConfig.paper_default(WIDTH))
+    emitted = compiled.text
+    assert "grep light" in emitted
+    assert "grep dark" in emitted
+
+
+@pytest.mark.parametrize("backend", ["interpreter", "parallel", "jit"])
+def test_assignment_visibility_across_backends(backend):
+    from repro.runtime.interpreter import ShellInterpreter
+
+    oracle = ShellInterpreter(
+        filesystem=VirtualFileSystem(
+            {name: list(lines) for name, lines in ASSIGNMENT_FILES.items()}
+        )
+    )
+    expected = oracle.run_script(ASSIGNMENT_SCRIPT)
+    assert run_assignment_script(backend) == expected
+    assert expected == ["light a", "light b", "dark c", "dark d"]
+
+
+@pytest.mark.skipif(shutil.which("sh") is None, reason="requires a POSIX shell")
+def test_assignment_visibility_on_shell_backend():
+    if shutil.which("mkfifo") is None or shutil.which("grep") is None:
+        pytest.skip("missing coreutils")
+    assert run_assignment_script("shell") == ["light a", "light b", "dark c", "dark d"]

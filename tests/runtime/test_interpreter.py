@@ -80,9 +80,121 @@ def test_command_operating_on_missing_file_raises():
         interpreter().run_script("cat missing.txt")
 
 
-def test_while_loop_unsupported():
+def test_while_loop_runs_until_condition_fails():
+    shell = interpreter()
+    out = shell.run_script(
+        "flag=go\nwhile test $flag = go; do echo once; flag=stop; done"
+    )
+    assert out == ["once"]
+
+
+def test_until_loop_inverts_condition():
+    shell = interpreter()
+    out = shell.run_script(
+        "flag=wait\nuntil test $flag = done; do echo step; flag=done; done"
+    )
+    assert out == ["step"]
+
+
+def test_while_loop_with_test_counter():
+    shell = interpreter({"seq.txt": ["1", "2", "3"]})
+    out = shell.run_script(
+        "n=$(cat seq.txt | wc -l)\nwhile test $n -gt 0; do echo tick; n=$(echo $n | head -n 1 | sed s/3/0/ | sed s/2/0/ | sed s/1/0/); done"
+    )
+    assert out == ["tick"]
+
+
+def test_runaway_while_loop_hits_iteration_cap():
+    shell = ShellInterpreter(max_loop_iterations=10)
     with pytest.raises(InterpreterError):
-        interpreter().run_script("while true; do echo x; done")
+        shell.run_script("while true; do echo x; done")
+
+
+def test_if_clause_branches_on_test():
+    shell = interpreter()
+    assert shell.run_script("if test a = a; then echo yes; else echo no; fi") == ["yes"]
+    assert shell.run_script("if test a = b; then echo yes; else echo no; fi") == ["no"]
+
+
+def test_if_without_else_when_false_is_empty():
+    assert interpreter().run_script("if false; then echo yes; fi") == []
+
+
+def test_if_condition_output_is_script_output():
+    shell = interpreter({"in.txt": ["hay", "needle"]})
+    out = shell.run_script("if grep needle in.txt; then echo found; fi")
+    assert out == ["needle", "found"]
+
+
+def test_last_status_special_parameter():
+    shell = interpreter()
+    assert shell.run_script("false; echo $?") == ["1"]
+    assert shell.run_script("true; echo $?") == ["0"]
+
+
+def test_andor_branches_on_builtin_status():
+    shell = interpreter()
+    assert shell.run_script("false && echo a") == []
+    assert shell.run_script("false || echo b") == ["b"]
+    assert shell.run_script("true && echo c") == ["c"]
+
+
+def test_command_substitution_expands():
+    shell = interpreter({"names.txt": ["alpha", "beta"]})
+    assert shell.run_script("echo got $(cat names.txt | wc -l)") == ["got 2"]
+
+
+def test_command_substitution_feeds_for_loop():
+    shell = interpreter()
+    out = shell.run_script("for i in $(seq 3); do echo item$i; done")
+    assert out == ["item1", "item2", "item3"]
+
+
+def test_command_substitution_is_a_subshell_for_variables():
+    shell = interpreter({"x.txt": ["1"]})
+    out = shell.run_script("v=outer\nignored=$(cat x.txt)\necho $v")
+    assert out == ["outer"]
+
+
+def test_glob_expansion_over_virtual_files():
+    shell = interpreter({"b.txt": ["B"], "a.txt": ["A"], "c.md": ["C"]})
+    assert shell.run_script("cat *.txt") == ["A", "B"]
+
+
+def test_glob_in_for_loop_items():
+    shell = interpreter({"b.txt": ["B"], "a.txt": ["A"]})
+    out = shell.run_script('for f in *.txt; do cat "$f"; done')
+    assert out == ["A", "B"]
+
+
+def test_unmatched_glob_stays_literal():
+    shell = interpreter({"a.txt": ["A"]})
+    with pytest.raises(InterpreterError):
+        # *.zip matches nothing -> literal filename that does not exist.
+        shell.run_script("cat *.zip")
+
+
+def test_positional_parameters():
+    shell = ShellInterpreter(positional=["one", "two"])
+    assert shell.run_script("echo $# $1 $2") == ["2 one two"]
+    assert shell.run_script('for a in "$@"; do echo arg:$a; done') == [
+        "arg:one",
+        "arg:two",
+    ]
+
+
+def test_default_value_expansion_in_script():
+    shell = interpreter()
+    assert shell.run_script("echo ${WIDTH:-4}") == ["4"]
+    assert shell.run_script("WIDTH=8\necho ${WIDTH:-4}") == ["8"]
+
+
+def test_subshell_isolates_variables():
+    shell = interpreter()
+    assert shell.run_script("v=outer\n( v=inner; echo $v )\necho $v") == [
+        "inner",
+        "outer",
+    ]
 
 
 def test_unknown_variable_expands_empty():

@@ -91,3 +91,175 @@ def test_context_copy_is_independent():
     clone = context.copy()
     clone.bind("a", "2")
     assert context.lookup("a") == "1"
+
+
+# ---------------------------------------------------------------------------
+# Special parameters ($?, $#, $@, $*)
+# ---------------------------------------------------------------------------
+
+
+def test_last_status_expansion():
+    context = ExpansionContext(last_status=3)
+    assert expand_word(word("$?"), context) == ["3"]
+
+
+def test_last_status_unknown_strict_raises():
+    with pytest.raises(ExpansionError):
+        expand_word(word("$?"), ExpansionContext(strict=True))
+
+
+def test_last_status_unknown_lenient_is_empty():
+    assert expand_word(word("x$?"), ExpansionContext(strict=False)) == ["x"]
+
+
+def test_positional_count():
+    context = ExpansionContext(positional=["a", "b", "c"])
+    assert expand_word(word("$#"), context) == ["3"]
+
+
+def test_positional_parameters_by_index():
+    context = ExpansionContext(positional=["first", "second"])
+    assert expand_word(word("$1"), context) == ["first"]
+    assert expand_word(word("$2"), context) == ["second"]
+    # Out of range expands empty (one empty field, matching `$emptyvar`).
+    assert expand_word(word("$3"), context) == [""]
+
+
+def test_unquoted_at_field_splits():
+    context = ExpansionContext(positional=["a b", "c"])
+    assert expand_word(word("$@"), context) == ["a", "b", "c"]
+    assert expand_word(word("$*"), context) == ["a", "b", "c"]
+
+
+def test_quoted_at_preserves_fields():
+    context = ExpansionContext(positional=["a b", "c"])
+    assert expand_word(word('"$@"'), context) == ["a b", "c"]
+
+
+def test_quoted_at_empty_positional_disappears():
+    context = ExpansionContext(positional=[])
+    assert expand_word(word('"$@"'), context) == []
+
+
+def test_quoted_star_joins_into_one_field():
+    context = ExpansionContext(positional=["a b", "c"])
+    assert expand_word(word('"$*"'), context) == ["a b c"]
+
+
+def test_positional_unknown_strict_refuses():
+    with pytest.raises(ExpansionError):
+        expand_word(word("$#"), ExpansionContext(strict=True))
+    with pytest.raises(ExpansionError):
+        expand_word(word('"$@"'), ExpansionContext(strict=True))
+
+
+# ---------------------------------------------------------------------------
+# ${VAR:-default} and friends
+# ---------------------------------------------------------------------------
+
+
+def test_default_when_unset():
+    # With complete runtime state, "absent" means "unset": use the default.
+    context = ExpansionContext(strict=True, complete=True)
+    assert expand_word(word("${missing:-fallback}"), context) == ["fallback"]
+    # Lenient (interpreter) mode also uses the default.
+    assert expand_word(word("${missing:-fallback}"), ExpansionContext(strict=False)) == [
+        "fallback"
+    ]
+
+
+def test_default_refuses_in_strict_incomplete_mode():
+    # Compile-time (AOT) contexts cannot tell "unset" from "assigned
+    # dynamically earlier"; guessing the default would miscompile.
+    with pytest.raises(ExpansionError):
+        expand_word(word("${missing:-fallback}"), ExpansionContext(strict=True))
+
+
+def test_default_when_empty():
+    context = ExpansionContext({"v": ""})
+    assert expand_word(word("${v:-fallback}"), context) == ["fallback"]
+    # Without the colon, an empty-but-set variable keeps its value.
+    assert expand_word(word("x${v-fallback}"), context) == ["x"]
+
+
+def test_default_not_used_when_set():
+    context = ExpansionContext({"v": "value"})
+    assert expand_word(word("${v:-fallback}"), context) == ["value"]
+
+
+def test_default_referencing_another_variable():
+    context = ExpansionContext({"other": "seen"}, complete=True)
+    assert expand_word(word("${missing:-$other}"), context) == ["seen"]
+
+
+def test_assign_default_binds():
+    context = ExpansionContext(strict=True, complete=True)
+    assert expand_word(word("${v:=filled}"), context) == ["filled"]
+    assert context.variables["v"] == "filled"
+
+
+def test_assign_default_persists_into_adopted_dict():
+    # A plain dict is adopted by reference, so := reaches the caller's state.
+    state = {}
+    context = ExpansionContext(state, strict=False)
+    assert expand_word(word("${v:=5}"), context) == ["5"]
+    assert state == {"v": "5"}
+
+
+def test_alternative_form():
+    context = ExpansionContext({"v": "x"}, complete=True)
+    assert expand_word(word("${v:+alt}"), context) == ["alt"]
+    assert expand_word(word("y${missing:+alt}"), context) == ["y"]
+
+
+def test_error_form_raises_when_unset():
+    with pytest.raises(ExpansionError):
+        expand_word(word("${missing:?no value}"), ExpansionContext())
+
+
+def test_default_form_for_special_parameter():
+    context = ExpansionContext(last_status=0)
+    assert expand_word(word("${?:-9}"), context) == ["0"]
+    assert expand_word(word("${1:-none}"), ExpansionContext(positional=[])) == ["none"]
+
+
+def test_command_substitution_with_runner():
+    context = ExpansionContext(command_runner=lambda text: "ran:" + text + "\n")
+    assert expand_word(word("$(seq 2)"), context) == ["ran:seq", "2"]
+    assert expand_word(word('"$(seq 2)"'), context) == ["ran:seq 2"]
+
+
+# ---------------------------------------------------------------------------
+# Pathname expansion helpers
+# ---------------------------------------------------------------------------
+
+
+def test_word_may_glob():
+    from repro.shell.expansion import word_may_glob
+
+    assert word_may_glob(word("*.txt"))
+    assert not word_may_glob(word("'*.txt'"))
+    assert not word_may_glob(word("plain.txt"))
+    assert word_may_glob(word("$pattern"))  # the value may introduce a glob
+
+
+def test_glob_fields_matches_and_sorts():
+    from repro.shell.expansion import glob_fields
+
+    names = ["b.txt", "a.txt", "notes.md", ".hidden.txt"]
+    assert glob_fields(["*.txt"], names) == ["a.txt", "b.txt"]
+    assert glob_fields(["*.md", "keep"], names) == ["notes.md", "keep"]
+
+
+def test_glob_fields_no_match_stays_literal():
+    from repro.shell.expansion import glob_fields
+
+    assert glob_fields(["*.zip"], ["a.txt"]) == ["*.zip"]
+
+
+def test_glob_fields_hidden_files_need_explicit_dot():
+    from repro.shell.expansion import glob_fields
+
+    names = [".hidden.txt", "shown.txt"]
+    assert glob_fields(["*.txt"], names) == ["shown.txt"]
+    assert glob_fields([".*.txt"], names) == [".hidden.txt"]

@@ -72,3 +72,74 @@ def test_fan_in_flag(script_file, capsys):
     main([str(script_file), "--width", "4", "--fan-in", "4"])
     out = capsys.readouterr().out
     assert "sort -m" in out
+
+
+# ---------------------------------------------------------------------------
+# --execute jit
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def dynamic_workspace(tmp_path, monkeypatch):
+    """A cwd with real input files and a dynamic (AOT-untranslatable) script."""
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "a.txt").write_text("light one\ndark two\nlight three\n")
+    (tmp_path / "b.txt").write_text("light four\ndark five\n")
+    script = tmp_path / "dyn.sh"
+    script.write_text(
+        'for f in *.txt; do\n  grep light "$f" | sort\ndone\n'
+        "if test 2 -gt 1; then sort b.txt; fi\n"
+    )
+    return script
+
+
+def test_execute_jit_runs_dynamic_script(dynamic_workspace, capsys):
+    assert main([str(dynamic_workspace), "--width", "2", "--execute", "jit"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert out == [
+        "light one",
+        "light three",
+        "light four",
+        "dark five",
+        "light four",
+    ]
+
+
+def test_execute_jit_report_includes_jit_summary(dynamic_workspace, capsys):
+    assert (
+        main([str(dynamic_workspace), "--width", "2", "--execute", "jit", "--report"])
+        == 0
+    )
+    err = capsys.readouterr().err
+    assert "# backend: jit" in err
+    assert "jit:" in err and "compiled" in err
+
+
+def test_execute_jit_with_inner_interpreter(dynamic_workspace, capsys):
+    assert (
+        main(
+            [
+                str(dynamic_workspace),
+                "--width",
+                "2",
+                "--execute",
+                "jit",
+                "--jit-backend",
+                "interpreter",
+            ]
+        )
+        == 0
+    )
+    assert "light one" in capsys.readouterr().out
+
+
+def test_execute_non_jit_cannot_run_dynamic_scripts(dynamic_workspace, capsys):
+    # The AOT path either refuses the script or fails at runtime on the
+    # unresolved glob; only the jit backend runs it correctly.
+    assert main([str(dynamic_workspace), "--width", "2", "--execute", "parallel"]) == 1
+    assert capsys.readouterr().err.startswith("pash-compile:")
+
+
+def test_list_backends_includes_jit(capsys):
+    assert main(["--list-backends"]) == 0
+    assert "jit" in capsys.readouterr().out.split()
