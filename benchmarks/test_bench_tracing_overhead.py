@@ -1,0 +1,127 @@
+"""EXP-OBS — the tracing plane's cost, on and off.
+
+Observability is only free if nobody pays for it by default.  Two numbers:
+
+* *disabled overhead* — with ``tracing=False`` every instrumentation point
+  degrades to a call on the shared null tracer (no allocation, no lock).
+  The per-hook cost is measured directly over many iterations, multiplied by
+  the hook count of a real run (spans recorded by an enabled run of the same
+  workload), and divided by the per-run wall clock of the spawn-bound batch.
+  That ratio is asserted < 2% — deterministically, without differencing two
+  noisy wall clocks.
+* *enabled cost* — the same batch run with tracing on, reported (not
+  asserted: shipping spans over the report queue is allowed to cost real
+  time; it is opt-in).
+
+Run with ``--bench-json`` to persist the measurements (see conftest).
+"""
+
+import time
+
+from conftest import print_header
+
+from repro.api import Pash, PashConfig
+from repro.obs.export import span_summary
+from repro.obs.tracer import NULL_TRACER
+from repro.runtime.executor import ExecutionEnvironment
+from repro.runtime.streams import VirtualFileSystem
+from repro.workloads import text
+
+WIDTH = 4
+LINES_PER_CHUNK = 300
+RUNS = 4
+SCRIPT = "cat in0.txt in1.txt in2.txt in3.txt | grep the | tr A-Z a-z > out.txt"
+NULL_HOOK_ITERATIONS = 200_000
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _environment():
+    files = {f"in{i}.txt": text.text_lines(LINES_PER_CHUNK, seed=i) for i in range(4)}
+    return ExecutionEnvironment(filesystem=VirtualFileSystem(files))
+
+
+def _run_batch(compiled, runs):
+    environments = [_environment() for _ in range(runs)]
+    started = time.perf_counter()
+    results = [
+        compiled.execute(backend="parallel", environment=environment)
+        for environment in environments
+    ]
+    return time.perf_counter() - started, results
+
+
+def _null_hook_seconds():
+    """Seconds per disabled instrumentation point (span + one attribute)."""
+    started = time.perf_counter()
+    for _ in range(NULL_HOOK_ITERATIONS):
+        with NULL_TRACER.span("bench", "engine", nodes=1) as span:
+            span.set(seconds=0.0)
+    return (time.perf_counter() - started) / NULL_HOOK_ITERATIONS
+
+
+def _run_workloads():
+    plain = Pash(PashConfig.paper_default(WIDTH)).compile(SCRIPT)
+    traced = Pash(PashConfig.paper_default(WIDTH, tracing=True)).compile(SCRIPT)
+
+    # Warm both pools outside the timed windows.
+    plain.execute(backend="parallel", environment=_environment())
+    traced.execute(backend="parallel", environment=_environment())
+
+    plain_seconds, plain_results = _run_batch(plain, RUNS)
+    traced_seconds, traced_results = _run_batch(traced, RUNS)
+    hook_seconds = _null_hook_seconds()
+    return (
+        plain_seconds,
+        plain_results,
+        traced_seconds,
+        traced_results,
+        hook_seconds,
+    )
+
+
+def test_bench_tracing_disabled_overhead(benchmark, bench_record):
+    """Disabled tracing must cost < 2% of the spawn-bound per-run wall clock."""
+    plain_seconds, plain_results, traced_seconds, traced_results, hook_seconds = (
+        benchmark.pedantic(_run_workloads, rounds=1, iterations=1)
+    )
+
+    # One enabled run's span count ~= the number of instrumentation points a
+    # disabled run walks through (each span is exactly one hook).
+    hooks_per_run = len(traced_results[-1].spans)
+    per_run_seconds = plain_seconds / RUNS
+    disabled_overhead = hook_seconds * hooks_per_run / per_run_seconds
+    summary = span_summary(traced_results[-1].spans)
+
+    print_header("Observability — tracing overhead, spawn-bound batch")
+    print(f"{'configuration':<16}{'seconds':<10}{'per-run ms':<12}{'spans/run'}")
+    print(f"{'tracing off':<16}{plain_seconds:<10.3f}{per_run_seconds * 1000:<12.1f}{0}")
+    print(
+        f"{'tracing on':<16}{traced_seconds:<10.3f}"
+        f"{traced_seconds / RUNS * 1000:<12.1f}{hooks_per_run}"
+    )
+    print(
+        f"null hook: {hook_seconds * 1e9:.0f} ns/call x {hooks_per_run} hooks "
+        f"= {disabled_overhead * 100:.4f}% of a {per_run_seconds * 1000:.1f} ms run"
+    )
+
+    bench_record(
+        "tracing_overhead",
+        width=WIDTH,
+        runs=RUNS,
+        disabled_seconds=round(plain_seconds, 4),
+        enabled_seconds=round(traced_seconds, 4),
+        null_hook_nanoseconds=round(hook_seconds * 1e9, 1),
+        hooks_per_run=hooks_per_run,
+        disabled_overhead_fraction=round(disabled_overhead, 6),
+        **{key: round(value, 6) if isinstance(value, float) else value
+           for key, value in summary.items()},
+    )
+
+    # Disabled runs record nothing; enabled runs cover the whole stack.
+    assert all(result.spans == [] for result in plain_results)
+    assert summary["spans_total"] > 0
+    assert summary.get("span_count_worker", 0) >= WIDTH
+    assert summary.get("span_count_scheduler", 0) >= 1
+    # The acceptance bar: the instrumentation points a disabled run passes
+    # through cost well under 2% of its wall clock.
+    assert disabled_overhead < MAX_DISABLED_OVERHEAD

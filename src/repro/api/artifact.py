@@ -16,11 +16,13 @@ the loop:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.dfg.builder import TranslationResult
 from repro.dfg.graph import DataflowGraph
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.shell.ast_nodes import (
     AndOr,
     BackgroundNode,
@@ -56,6 +58,15 @@ class CompilationStats:
     def record_report(self, report: OptimizationReport) -> None:
         self.parallelized_commands.extend(report.parallelized_commands)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable flat-JSON schema: exactly the dataclass fields."""
+        payload = {
+            stats_field.name: getattr(self, stats_field.name)
+            for stats_field in dataclasses.fields(self)
+        }
+        payload["parallelized_commands"] = list(self.parallelized_commands)
+        return payload
+
 
 @dataclass
 class CompiledScript:
@@ -68,6 +79,10 @@ class CompiledScript:
     optimized_graphs: List[DataflowGraph] = field(default_factory=list)
     reports: List[OptimizationReport] = field(default_factory=list)
     config: Optional["PashConfig"] = None
+    #: The tracer that recorded this compilation's spans (parse + passes);
+    #: :meth:`execute` threads it through the engine so one trace covers the
+    #: whole pipeline.  Disabled (``NULL_TRACER``) unless ``config.tracing``.
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
 
     @property
     def ast(self) -> Node:
@@ -120,11 +135,24 @@ class CompiledScript:
         erroring.
         """
         name, backend_options = resolve_backend(self.config, backend, backend_options)
+        mark = self.tracer.mark()
         if name == "jit":
-            return execute_jit(self.translation.ast, self.config, environment, backend_options)
-        if self.translation.rejected:
-            raise rejection_error(self.translation.rejected)
-        return execute_graphs(self.optimized_graphs, name, environment, backend_options)
+            backend_options.setdefault("tracer", self.tracer)
+            result = execute_jit(
+                self.translation.ast, self.config, environment, backend_options
+            )
+        else:
+            if self.translation.rejected:
+                raise rejection_error(self.translation.rejected)
+            result = execute_graphs(
+                self.optimized_graphs, name, environment, backend_options,
+                tracer=self.tracer,
+            )
+        if self.tracer.enabled:
+            # Per-run view: spans recorded during this execute() call.  The
+            # compile-time spans (parse, passes) stay on the tracer itself.
+            result.spans = self.tracer.since(mark)
+        return result
 
 
 def rejection_error(rejected) -> "Exception":
@@ -190,22 +218,33 @@ def execute_graphs(
     backend: str,
     environment: Optional["ExecutionEnvironment"] = None,
     backend_options: Optional[Dict[str, Any]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> "EngineResult":
     """Execute graphs in order on one backend, sharing one environment.
 
     The common tail of :meth:`CompiledScript.execute` and
     :func:`repro.api.run`: each graph's result is folded into one combined
     :class:`~repro.engine.api.EngineResult` — the engine-level equivalent of
-    running the script top to bottom.
+    running the script top to bottom.  ``tracer`` records one ``region:N``
+    span per graph (and is handed to the parallel scheduler for its own).
     """
     from repro import engine  # deferred: keeps the artifact importable early
     from repro.runtime.executor import ExecutionEnvironment
 
+    tracer = tracer or NULL_TRACER
     environment = environment or ExecutionEnvironment()
-    engine_backend = engine.create_backend(backend, **(backend_options or {}))
+    options = dict(backend_options or {})
+    if backend == "parallel":
+        options.setdefault("tracer", tracer)
+    engine_backend = engine.create_backend(backend, **options)
     combined = engine.EngineResult(backend=engine_backend.name)
-    for graph in graphs:
-        combined.absorb(engine_backend.execute(graph, environment))
+    for index, graph in enumerate(graphs):
+        with tracer.span(f"region:{index}", "engine", nodes=len(graph.nodes)):
+            region_result = engine_backend.execute(graph, environment)
+        # The caller slices per-run spans off the tracer; per-region results
+        # must not be double-counted through absorb().
+        region_result.spans = []
+        combined.absorb(region_result)
     combined.metrics.backend = engine_backend.name
     return combined
 

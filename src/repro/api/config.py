@@ -120,6 +120,13 @@ class PashConfig:
     #: compiled plan — normally the parallel scheduler).
     jit_inner_backend: str = "parallel"
 
+    # -- observability --------------------------------------------------------
+    #: Record spans for the whole compile-and-run pipeline (parse, passes,
+    #: JIT decisions, scheduler phases, per-node workers).  Off by default;
+    #: when off the span hooks cost one attribute check each.  See
+    #: ``docs/OBSERVABILITY.md`` and the CLI's ``--trace``/``--metrics-json``.
+    tracing: bool = False
+
     # -- emission (subsume EmitterOptions) -----------------------------------
     #: Directory in which the emitted script creates its FIFOs.
     fifo_directory: str = "/tmp"
@@ -184,6 +191,10 @@ class PashConfig:
             backend=getattr(arguments, "execute", None) or "interpreter",
             jobs=getattr(arguments, "jobs", None),
             jit_inner_backend=getattr(arguments, "jit_backend", None) or "parallel",
+            tracing=bool(
+                getattr(arguments, "trace", None)
+                or getattr(arguments, "metrics_json", None)
+            ),
         )
 
     @classmethod

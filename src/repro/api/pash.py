@@ -27,6 +27,7 @@ from typing import Any, Optional
 from repro.api.artifact import CompilationStats, CompiledScript, render_script
 from repro.api.config import PashConfig
 from repro.dfg.builder import translate_script
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class _HybridCompile:
@@ -62,9 +63,21 @@ class Pash:
 
     compile = _HybridCompile()
 
-    def __init__(self, config: Optional[Any] = None, library: Optional[Any] = None):
+    def __init__(
+        self,
+        config: Optional[Any] = None,
+        library: Optional[Any] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self.config = PashConfig.coerce(config)
         self.library = library
+        #: The observability plane: one tracer covers every compile and run
+        #: this instance performs.  Enabled by ``config.tracing`` (or by
+        #: passing an explicit enabled tracer); export its spans with
+        #: :mod:`repro.obs` (``export_chrome_trace(pash.tracer.spans, ...)``).
+        if tracer is None:
+            tracer = Tracer() if self.config.tracing else NULL_TRACER
+        self.tracer = tracer
         self._pool = None
         self._session = False
 
@@ -111,10 +124,19 @@ class Pash:
         overrides the emission options derived from the config.
         """
         pash_config = self.config if config is None else PashConfig.coerce(config)
+        tracer = self.tracer
+        if not tracer.enabled and pash_config.tracing:
+            # A per-call config turned tracing on: give this compilation (and
+            # the artifact's executions) a live tracer of its own.
+            tracer = Tracer()
         started = time.perf_counter()
 
         # Stage 1: front-end (parse + region discovery + DFG translation).
-        translation = translate_script(source, library=self.library, context=context)
+        with tracer.span("parse", "parse", source_bytes=len(source)) as parse_span:
+            translation = translate_script(source, library=self.library, context=context)
+            parse_span.set(
+                regions=len(translation.regions), rejected=len(translation.rejected)
+            )
         stats = CompilationStats(
             regions_found=len(translation.regions) + len(translation.rejected),
             regions_rejected=len(translation.rejected),
@@ -127,7 +149,7 @@ class Pash:
         reports = []
         for region in translation.regions:
             graph = region.dfg
-            report = pipeline.run(graph, parallelization)
+            report = pipeline.run(graph, parallelization, tracer=tracer)
             stats.record_report(report)
             optimized_graphs.append(graph)
             reports.append(report)
@@ -148,6 +170,7 @@ class Pash:
             optimized_graphs=optimized_graphs,
             reports=reports,
             config=pash_config,
+            tracer=tracer,
         )
 
     def run(
@@ -195,7 +218,7 @@ def compile(  # noqa: A001 - deliberate: the API's verb is `compile`
     return Pash(config, library=library).compile(source, context=context)
 
 
-def optimize(graph, config: Optional[Any] = None):
+def optimize(graph, config: Optional[Any] = None, tracer: Optional[Tracer] = None):
     """Run the configured pass pipeline over one translated graph, in place.
 
     Accepts a :class:`PashConfig`, a legacy
@@ -203,7 +226,7 @@ def optimize(graph, config: Optional[Any] = None):
     (defaults); returns the :class:`~repro.transform.pipeline.OptimizationReport`.
     """
     pash_config = PashConfig.coerce(config)
-    return pash_config.pipeline().run(graph, pash_config.parallelization())
+    return pash_config.pipeline().run(graph, pash_config.parallelization(), tracer=tracer)
 
 
 def run(
@@ -236,7 +259,10 @@ def run(
 
     pash_config = PashConfig.coerce(config) if config is not None else None
     backend, backend_options = resolve_backend(pash_config, backend, backend_options)
+    tracer = Tracer() if pash_config is not None and pash_config.tracing else None
     if backend == "jit":
+        if tracer is not None:
+            backend_options.setdefault("tracer", tracer)
         return execute_jit(source, pash_config, environment, backend_options)
 
     translation = translate_script(source)
@@ -245,5 +271,8 @@ def run(
     graphs = [region.dfg for region in translation.regions]
     if pash_config is not None:
         for graph in graphs:
-            optimize(graph, pash_config)
-    return execute_graphs(graphs, backend, environment, backend_options)
+            optimize(graph, pash_config, tracer=tracer)
+    result = execute_graphs(graphs, backend, environment, backend_options, tracer=tracer)
+    if tracer is not None:
+        result.spans = list(tracer.spans)
+    return result

@@ -106,6 +106,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine backend the JIT driver executes compiled regions on "
         "when '--execute jit' is used (default: parallel)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE.json",
+        help="record spans for the whole compile-and-run pipeline (parse, "
+        "passes, jit decisions, scheduler, workers) and write a Chrome "
+        "trace_event JSON — open it in Perfetto or chrome://tracing",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable run report (engine metrics + jit "
+        "report + per-pass timings + span summary) as one JSON document",
+    )
     return parser
 
 
@@ -146,6 +161,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif not arguments.execute:
         print(compiled.text)
 
+    exit_code = 0
+    result = None
     if arguments.execute:
         if compiled.translation.rejected and arguments.execute != "jit":
             # Executing only the translated regions would silently skip the
@@ -160,32 +177,77 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "script under a shell instead",
                 file=sys.stderr,
             )
-            return 1
-        try:
-            _execute(compiled, arguments)
-        except ExecutionError as exc:
-            print(f"pash-compile: execution failed: {exc}", file=sys.stderr)
-            return 1
+            exit_code = 1
+        else:
+            try:
+                result = _execute(compiled, arguments)
+            except ExecutionError as exc:
+                print(f"pash-compile: execution failed: {exc}", file=sys.stderr)
+                exit_code = 1
 
+    # The report (compilation + execution) and the observability artifacts
+    # are emitted even when execution failed — a failing run is exactly the
+    # one whose report and trace are wanted — and the exit code still says 1.
     if arguments.report:
-        stats = compiled.stats
-        print(
-            f"# regions: {stats.regions_found} found, "
-            f"{stats.regions_parallelized} parallelized, "
-            f"{stats.regions_rejected} left sequential",
-            file=sys.stderr,
-        )
-        print(f"# runtime processes: {compiled.node_count}", file=sys.stderr)
-        print(
-            f"# compile time: {stats.compile_time_seconds * 1000:.1f} ms",
-            file=sys.stderr,
-        )
-        for command in stats.parallelized_commands:
-            print(f"#   parallelized: {command}", file=sys.stderr)
-    return 0
+        _emit_report(compiled, result)
+    _export_artifacts(compiled, result, arguments)
+    return exit_code
 
 
-def _execute(compiled: CompiledScript, arguments: argparse.Namespace) -> None:
+def _report_line(text: str) -> None:
+    """The single formatting path for every ``--report`` stderr line."""
+    print(f"# {text}", file=sys.stderr)
+
+
+def _emit_report(compiled: CompiledScript, result: Optional[object]) -> None:
+    """Print the full ``--report``: compilation first, then execution (if any).
+
+    Every line — compilation stats, engine metrics, the JIT report — flows
+    through :func:`_report_line`, and the function is called exactly once per
+    invocation, so ``--report --execute jit --trace`` composes without
+    duplicate stderr lines.
+    """
+    stats = compiled.stats
+    _report_line(
+        f"regions: {stats.regions_found} found, "
+        f"{stats.regions_parallelized} parallelized, "
+        f"{stats.regions_rejected} left sequential"
+    )
+    _report_line(f"runtime processes: {compiled.node_count}")
+    _report_line(f"compile time: {stats.compile_time_seconds * 1000:.1f} ms")
+    for command in stats.parallelized_commands:
+        _report_line(f"  parallelized: {command}")
+    if result is None:
+        return
+    _report_line(f"backend: {result.backend}")
+    _report_line(result.metrics.summary())
+    jit_report = getattr(result, "jit", None)
+    if jit_report is not None:
+        _report_line(jit_report.summary())
+
+
+def _export_artifacts(
+    compiled: CompiledScript, result: Optional[object], arguments: argparse.Namespace
+) -> None:
+    """Write the ``--trace`` Chrome trace and the ``--metrics-json`` report."""
+    if arguments.trace:
+        from repro.obs import export_chrome_trace
+
+        export_chrome_trace(compiled.tracer.spans, arguments.trace)
+    if arguments.metrics_json:
+        import json
+
+        from repro.obs import RunReport
+
+        report = RunReport.from_run(
+            result, compiled=compiled, spans=compiled.tracer.spans
+        )
+        with open(arguments.metrics_json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def _execute(compiled: CompiledScript, arguments: argparse.Namespace):
     """Run the already-compiled graphs on the selected engine backend.
 
     Input files are read from the real filesystem (via the VFS fallback);
@@ -193,6 +255,7 @@ def _execute(compiled: CompiledScript, arguments: argparse.Namespace) -> None:
     goes to our stdout — the observable behaviour of running the script.
     Process stdin feeds the graphs' STDIN edges, except when the script
     itself was read from stdin (``-``), which already consumed it.
+    Returns the :class:`~repro.engine.api.EngineResult` for reporting.
     """
     from repro.dfg.edges import EdgeKind
 
@@ -215,12 +278,7 @@ def _execute(compiled: CompiledScript, arguments: argparse.Namespace) -> None:
         with open(name, "w") as handle:
             for line in lines:
                 handle.write(line + "\n")
-    if arguments.report:
-        print(f"# backend: {result.backend}", file=sys.stderr)
-        print(f"# {result.metrics.summary()}", file=sys.stderr)
-        jit_report = getattr(result, "jit", None)
-        if jit_report is not None:
-            print(f"# {jit_report.summary()}", file=sys.stderr)
+    return result
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -39,6 +39,7 @@ from repro.engine.channels import decode_lines
 from repro.engine.metrics import EngineMetrics
 from repro.engine.pool import WorkerPool
 from repro.engine.scheduler import ParallelScheduler, SchedulerOptions
+from repro.obs.tracer import SpanRecord, Tracer
 from repro.runtime.executor import (
     DFGExecutor,
     ExecutionEnvironment,
@@ -57,6 +58,8 @@ class EngineResult:
     files: Dict[str, Stream] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     metrics: EngineMetrics = field(default_factory=EngineMetrics)
+    #: Spans recorded during this invocation (empty unless tracing is on).
+    spans: List[SpanRecord] = field(default_factory=list)
 
     def output_of(self, name: str) -> Stream:
         """Stream written to the named output file."""
@@ -68,6 +71,7 @@ class EngineResult:
         self.files.update(other.files)
         self.elapsed_seconds += other.elapsed_seconds
         self.metrics.merge(other.metrics)
+        self.spans.extend(other.spans)
 
 
 class ExecutionBackend:
@@ -125,6 +129,7 @@ class ParallelBackend(ExecutionBackend):
         self,
         options: Optional[SchedulerOptions] = None,
         pool: Optional["WorkerPool"] = None,
+        tracer: Optional[Tracer] = None,
         **overrides,
     ) -> None:
         if options is None:
@@ -136,14 +141,19 @@ class ParallelBackend(ExecutionBackend):
             options = dataclasses.replace(options, **overrides)
         self.options = options
         self.pool = pool
+        self.tracer = tracer
 
     def execute(self, graph: DataflowGraph, environment: ExecutionEnvironment) -> EngineResult:
         started = time.perf_counter()
-        result, metrics = ParallelScheduler(
-            environment, self.options, pool=self.pool
-        ).execute(graph)
+        scheduler = ParallelScheduler(
+            environment, self.options, pool=self.pool, tracer=self.tracer
+        )
+        mark = scheduler.tracer.mark()
+        result, metrics = scheduler.execute(graph)
         elapsed = time.perf_counter() - started
-        return self._wrap(result, elapsed, metrics)
+        wrapped = self._wrap(result, elapsed, metrics)
+        wrapped.spans = scheduler.tracer.since(mark)
+        return wrapped
 
 
 class ShellBackend(ExecutionBackend):

@@ -8,8 +8,9 @@ evaluation harness can compute Fig. 7-style speedups from wall-clock time.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Mapping
 
 
 @dataclass
@@ -42,6 +43,22 @@ class NodeMetrics:
     spilled_bytes: int = 0
     #: Number of chunks that went through spill storage.
     spill_events: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable flat-JSON schema: exactly the dataclass fields."""
+        return {
+            metrics_field.name: getattr(self, metrics_field.name)
+            for metrics_field in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "NodeMetrics":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        field_names = {metrics_field.name for metrics_field in dataclasses.fields(cls)}
+        unknown = set(payload) - field_names
+        if unknown:
+            raise ValueError(f"unknown NodeMetrics fields: {', '.join(sorted(unknown))}")
+        return cls(**dict(payload))
 
 
 @dataclass
@@ -124,6 +141,44 @@ class EngineMetrics:
     def total_compute_seconds(self) -> float:
         """Sum of per-node evaluation time (the rest of node wall is streaming)."""
         return sum(node.compute_seconds for node in self.nodes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON schema: every field, nodes as dicts, plus ``derived``.
+
+        The ``derived`` sub-dict holds the read-only aggregate properties
+        (``worker_count``, ``total_bytes_moved``…) for consumers that do not
+        want to recompute them; :meth:`from_dict` ignores it, so the document
+        round-trips.
+        """
+        payload: Dict[str, Any] = {}
+        for metrics_field in dataclasses.fields(self):
+            value = getattr(self, metrics_field.name)
+            if metrics_field.name == "nodes":
+                value = [node.to_dict() for node in value]
+            payload[metrics_field.name] = value
+        payload["derived"] = {
+            "worker_count": self.worker_count,
+            "total_bytes_moved": self.total_bytes_moved,
+            "total_node_seconds": self.total_node_seconds,
+            "total_compute_seconds": self.total_compute_seconds,
+            "peak_buffered_bytes": self.peak_buffered_bytes,
+            "total_spilled_bytes": self.total_spilled_bytes,
+            "total_spill_events": self.total_spill_events,
+            "worker_utilization": self.worker_utilization,
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EngineMetrics":
+        """Inverse of :meth:`to_dict` (the ``derived`` block is recomputed)."""
+        field_names = {metrics_field.name for metrics_field in dataclasses.fields(cls)}
+        unknown = set(payload) - field_names - {"derived"}
+        if unknown:
+            raise ValueError(f"unknown EngineMetrics fields: {', '.join(sorted(unknown))}")
+        values = {key: value for key, value in payload.items() if key in field_names}
+        if "nodes" in values:
+            values["nodes"] = [NodeMetrics.from_dict(node) for node in values["nodes"]]
+        return cls(**values)
 
     def merge(self, other: "EngineMetrics") -> None:
         """Fold another run's metrics in (used for multi-region scripts)."""

@@ -213,6 +213,16 @@ class WorkerPool:
     def worker_count(self) -> int:
         return len(self._idle) + len(self._busy)
 
+    def worker_pids(self) -> List[int]:
+        """Pids of every live pool worker (idle and busy), sorted.
+
+        Observability hook: worker spans and ``NodeMetrics.pid`` can be
+        checked against this set to prove a node ran on a pooled process
+        rather than a dedicated fork.
+        """
+        workers = list(self._idle) + list(self._busy.values())
+        return sorted(worker.pid for worker in workers if worker.pid > 0)
+
     def prewarm(self, count: int) -> None:
         """Ensure at least ``count`` workers exist (spawning the difference)."""
         if self._closed:

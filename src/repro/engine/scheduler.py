@@ -59,6 +59,7 @@ from repro.engine.workers import (
     WorkerPlan,
     execute_plan,
 )
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.executor import (
     ExecutionEnvironment,
     ExecutionError,
@@ -114,10 +115,12 @@ class ParallelScheduler:
         environment: Optional[ExecutionEnvironment] = None,
         options: Optional[SchedulerOptions] = None,
         pool: Optional[WorkerPool] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.environment = environment or ExecutionEnvironment()
         self.options = options or SchedulerOptions()
         self._pool = pool
+        self.tracer = tracer or NULL_TRACER
 
     # ------------------------------------------------------------------
 
@@ -154,7 +157,13 @@ class ParallelScheduler:
         # One run at a time per pool: a run's reports travel through the
         # pool's shared queue, so an interleaved run would steal them.
         run_guard = pool.run_lock if pool is not None else nullcontext()
-        with run_guard:
+        run_span = self.tracer.span(
+            "engine:run",
+            "scheduler",
+            nodes=len(graph.nodes),
+            relays_elided=len(skipped),
+        )
+        with run_span, run_guard:
             return self._execute_locked(
                 graph, metrics, result, context, pool, skipped, heads, tails, started
             )
@@ -167,11 +176,13 @@ class ParallelScheduler:
         # ends open forever (consumers would never see EOF).
         pool_growth = 0
         if pool is not None:
-            spawn_started = time.perf_counter()
-            spawned_before = pool.processes_spawned
-            pool.ensure_idle(len(graph.nodes) - len(skipped))
-            pool_growth = pool.processes_spawned - spawned_before
-            metrics.spawn_seconds += time.perf_counter() - spawn_started
+            with self.tracer.span("scheduler:spawn", "scheduler") as spawn_span:
+                spawn_started = time.perf_counter()
+                spawned_before = pool.processes_spawned
+                pool.ensure_idle(len(graph.nodes) - len(skipped))
+                pool_growth = pool.processes_spawned - spawned_before
+                metrics.spawn_seconds += time.perf_counter() - spawn_started
+                spawn_span.set(processes_spawned=pool_growth)
 
         channels = self._open_channels(graph, skipped, tails)
         all_fds = [fd for channel in channels.values() for fd in channel.fds()]
@@ -186,46 +197,55 @@ class ParallelScheduler:
         pooled: Dict[int, object] = {}  # node_id -> PoolWorker
         reports: Dict[int, dict] = {}
         try:
-            plans = [
-                self._plan(
-                    node_id, graph, channels, all_fds, run_spill_directory,
-                    heads, tails, token,
-                )
-                for node_id in self._topo_ids(graph)
-                if node_id not in skipped
-            ]
+            # Captured before the plan span opens: worker spans parent under
+            # the enclosing engine:run span, not under scheduler:plan (their
+            # execution long outlives the planning interval).
+            worker_trace = self.tracer.context()
+            with self.tracer.span("scheduler:plan", "scheduler"):
+                plans = [
+                    self._plan(
+                        node_id, graph, channels, all_fds, run_spill_directory,
+                        heads, tails, token, worker_trace,
+                    )
+                    for node_id in self._topo_ids(graph)
+                    if node_id not in skipped
+                ]
             self._count_edge_modes(plans, metrics)
 
             report_queue = pool.report_queue if pool is not None else context.Queue()
             processes = []
             spawn_started = time.perf_counter()
+            dispatch_span = self.tracer.span(
+                "scheduler:dispatch", "scheduler", plans=len(plans)
+            )
             try:
-                for plan in plans:
-                    if pool is not None:
-                        worker = pool.dispatch(plan)
-                        if worker is not None:
-                            pooled[plan.node.node_id] = worker
-                            processes.append((plan.node, worker.process))
-                            continue
-                    # Dedicated fork: the plan cannot travel to a persistent
-                    # worker (unpicklable custom registry) or pooling is off.
-                    # The child inherits every channel fd and closes the ones
-                    # it does not own.
-                    if context.get_start_method() != "fork":
-                        raise ExecutionError(
-                            f"node {plan.node.label()} carries a command "
-                            "registry that cannot be pickled to a pool worker, "
-                            "and the fallback fork path is unavailable under "
-                            f"the {context.get_start_method()!r} start method"
+                with dispatch_span:
+                    for plan in plans:
+                        if pool is not None:
+                            worker = pool.dispatch(plan)
+                            if worker is not None:
+                                pooled[plan.node.node_id] = worker
+                                processes.append((plan.node, worker.process))
+                                continue
+                        # Dedicated fork: the plan cannot travel to a persistent
+                        # worker (unpicklable custom registry) or pooling is off.
+                        # The child inherits every channel fd and closes the ones
+                        # it does not own.
+                        if context.get_start_method() != "fork":
+                            raise ExecutionError(
+                                f"node {plan.node.label()} carries a command "
+                                "registry that cannot be pickled to a pool worker, "
+                                "and the fallback fork path is unavailable under "
+                                f"the {context.get_start_method()!r} start method"
+                            )
+                        process = context.Process(
+                            target=execute_plan,
+                            args=(plan, report_queue),
+                            name=f"pash-node-{plan.node.node_id}",
                         )
-                    process = context.Process(
-                        target=execute_plan,
-                        args=(plan, report_queue),
-                        name=f"pash-node-{plan.node.node_id}",
-                    )
-                    process.start()
-                    metrics.processes_spawned += 1
-                    processes.append((plan.node, process))
+                        process.start()
+                        metrics.processes_spawned += 1
+                        processes.append((plan.node, process))
             finally:
                 metrics.spawn_seconds += time.perf_counter() - spawn_started
                 metrics.processes_spawned += pool_growth
@@ -235,7 +255,10 @@ class ParallelScheduler:
                 for channel in channels.values():
                     channel.close()
 
-            reports = self._collect_reports(report_queue, processes, len(plans), token)
+            with self.tracer.span("scheduler:collect", "scheduler"):
+                reports = self._collect_reports(
+                    report_queue, processes, len(plans), token
+                )
             for node, process in processes:
                 if node.node_id in pooled:
                     continue  # pool workers stay alive by design
@@ -254,6 +277,12 @@ class ParallelScheduler:
             for report in reports.values():
                 for edge_id, value in report["outputs"].items():
                     edge_values[edge_id] = self._restore_output(value)
+                for span in report.get("spans") or ():
+                    # Worker-side spans arrive through the report queue; the
+                    # worker cannot know whether its process was a fresh fork
+                    # or a pool reuse, so attribution lands here.
+                    span.set(reused_worker=report["node_id"] in pooled)
+                    self.tracer.record(span)
                 metrics.nodes.append(
                     NodeMetrics(
                         node_id=report["node_id"],
@@ -396,6 +425,7 @@ class ParallelScheduler:
         heads: Dict[int, int],
         tails: Dict[int, int],
         token: int,
+        trace=None,
     ) -> WorkerPlan:
         node = graph.node(node_id)
         inputs = []
@@ -431,6 +461,7 @@ class ParallelScheduler:
             close_fds=all_fds,
             pump_policy=self.options.pump_policy,
             run_token=token,
+            trace=trace,
         )
 
     @staticmethod
@@ -580,6 +611,7 @@ def execute_graph_parallel(
     environment: Optional[ExecutionEnvironment] = None,
     options: Optional[SchedulerOptions] = None,
     pool: Optional[WorkerPool] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[ExecutionResult, EngineMetrics]:
     """Convenience wrapper: execute ``graph`` on the parallel scheduler."""
-    return ParallelScheduler(environment, options, pool=pool).execute(graph)
+    return ParallelScheduler(environment, options, pool=pool, tracer=tracer).execute(graph)

@@ -58,6 +58,7 @@ from repro.engine.channels import (
     iter_decoded_batches,
     iter_encoded_chunks,
 )
+from repro.obs.tracer import TraceContext, record_worker_span
 from repro.runtime.executor import (
     evaluate_node,
     evaluate_stateless_batch,
@@ -123,6 +124,11 @@ class WorkerPlan:
     #: Identifies the scheduler run this plan belongs to; echoed in the
     #: report so a shared (pool) report queue never mixes runs up.
     run_token: int = 0
+    #: Tracing handoff: when set, the worker records a span for its node
+    #: (parented under the scheduler's run span) and ships it back inside
+    #: the report.  ``None`` — the default — skips the span path entirely,
+    #: keeping the traced-off hot path at one attribute check.
+    trace: Optional[TraceContext] = None
 
 
 def host_command_available(node: DFGNode, use_host_commands: bool) -> bool:
@@ -672,6 +678,7 @@ def execute_plan(plan: WorkerPlan, report_queue) -> None:
         "spill_events": 0,
     }
     started = time.perf_counter()
+    trace_start_us = time.time_ns() // 1_000 if plan.trace is not None else 0
     mine = {port.fd for port in plan.inputs + plan.outputs if port.fd is not None}
     sources: List[InputSource] = []
     sinks: List[OutputSink] = []
@@ -736,4 +743,32 @@ def execute_plan(plan: WorkerPlan, report_queue) -> None:
         report["spilled_bytes"] = sum(buffer.spilled_bytes for buffer in buffers)
         report["spill_events"] = sum(buffer.spill_events for buffer in buffers)
         report["wall_seconds"] = time.perf_counter() - started
+        if plan.trace is not None:
+            # The span carries the node's full counter set as attributes, so
+            # byte/line/spill flow is queryable per span in any exporter.  It
+            # ships to the scheduler inside this report (same queue, same
+            # pickle) — no extra channel, no cost when tracing is off.
+            span = record_worker_span(
+                plan.trace,
+                name=f"node:{report['label']}",
+                category="worker",
+                start_us=trace_start_us,
+                duration_us=int(report["wall_seconds"] * 1e6),  # type: ignore[operator]
+                attributes={
+                    "node_id": report["node_id"],
+                    "kind": report["kind"],
+                    "error": report["error"],
+                    "wall_seconds": report["wall_seconds"],
+                    "compute_seconds": report["compute_seconds"],
+                    "bytes_in": report["bytes_in"],
+                    "bytes_out": report["bytes_out"],
+                    "lines_in": report["lines_in"],
+                    "lines_out": report["lines_out"],
+                    "host_command": report["host_command"],
+                    "peak_buffered_bytes": report["peak_buffered_bytes"],
+                    "spilled_bytes": report["spilled_bytes"],
+                    "spill_events": report["spill_events"],
+                },
+            )
+            report["spans"] = [span]
         report_queue.put(report)

@@ -53,6 +53,7 @@ from repro.jit.cache import (
     config_digest,
 )
 from repro.jit.report import JitReport, RegionOutcome
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.executor import ExecutionEnvironment
 from repro.runtime.interpreter import BUILTIN_COMMANDS, ShellInterpreter
 from repro.runtime.streams import VirtualFileSystem
@@ -113,6 +114,7 @@ class JitDriver(ShellInterpreter):
         pool: Optional[Any] = None,
         cache: Optional[PlanCache] = None,
         max_loop_iterations: int = 100_000,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         base = environment or ExecutionEnvironment()
         self._fs = _RecordingFileSystem(base.filesystem)
@@ -126,6 +128,9 @@ class JitDriver(ShellInterpreter):
             max_loop_iterations=max_loop_iterations,
         )
         self.config = PashConfig.coerce(config)
+        if tracer is None:
+            tracer = Tracer() if self.config.tracing else NULL_TRACER
+        self.tracer = tracer
         self.inner_backend = inner_backend or self.config.jit_inner_backend
         self.pool = pool
         self.cache = cache if cache is not None else PlanCache()
@@ -153,8 +158,10 @@ class JitDriver(ShellInterpreter):
         self.report = JitReport()
         self.metrics = EngineMetrics(backend="jit")
         self._fs.written = set()  # files are reported per call, like the report
+        mark = self.tracer.mark()
         started = time.perf_counter()
-        stdout = self.run_node(ast)
+        with self.tracer.span("jit:script", "jit"):
+            stdout = self.run_node(ast)
         elapsed = time.perf_counter() - started
         files = {
             name: self._fs.read(name)
@@ -168,6 +175,7 @@ class JitDriver(ShellInterpreter):
             elapsed_seconds=elapsed,
             metrics=self.metrics,
             jit=self.report,
+            spans=self.tracer.since(mark),
         )
 
     # ------------------------------------------------------------------
@@ -222,6 +230,10 @@ class JitDriver(ShellInterpreter):
 
         entry = self.cache.get(key) if cacheable else None
         if isinstance(entry, FailedPlan):
+            with self.tracer.span(
+                "jit:fallback", "jit", fingerprint=fingerprint, cached_failure=True
+            ) as span:
+                span.set(reason=entry.reason)
             self._record(node, fingerprint, "fallback", entry.reason, cached_failure=True)
             return False, None
 
@@ -229,12 +241,19 @@ class JitDriver(ShellInterpreter):
         action = "cached"
         if entry is None:
             compile_started = time.perf_counter()
+            compile_span = self.tracer.span("jit:compile", "jit", fingerprint=fingerprint)
             try:
-                graph, opt_report, saw_glob = self._compile(node)
+                with compile_span as span:
+                    graph, opt_report, saw_glob = self._compile(node)
+                    span.set(nodes=len(graph.nodes))
             except (UntranslatableRegion, ExpansionError) as exc:
                 reason = str(exc)
                 if cacheable:
                     self.cache.put(key, FailedPlan(reason=reason, fingerprint=fingerprint))
+                with self.tracer.span(
+                    "jit:fallback", "jit", fingerprint=fingerprint
+                ) as span:
+                    span.set(reason=reason)
                 self._record(node, fingerprint, "fallback", reason)
                 return False, None
             compile_seconds = time.perf_counter() - compile_started
@@ -249,9 +268,17 @@ class JitDriver(ShellInterpreter):
             if cacheable and not saw_glob:
                 self.cache.put(key, entry)
             action = "compiled"
+        else:
+            with self.tracer.span(
+                "jit:cache-hit", "jit", fingerprint=fingerprint
+            ) as span:
+                span.set(executions=entry.executions)
 
         started = time.perf_counter()
-        result = self._engine_backend().execute(entry.graph, self.environment)
+        with self.tracer.span(
+            "jit:region-execute", "jit", fingerprint=fingerprint, action=action
+        ):
+            result = self._engine_backend().execute(entry.graph, self.environment)
         elapsed = time.perf_counter() - started
         entry.executions += 1
         self.metrics.merge(result.metrics)
@@ -285,7 +312,7 @@ class JitDriver(ShellInterpreter):
         builder = DFGBuilder(self.library, context=context, filesystem=self._fs)
         graph = builder.build_from_node(node)
         graph.validate()
-        opt_report = self._pipeline.run(graph, self._parallelization)
+        opt_report = self._pipeline.run(graph, self._parallelization, tracer=self.tracer)
         return graph, opt_report, builder.saw_glob
 
     def _bindings_for(self, names) -> Tuple[Tuple[str, Optional[str]], ...]:
@@ -315,8 +342,10 @@ class JitDriver(ShellInterpreter):
         """The inner engine backend, created once and reused across regions."""
         if self._engine is None:
             options = dict(self.config.backend_options(self.inner_backend))
-            if self.inner_backend == "parallel" and self.pool is not None:
-                options["pool"] = self.pool
+            if self.inner_backend == "parallel":
+                if self.pool is not None:
+                    options["pool"] = self.pool
+                options["tracer"] = self.tracer
             self._engine = create_backend(self.inner_backend, **options)
         return self._engine
 

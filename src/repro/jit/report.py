@@ -8,9 +8,10 @@ acceptance tests and the CLI's ``--report`` read.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 
 @dataclass
@@ -31,6 +32,13 @@ class RegionOutcome:
     compile_seconds: float = 0.0
     #: True when the fallback decision itself came from the negative cache.
     cached_failure: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable flat-JSON schema: exactly the dataclass fields."""
+        return {
+            outcome_field.name: getattr(self, outcome_field.name)
+            for outcome_field in dataclasses.fields(self)
+        }
 
 
 @dataclass
@@ -78,6 +86,18 @@ class JitReport:
 
     def record(self, outcome: RegionOutcome) -> None:
         self.outcomes.append(outcome)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON schema: per-occurrence rows plus the derived aggregates."""
+        return {
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+            "regions_seen": self.regions_seen,
+            "regions_compiled": self.regions_compiled,
+            "cache_hits": self.cache_hits,
+            "fallbacks": self.fallbacks,
+            "compile_seconds": self.compile_seconds,
+            "fallback_reasons": self.fallback_reasons(),
+        }
 
     def summary(self) -> str:
         """One-line digest (used by the CLI's ``--report``)."""

@@ -1,0 +1,42 @@
+"""``repro.obs`` — the tracing + metrics observability plane.
+
+One :class:`Tracer` threads through every layer of a run — parse, optimizer
+passes, JIT decisions, scheduler phases, pool/fork workers — recording
+pickle-safe :class:`SpanRecord`\\ s that exporters turn into a Chrome
+``trace_event`` JSON (Perfetto-loadable), a flat JSONL span log, or a merged
+machine-readable :class:`RunReport`.  Off by default and near-free when off:
+see ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_jsonl,
+    span_summary,
+)
+from repro.obs.report import RUN_REPORT_SCHEMA, RunReport
+from repro.obs.tracer import (
+    NULL_TRACER,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    new_span_id,
+    record_worker_span,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "RUN_REPORT_SCHEMA",
+    "RunReport",
+    "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace_document",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_jsonl",
+    "new_span_id",
+    "record_worker_span",
+    "span_summary",
+]

@@ -408,16 +408,28 @@ class PassManager:
         graph: DataflowGraph,
         config: Optional[ParallelizationConfig] = None,
         report: Optional[OptimizationReport] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> OptimizationReport:
-        """Apply every pass in order, in place; returns the report."""
+        """Apply every pass in order, in place; returns the report.
+
+        ``tracer`` (a :class:`repro.obs.tracer.Tracer`) records one span per
+        pass, so a trace shows exactly where compile time goes.
+        """
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
         config = config or ParallelizationConfig()
         report = report or OptimizationReport()
         context = PassContext(graph=graph, config=config, report=report)
         started = time.perf_counter()
         for graph_pass in self.passes:
-            pass_started = time.perf_counter()
-            graph_pass.run(context)
-            report.pass_seconds[graph_pass.name] = time.perf_counter() - pass_started
+            with tracer.span(f"pass:{graph_pass.name}", "pass") as span:
+                pass_started = time.perf_counter()
+                graph_pass.run(context)
+                elapsed = time.perf_counter() - pass_started
+                report.pass_seconds[graph_pass.name] = elapsed
+                span.set(seconds=elapsed, nodes=len(graph.nodes))
         graph.validate()
         report.compile_time_seconds = time.perf_counter() - started
         return report

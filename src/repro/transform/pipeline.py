@@ -19,9 +19,10 @@ also exposes per-pass toggling.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.dfg.graph import DataflowGraph
 
@@ -104,6 +105,18 @@ class OptimizationReport:
     @property
     def parallelized_count(self) -> int:
         return len(self.parallelized_commands)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON schema: the dataclass fields plus ``parallelized_count``."""
+        payload: Dict[str, Any] = {
+            report_field.name: getattr(self, report_field.name)
+            for report_field in dataclasses.fields(self)
+        }
+        payload["parallelized_commands"] = list(self.parallelized_commands)
+        payload["skipped_commands"] = list(self.skipped_commands)
+        payload["pass_seconds"] = dict(self.pass_seconds)
+        payload["parallelized_count"] = self.parallelized_count
+        return payload
 
 
 def optimize_graph(

@@ -64,6 +64,49 @@ def test_second_run_reuses_worker_processes(pool):
     assert all(node.reused_worker for node in second.nodes)
 
 
+def test_warm_pool_attribution_and_span_pids_stay_consistent(pool):
+    """Regression: attribution counters and span pids agree on a warm re-run.
+
+    The second run on a warm pool must spawn zero processes, reuse one per
+    node, mark every ``NodeMetrics.reused_worker``, stamp matching spawn
+    accounting (near-zero spawn time), and — with tracing on — ship worker
+    spans whose pids are exactly the pool's worker pids and whose
+    ``reused_worker`` attribute agrees with the metrics.
+    """
+    from repro.obs.tracer import Tracer
+
+    options = SchedulerOptions(report_timeout_seconds=30)
+    tracer = Tracer()
+    scheduler = ParallelScheduler(environment(), options, pool=pool, tracer=tracer)
+    _, first = scheduler.execute(build())
+    assert first.processes_spawned == len(first.nodes)
+    assert first.processes_reused == 0
+
+    mark = tracer.mark()
+    scheduler = ParallelScheduler(environment(), options, pool=pool, tracer=tracer)
+    _, second = scheduler.execute(build())
+    assert second.processes_spawned == 0
+    assert second.processes_reused == len(second.nodes)
+    assert all(node.reused_worker for node in second.nodes)
+    # Spawn time on the warm run only covers the (empty) growth check.
+    assert second.spawn_seconds < first.spawn_seconds or first.spawn_seconds == 0
+
+    worker_spans = [
+        span for span in tracer.since(mark) if span.category == "worker"
+    ]
+    assert len(worker_spans) == len(second.nodes)
+    pool_pids = set(pool.worker_pids())
+    metric_pids = {node.pid for node in second.nodes}
+    assert {span.pid for span in worker_spans} == metric_pids <= pool_pids
+    assert all(span.attributes["reused_worker"] for span in worker_spans)
+    # Span counters mirror the node metrics they were measured alongside.
+    by_node = {span.attributes["node_id"]: span for span in worker_spans}
+    for node in second.nodes:
+        span = by_node[node.node_id]
+        assert span.attributes["bytes_in"] == node.bytes_in
+        assert span.attributes["bytes_out"] == node.bytes_out
+
+
 def test_pool_grows_for_wider_graphs_and_keeps_workers(pool):
     options = SchedulerOptions(report_timeout_seconds=30)
     ParallelScheduler(environment(), options, pool=pool).execute(build())

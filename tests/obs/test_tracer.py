@@ -1,0 +1,130 @@
+"""The tracer core: span recording, nesting, handoff, and the disabled path."""
+
+import os
+import pickle
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    new_span_id,
+    record_worker_span,
+)
+
+
+def test_span_records_timing_and_identity():
+    tracer = Tracer()
+    with tracer.span("work", "engine", answer=42) as span:
+        pass
+    assert len(tracer.spans) == 1
+    record = tracer.spans[0]
+    assert record is span
+    assert record.name == "work"
+    assert record.category == "engine"
+    assert record.pid == os.getpid()
+    assert record.tid > 0
+    assert record.start_us > 0
+    assert record.duration_us >= 0
+    assert record.attributes == {"answer": 42}
+    assert record.span_id and record.parent_id is None
+
+
+def test_spans_nest_via_context_variable():
+    tracer = Tracer()
+    with tracer.span("outer", "engine") as outer:
+        assert tracer.current_id() == outer.span_id
+        with tracer.span("inner", "engine") as inner:
+            assert inner.parent_id == outer.span_id
+        assert tracer.current_id() == outer.span_id
+    assert tracer.current_id() is None
+    # Recording order is exit order: inner closes first.
+    assert [record.name for record in tracer.spans] == ["inner", "outer"]
+
+
+def test_nested_span_stays_inside_parent_window():
+    tracer = Tracer()
+    with tracer.span("outer", "engine"):
+        with tracer.span("inner", "engine"):
+            pass
+    inner, outer = tracer.spans
+    assert inner.start_us >= outer.start_us
+    assert inner.end_us <= outer.end_us + 1  # integer-microsecond rounding
+
+
+def test_explicit_parent_overrides_context():
+    tracer = Tracer()
+    with tracer.span("outer", "engine"):
+        with tracer.span("adopted", "engine", parent_id="other.1") as span:
+            assert span.parent_id == "other.1"
+
+
+def test_span_set_attaches_attributes():
+    tracer = Tracer()
+    with tracer.span("work", "engine") as span:
+        span.set(bytes_in=7, reused_worker=True)
+    assert tracer.spans[0].attributes == {"bytes_in": 7, "reused_worker": True}
+
+
+def test_disabled_tracer_is_inert_and_allocation_free():
+    tracer = Tracer(enabled=False)
+    first = tracer.span("a", "engine")
+    second = tracer.span("b", "engine", anything=1)
+    assert first is second  # the shared singleton: no per-call allocation
+    with first as handle:
+        handle.set(ignored=True)
+    assert tracer.spans == []
+    assert tracer.current_id() is None
+    assert tracer.context() is None
+    tracer.record(SpanRecord(name="x", category="engine"))
+    tracer.extend([SpanRecord(name="y", category="engine")])
+    assert tracer.spans == []
+    assert NULL_TRACER.enabled is False
+
+
+def test_span_ids_are_unique_and_pid_prefixed():
+    ids = {new_span_id() for _ in range(100)}
+    assert len(ids) == 100
+    assert all(identifier.startswith(f"{os.getpid():x}.") for identifier in ids)
+
+
+def test_mark_and_since_slice_per_run_views():
+    tracer = Tracer()
+    with tracer.span("before", "engine"):
+        pass
+    mark = tracer.mark()
+    with tracer.span("after", "engine"):
+        pass
+    assert [record.name for record in tracer.since(mark)] == ["after"]
+
+
+def test_record_and_to_dict_round_trip():
+    record = SpanRecord(
+        name="node:grep",
+        category="worker",
+        span_id="ab.1",
+        parent_id="cd.2",
+        pid=7,
+        tid=9,
+        start_us=1000,
+        duration_us=50,
+        attributes={"bytes_in": 3},
+    )
+    assert SpanRecord.from_dict(record.to_dict()) == record
+
+
+def test_trace_context_and_records_survive_pickle():
+    context = TraceContext(parent_id="ab.1")
+    restored = pickle.loads(pickle.dumps(context))
+    assert restored.parent_id == "ab.1"
+    span = record_worker_span(
+        restored, "node:tr", "worker", start_us=10, duration_us=5,
+        attributes={"bytes_out": 2},
+    )
+    assert pickle.loads(pickle.dumps(span)) == span
+    assert span.parent_id == "ab.1"
+    assert span.pid == os.getpid()
+
+
+def test_record_worker_span_is_none_when_tracing_off():
+    assert record_worker_span(None, "node:x", "worker", 0, 0) is None

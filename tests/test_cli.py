@@ -143,3 +143,105 @@ def test_execute_non_jit_cannot_run_dynamic_scripts(dynamic_workspace, capsys):
 def test_list_backends_includes_jit(capsys):
     assert main(["--list-backends"]) == 0
     assert "jit" in capsys.readouterr().out.split()
+
+
+# ---------------------------------------------------------------------------
+# --trace / --metrics-json
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def loop_workspace(tmp_path, monkeypatch):
+    """A loop whose body is iteration-invariant, so the JIT cache can hit."""
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "a.txt").write_text("light one\ndark two\nlight three\n")
+    script = tmp_path / "loop.sh"
+    script.write_text("for i in 1 2 3; do\n  grep light a.txt | sort\ndone\n")
+    return script
+
+
+def _load_trace(path):
+    import json
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tools"))
+    from check_trace import check_trace
+
+    with open(path) as handle:
+        document = json.load(handle)
+    return document, check_trace(document)
+
+
+def test_trace_export_covers_every_layer(loop_workspace, tmp_path, capsys):
+    trace = tmp_path / "out.json"
+    assert (
+        main(
+            [str(loop_workspace), "--width", "2", "--execute", "jit",
+             "--trace", str(trace)]
+        )
+        == 0
+    )
+    document, count = _load_trace(trace)
+    assert count > 0
+    events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    names = {e["name"] for e in events}
+    categories = {e["cat"] for e in events}
+    assert {"parse", "pass", "jit", "scheduler", "worker"} <= categories
+    assert "jit:compile" in names
+    assert "jit:cache-hit" in names  # iterations 2 and 3 reuse the region
+    assert "engine:run" in names
+    # Worker spans run in other processes but still nest under the driver.
+    driver_pid = next(e["pid"] for e in events if e["cat"] == "scheduler")
+    worker_events = [e for e in events if e["cat"] == "worker"]
+    assert worker_events
+    assert all(e["pid"] != driver_pid for e in worker_events)
+    assert all(e["args"]["parent_id"] for e in worker_events)
+
+
+def test_metrics_json_writes_run_report(loop_workspace, tmp_path, capsys):
+    import json
+
+    metrics = tmp_path / "metrics.json"
+    assert (
+        main(
+            [str(loop_workspace), "--width", "2", "--execute", "jit",
+             "--metrics-json", str(metrics)]
+        )
+        == 0
+    )
+    document = json.loads(metrics.read_text())
+    assert document["schema"] == 1
+    assert document["backend"] == "jit"
+    assert document["jit"]["regions_seen"] >= 1
+    assert document["jit"]["cache_hits"] >= 1
+    assert document["spans"]["spans_total"] > 0
+    assert document["config"]["tracing"] is True
+
+
+def test_report_lines_are_not_duplicated(dynamic_workspace, capsys):
+    assert (
+        main([str(dynamic_workspace), "--width", "2", "--execute", "jit",
+              "--report"])
+        == 0
+    )
+    lines = [
+        line for line in capsys.readouterr().err.splitlines() if line.strip()
+    ]
+    # Per-region detail lines may legitimately repeat ("parallelized: sort"
+    # in two regions); the run-level summary lines must appear exactly once.
+    for prefix in ("# backend:", "# jit:", "# regions:", "# compile time:"):
+        assert sum(line.startswith(prefix) for line in lines) == 1, lines
+
+
+def test_report_still_emitted_when_execution_fails(dynamic_workspace, capsys):
+    # AOT parallel execution fails on the dynamic script, but --report must
+    # still surface the compilation stats alongside the error.
+    assert (
+        main([str(dynamic_workspace), "--width", "2", "--execute", "parallel",
+              "--report"])
+        == 1
+    )
+    err = capsys.readouterr().err
+    assert "pash-compile:" in err
+    assert "# regions:" in err
