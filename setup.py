@@ -45,6 +45,7 @@ if __name__ == "__main__":
             "console_scripts": [
                 "pash-compile=repro.cli:main",
                 "pash-repro=repro.cli:main",
+                "pash-worker=repro.cluster.worker:main",
             ]
         },
         classifiers=[

@@ -234,7 +234,7 @@ def execute_graphs(
     tracer = tracer or NULL_TRACER
     environment = environment or ExecutionEnvironment()
     options = dict(backend_options or {})
-    if backend == "parallel":
+    if backend in ("parallel", "cluster"):
         options.setdefault("tracer", tracer)
     engine_backend = engine.create_backend(backend, **options)
     combined = engine.EngineResult(backend=engine_backend.name)

@@ -70,6 +70,49 @@ class StreamingConfig:
 
 
 @dataclass(frozen=True)
+class ClusterConfig:
+    """The distributed tier's knobs (one section of the config).
+
+    With ``connect`` unset the coordinator runs in localhost mode: it binds
+    an ephemeral port and spawns ``workers`` ``pash-worker`` processes
+    itself, so the tier is testable without SSH.  With ``connect`` set to a
+    ``HOST:PORT`` address the coordinator listens there and waits for
+    ``workers`` externally-started ``pash-worker --connect`` registrations.
+    ``None`` timing fields defer to the coordinator defaults.
+    """
+
+    #: Worker count: processes to spawn (localhost mode) or registrations to
+    #: wait for (``connect`` mode).
+    workers: int = 2
+    #: ``HOST:PORT`` to listen on for external workers (None = localhost mode).
+    connect: Optional[str] = None
+    #: Seconds between worker heartbeats (None = coordinator default).
+    heartbeat_interval: Optional[float] = None
+    #: Heartbeat silence after which a worker is declared lost (None = default).
+    heartbeat_timeout: Optional[float] = None
+    #: Cores per worker host for the adaptive-width estimate (None = assume
+    #: each worker matches this host).
+    worker_cores: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {field.name: getattr(self, field.name) for field in dataclasses.fields(self)}
+
+    @classmethod
+    def coerce(cls, value: Any) -> "ClusterConfig":
+        """Accept a :class:`ClusterConfig` or its dict form."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            unknown = set(value) - {field.name for field in dataclasses.fields(cls)}
+            if unknown:
+                raise ValueError(
+                    f"unknown ClusterConfig fields: {', '.join(sorted(unknown))}"
+                )
+            return cls(**dict(value))
+        raise TypeError(f"expected ClusterConfig or mapping, got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
 class PashConfig:
     """One configuration object for the whole compile-and-run pipeline."""
 
@@ -91,6 +134,12 @@ class PashConfig:
     #: and pump threads.  Paper-shape reproductions (Table 2, the simulated
     #: figures) pin this off explicitly.
     fuse_stages: bool = True
+    #: Clamp the effective parallelization width to the cores actually
+    #: available (this host's, or the cluster-wide count when the backend is
+    #: ``cluster``).  Off by default: paper-shape reproductions ask for an
+    #: exact width and latency-bound pipelines still win from overlap beyond
+    #: the core count, so the clamp is an explicit opt-in for CPU-bound work.
+    adaptive_width: bool = False
 
     # -- pass-pipeline toggles ----------------------------------------------
     #: Default passes removed from the pipeline by name (ablations).
@@ -115,6 +164,8 @@ class PashConfig:
     jobs: Optional[int] = None
     #: Bounded-memory streaming knobs of the engine data plane.
     streaming: StreamingConfig = StreamingConfig()
+    #: Distributed-tier knobs (worker count, listen address, heartbeats).
+    cluster: ClusterConfig = ClusterConfig()
     #: Engine backend the JIT driver executes compiled regions on
     #: (``backend="jit"`` orchestrates the script; this picks what runs each
     #: compiled plan — normally the parallel scheduler).
@@ -182,14 +233,20 @@ class PashConfig:
             eager = EagerMode.BLOCKING
         else:
             eager = EagerMode.EAGER
+        cluster = ClusterConfig(
+            workers=getattr(arguments, "cluster_workers", None) or 2,
+            connect=getattr(arguments, "cluster_connect", None),
+        )
         return cls(
             width=arguments.width,
             eager=eager,
             split=SplitMode(arguments.split),
             aggregation_fan_in=arguments.fan_in,
+            adaptive_width=bool(getattr(arguments, "adaptive_width", False)),
             disabled_passes=tuple(getattr(arguments, "disable_pass", None) or ()),
             backend=getattr(arguments, "execute", None) or "interpreter",
             jobs=getattr(arguments, "jobs", None),
+            cluster=cluster,
             jit_inner_backend=getattr(arguments, "jit_backend", None) or "parallel",
             tracing=bool(
                 getattr(arguments, "trace", None)
@@ -233,6 +290,26 @@ class PashConfig:
         """A copy with the given fields changed (the object is frozen)."""
         return dataclasses.replace(self, **changes)
 
+    def available_cores_estimate(self) -> int:
+        """Cores the selected backend can actually keep busy.
+
+        Single-host backends get this host's usable cores; the cluster
+        backend gets the fleet-wide sum (``workers`` × per-worker cores,
+        assumed to match this host unless ``cluster.worker_cores`` says
+        otherwise), floored at the local count since the coordinator also
+        executes nodes.
+        """
+        import os
+
+        try:
+            local = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            local = os.cpu_count() or 1
+        if self.backend == "cluster":
+            per_worker = self.cluster.worker_cores or local
+            return max(local, max(1, self.cluster.workers) * per_worker)
+        return local
+
     def parallelization(self) -> ParallelizationConfig:
         """The optimizer's view of this configuration."""
         return ParallelizationConfig(
@@ -242,6 +319,9 @@ class PashConfig:
             aggregation_fan_in=self.aggregation_fan_in,
             minimum_copies=self.minimum_copies,
             fuse_stages=self.fuse_stages,
+            available_cores=(
+                self.available_cores_estimate() if self.adaptive_width else None
+            ),
         )
 
     def pipeline(self):
@@ -290,11 +370,40 @@ class PashConfig:
             options.spill_directory = self.streaming.spill_directory
         return options
 
+    def cluster_options(self):
+        """The cluster coordinator's view of this configuration."""
+        from repro.cluster.coordinator import ClusterOptions
+
+        options = ClusterOptions(
+            workers=self.cluster.workers,
+            connect=self.cluster.connect,
+            report_timeout_seconds=self.report_timeout_seconds,
+            use_host_commands=self.use_host_commands,
+        )
+        if self.cluster.heartbeat_interval is not None:
+            options.heartbeat_interval = self.cluster.heartbeat_interval
+        if self.cluster.heartbeat_timeout is not None:
+            options.heartbeat_timeout = self.cluster.heartbeat_timeout
+        chunk_size = (
+            self.streaming.chunk_size
+            if self.streaming.chunk_size is not None
+            else self.chunk_size
+        )
+        if chunk_size is not None:
+            options.chunk_size = chunk_size
+        if self.streaming.spill_threshold is not None:
+            options.spill_threshold = self.streaming.spill_threshold
+        if self.streaming.spill_directory is not None:
+            options.spill_directory = self.streaming.spill_directory
+        return options
+
     def backend_options(self, backend: Optional[str] = None) -> Dict[str, Any]:
         """Constructor keywords for :func:`repro.engine.create_backend`."""
         resolved = backend or self.backend
         if resolved == "parallel":
             return {"options": self.scheduler_options()}
+        if resolved == "cluster":
+            return {"options": self.cluster_options()}
         if resolved == "jit":
             return {"config": self}
         return {}
@@ -312,7 +421,7 @@ class PashConfig:
                 value = value.value
             elif isinstance(value, tuple):
                 value = list(value)
-            elif isinstance(value, StreamingConfig):
+            elif isinstance(value, (StreamingConfig, ClusterConfig)):
                 value = value.to_dict()
             payload[field.name] = value
         return payload
@@ -334,4 +443,6 @@ class PashConfig:
                 values[name] = tuple(values[name])
         if "streaming" in values:
             values["streaming"] = StreamingConfig.coerce(values["streaming"])
+        if "cluster" in values:
+            values["cluster"] = ClusterConfig.coerce(values["cluster"])
         return cls(**values)

@@ -107,6 +107,30 @@ def build_parser() -> argparse.ArgumentParser:
         "when '--execute jit' is used (default: parallel)",
     )
     parser.add_argument(
+        "--cluster-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for '--execute cluster': localhost pash-worker "
+        "processes to spawn, or registrations to wait for with "
+        "--cluster-connect (default 2)",
+    )
+    parser.add_argument(
+        "--cluster-connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="with '--execute cluster', listen on this address and wait for "
+        "externally-started 'pash-worker --connect HOST:PORT' processes "
+        "instead of spawning localhost workers",
+    )
+    parser.add_argument(
+        "--adaptive-width",
+        action="store_true",
+        help="clamp the effective parallelization width to the cores the "
+        "selected backend can keep busy (this host's, or the cluster-wide "
+        "count with '--execute cluster')",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="FILE.json",

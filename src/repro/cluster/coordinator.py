@@ -1,0 +1,865 @@
+"""The cluster coordinator: shard a dataflow graph across socket workers.
+
+Sharding policy (the location-independence argument, §4.2 of the paper):
+
+* **remote-eligible** — nodes that stream statelessly
+  (:func:`repro.runtime.executor.node_streams_statelessly`: stateless
+  commands and fused stateless chains with one data input).  These are
+  exactly the copies the parallelize pass fans out, they carry no
+  cross-batch state, and their evaluation is byte-identical anywhere — so
+  they shard across workers.
+* **coordinator-local** — everything else: splits, concatenations,
+  aggregators, relays, sort-likes, and any node when the environment
+  carries a custom (unpicklable) command registry.  Stateful nodes need
+  the whole stream and sit at fan-in points whose inputs already live
+  here, so keeping them local avoids a round trip that buys nothing.
+
+Execution materializes every edge in a coordinator-side :class:`EdgeStore`
+(spilling oversized streams to disk) and walks the graph as a ready-set task
+queue: local nodes evaluate inline through
+:func:`repro.runtime.executor.evaluate_node`, remote-eligible nodes are
+pickled to an idle worker with their input streams as chunk frames.  Because
+a task's inputs are fully materialized *before* dispatch, tasks are
+idempotent: when a worker dies (socket EOF or heartbeat timeout) its
+in-flight task is requeued to another worker and produces the same bytes.
+Output commit is at-most-once — a task's streams enter the store exactly
+once, on the first RESULT — so a requeue can never duplicate data.
+
+Failure semantics: a worker that *reports* an execution error fails the run
+cleanly (:class:`~repro.runtime.executor.ExecutionError`, surfaced like any
+backend failure); a worker that *dies* triggers requeue; losing every worker
+with remote tasks still pending fails cleanly; and the whole run is bounded
+by ``report_timeout_seconds`` — no outcome hangs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue as queue_module
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.cluster.protocol import (
+    MSG_ACK,
+    MSG_CHUNK,
+    MSG_EDGE_END,
+    MSG_HEARTBEAT,
+    MSG_REGISTER,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    MSG_WELCOME,
+    PROTOCOL_VERSION,
+    MessageSocket,
+    ProtocolError,
+    iter_file_frames,
+    parse_address,
+    recv_message,
+)
+from repro.commands.base import Stream
+from repro.commands.registry import standard_registry
+from repro.dfg.edges import Edge, EdgeKind
+from repro.dfg.graph import DataflowGraph
+from repro.dfg.nodes import DFGNode
+from repro.engine.api import EngineResult, ExecutionBackend
+from repro.engine.channels import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_SPILL_THRESHOLD,
+    iter_decoded_lines,
+    iter_encoded_chunks,
+)
+from repro.engine.metrics import EngineMetrics, NodeMetrics
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.runtime.executor import (
+    ExecutionEnvironment,
+    ExecutionError,
+    ExecutionResult,
+    deliver_output,
+    evaluate_node,
+    node_streams_statelessly,
+)
+
+_worker_ids = itertools.count(1)
+
+
+def remote_eligible(node: DFGNode) -> bool:
+    """Whether a node may execute on a remote worker (the sharding policy).
+
+    Exactly the engine's statelessness gate: a node that evaluates one line
+    batch at a time with no cross-batch state produces identical bytes on
+    any host, so shipping it is safe.  Everything else (splits, cats,
+    aggregators, relays, sort-likes, multi-input commands) stays on the
+    coordinator.
+    """
+    return node_streams_statelessly(node)
+
+
+@dataclass
+class ClusterOptions:
+    """Knobs of the cluster execution tier."""
+
+    #: Number of workers to run with.  Without ``connect`` the coordinator
+    #: spawns this many localhost ``pash-worker`` processes itself; with
+    #: ``connect`` it waits for this many external registrations.
+    workers: int = 2
+    #: ``HOST:PORT`` the coordinator listens on for externally-started
+    #: workers (``pash-worker --connect HOST:PORT``).  ``None`` = localhost
+    #: mode: bind an ephemeral port and spawn the workers locally.
+    connect: Optional[str] = None
+    #: Seconds between worker heartbeats.
+    heartbeat_interval: float = 0.5
+    #: Seconds of heartbeat silence after which a worker is declared lost
+    #: and its in-flight task requeued.
+    heartbeat_timeout: float = 10.0
+    #: How long to wait for the expected workers to register at startup.
+    register_timeout_seconds: float = 30.0
+    #: Overall per-graph deadline (same meaning as the scheduler's knob).
+    report_timeout_seconds: float = 120.0
+    #: Exec real host binaries in workers when possible (remote tasks only
+    #: run them on single-input single-output command nodes, like the pool).
+    use_host_commands: bool = False
+    #: Chunk size for socket edge frames and store encoding.
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: Bytes beyond which a coordinator-side edge value spills to disk.
+    spill_threshold: int = DEFAULT_SPILL_THRESHOLD
+    #: Directory for coordinator spill files (None = system temp).
+    spill_directory: Optional[str] = None
+    #: Interpreter for locally-spawned workers (None = ``sys.executable``).
+    python_executable: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Edge storage with spill fallback
+# ---------------------------------------------------------------------------
+
+
+class _EdgeSink:
+    """Accumulates one remote edge's incoming chunk frames, spilling when big.
+
+    Nothing is visible to consumers until :meth:`commit` — the at-most-once
+    half of the requeue story: a lost worker's partial stream is abandoned,
+    never merged.
+    """
+
+    def __init__(self, store: "EdgeStore", edge_id: int) -> None:
+        self.store = store
+        self.edge_id = edge_id
+        self._buffer = bytearray()
+        self._file = None
+        self._path: Optional[str] = None
+
+    def write(self, frame: bytes) -> None:
+        if self._file is None and len(self._buffer) + len(frame) <= self.store.spill_threshold:
+            self._buffer += frame
+            return
+        if self._file is None:
+            handle, self._path = tempfile.mkstemp(
+                prefix="pash-edge-", suffix=".spill", dir=self.store.directory
+            )
+            self._file = os.fdopen(handle, "wb")
+            if self._buffer:
+                self._file.write(self._buffer)
+                self._buffer.clear()
+        self._file.write(frame)
+
+    def commit(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self.store.put_spilled(self.edge_id, self._path)
+            self._file = None
+            self._path = None
+            return
+        self.store.put_lines(
+            self.edge_id, list(iter_decoded_lines(iter([bytes(self._buffer)])))
+        )
+
+    def abandon(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            finally:
+                self._file = None
+                if self._path is not None:
+                    try:
+                        os.unlink(self._path)
+                    except OSError:
+                        pass
+                    self._path = None
+        self._buffer.clear()
+
+
+class EdgeStore:
+    """Every materialized edge value of one graph run, memory- or disk-backed.
+
+    Small streams live as line lists; anything beyond ``spill_threshold``
+    estimated bytes lives as an engine-framed file in a run-scoped directory
+    that is removed unconditionally when the run ends.
+    """
+
+    def __init__(
+        self,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
+        directory: Optional[str] = None,
+    ) -> None:
+        self.chunk_size = max(1, chunk_size)
+        self.spill_threshold = max(0, spill_threshold)
+        self.directory = tempfile.mkdtemp(prefix="pash-cluster-run-", dir=directory)
+        self._memory: Dict[int, List[str]] = {}
+        self._spilled: Dict[int, str] = {}
+
+    def has(self, edge_id: int) -> bool:
+        return edge_id in self._memory or edge_id in self._spilled
+
+    def put_lines(self, edge_id: int, lines: List[str]) -> None:
+        estimated = sum(len(line) + 1 for line in lines)
+        if estimated > self.spill_threshold:
+            handle, path = tempfile.mkstemp(
+                prefix="pash-edge-", suffix=".spill", dir=self.directory
+            )
+            with os.fdopen(handle, "wb") as spill:
+                for frame in iter_encoded_chunks(lines, self.chunk_size):
+                    spill.write(frame)
+            self._spilled[edge_id] = path
+            return
+        self._memory[edge_id] = list(lines)
+
+    def put_spilled(self, edge_id: int, path: str) -> None:
+        self._spilled[edge_id] = path
+
+    def sink(self, edge_id: int) -> _EdgeSink:
+        return _EdgeSink(self, edge_id)
+
+    def lines(self, edge_id: int) -> List[str]:
+        if edge_id in self._memory:
+            return list(self._memory[edge_id])
+        path = self._spilled[edge_id]
+        return list(iter_decoded_lines(iter_file_frames(path, self.chunk_size)))
+
+    def frames(self, edge_id: int) -> Iterator[bytes]:
+        """Engine-framed byte chunks (what travels over a task's socket)."""
+        if edge_id in self._memory:
+            return iter_encoded_chunks(self._memory[edge_id], self.chunk_size)
+        return iter_file_frames(self._spilled[edge_id], self.chunk_size)
+
+    def close(self) -> None:
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# Worker handles
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClusterWorkerHandle:
+    """Coordinator-side state for one registered worker connection."""
+
+    worker_id: int
+    channel: MessageSocket
+    pid: int = 0
+    cores: int = 1
+    last_seen: float = field(default_factory=time.monotonic)
+    alive: bool = True
+    #: node_id of the task currently dispatched to this worker, if any.
+    task: Optional[int] = None
+
+
+class _RemoteTask:
+    """One dispatched task: its node, owner, and uncommitted output sinks."""
+
+    def __init__(self, node: DFGNode, handle: ClusterWorkerHandle, sinks: Dict[int, _EdgeSink]):
+        self.node = node
+        self.handle = handle
+        self.sinks = sinks
+
+    def abandon(self) -> None:
+        for sink in self.sinks.values():
+            sink.abandon()
+
+
+# ---------------------------------------------------------------------------
+# The coordinator
+# ---------------------------------------------------------------------------
+
+
+class ClusterCoordinator:
+    """Owns the worker fleet and executes graphs against it."""
+
+    def __init__(self, options: Optional[ClusterOptions] = None, tracer: Optional[Tracer] = None):
+        self.options = options or ClusterOptions()
+        self.tracer = tracer or NULL_TRACER
+        self.workers: List[ClusterWorkerHandle] = []
+        self.processes: List[subprocess.Popen] = []
+        self.address: Optional[Tuple[str, int]] = None
+        self._listener: Optional[socket.socket] = None
+        self._inbox: "queue_module.Queue" = queue_module.Queue()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def spawned(self) -> int:
+        """Localhost worker processes this coordinator created."""
+        return len(self.processes)
+
+    def start(self) -> None:
+        """Listen, (maybe) spawn localhost workers, and wait for registration."""
+        if self._started:
+            return
+        if self.options.connect is not None:
+            try:
+                host, port = parse_address(self.options.connect)
+            except ValueError as exc:
+                raise ExecutionError(str(exc)) from exc
+        else:
+            host, port = "127.0.0.1", 0
+        try:
+            self._listener = socket.create_server((host, port))
+        except OSError as exc:
+            raise ExecutionError(f"cluster coordinator cannot listen on {host}:{port}: {exc}")
+        self.address = self._listener.getsockname()[:2]
+        self._listener.settimeout(0.25)
+        expected = max(1, self.options.workers)
+        if self.options.connect is None:
+            self._spawn_local_workers(expected)
+        deadline = time.monotonic() + self.options.register_timeout_seconds
+        while len(self.workers) < expected:
+            dead = [p for p in self.processes if p.poll() is not None]
+            if dead:
+                self.shutdown()
+                raise ExecutionError(
+                    f"local pash-worker exited with code {dead[0].returncode} "
+                    "before registering"
+                )
+            if time.monotonic() > deadline:
+                registered = len(self.workers)
+                self.shutdown()
+                raise ExecutionError(
+                    f"cluster startup timed out: {registered}/{expected} worker(s) "
+                    f"registered within {self.options.register_timeout_seconds}s"
+                )
+            try:
+                sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            self._register(sock)
+        self._started = True
+
+    def _spawn_local_workers(self, count: int) -> None:
+        import repro
+
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root + os.pathsep + existing if existing else package_root
+        )
+        host, port = self.address
+        command = [
+            self.options.python_executable or sys.executable,
+            "-m",
+            "repro.cluster.worker",
+            "--connect",
+            f"{host}:{port}",
+            "--retry-seconds",
+            "30",
+        ]
+        for _ in range(count):
+            self.processes.append(
+                subprocess.Popen(command, env=env, stdin=subprocess.DEVNULL)
+            )
+
+    def _register(self, sock: socket.socket) -> None:
+        sock.settimeout(10.0)
+        try:
+            message = recv_message(sock)
+        except (ProtocolError, OSError):
+            sock.close()
+            return
+        if (
+            not message
+            or message.get("type") != MSG_REGISTER
+            or message.get("version") != PROTOCOL_VERSION
+        ):
+            sock.close()
+            return
+        sock.settimeout(None)
+        handle = ClusterWorkerHandle(
+            worker_id=next(_worker_ids),
+            channel=MessageSocket(sock),
+            pid=int(message.get("pid", 0)),
+            cores=int(message.get("cores", 1)),
+        )
+        try:
+            handle.channel.send(
+                {
+                    "type": MSG_WELCOME,
+                    "worker_id": handle.worker_id,
+                    "heartbeat_interval": self.options.heartbeat_interval,
+                }
+            )
+        except OSError:
+            handle.channel.close()
+            return
+        receiver = threading.Thread(
+            target=self._receive_loop, args=(handle,), daemon=True,
+            name=f"pash-cluster-recv-{handle.worker_id}",
+        )
+        receiver.start()
+        self.workers.append(handle)
+
+    def _receive_loop(self, handle: ClusterWorkerHandle) -> None:
+        try:
+            while True:
+                message = handle.channel.recv()
+                if message is None:
+                    break
+                self._inbox.put((handle, message))
+        except (OSError, ProtocolError):
+            pass
+        self._inbox.put((handle, None))
+
+    def shutdown(self) -> None:
+        """Stop every worker and reap locally-spawned processes."""
+        for handle in self.workers:
+            if handle.alive:
+                try:
+                    handle.channel.send({"type": MSG_SHUTDOWN})
+                except OSError:
+                    pass
+            handle.alive = False
+            handle.channel.close()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        for process in self.processes:
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        self._started = False
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self, graph: DataflowGraph, environment: Optional[ExecutionEnvironment] = None
+    ) -> Tuple[ExecutionResult, EngineMetrics]:
+        """Run one graph across the fleet; mirrors the scheduler's contract."""
+        environment = environment or ExecutionEnvironment()
+        graph.validate()
+        started = time.perf_counter()
+        metrics = EngineMetrics(backend="cluster")
+        result = ExecutionResult()
+        if not graph.nodes:
+            self._deliver(graph, {}, environment, result)
+            metrics.elapsed_seconds = time.perf_counter() - started
+            return result, metrics
+        if not self._started:
+            self.start()
+        metrics.cluster_workers = sum(1 for handle in self.workers if handle.alive)
+        run = _GraphRun(self, graph, environment, metrics)
+        try:
+            with self.tracer.span(
+                "engine:run",
+                "scheduler",
+                nodes=len(graph.nodes),
+                cluster_workers=metrics.cluster_workers,
+            ):
+                # Captured inside engine:run so remote worker spans (shipped
+                # home through RESULT reports) parent under it, like the pool.
+                worker_trace = self.tracer.context()
+                run.run(worker_trace)
+            self._deliver(graph, run.store, environment, result)
+            result.edge_values.update(run.output_values)
+        finally:
+            run.close()
+        metrics.nodes.sort(key=lambda node: node.node_id)
+        metrics.elapsed_seconds = time.perf_counter() - started
+        return result, metrics
+
+    def _resolve_input(self, edge: Edge, environment: ExecutionEnvironment) -> Stream:
+        """Materialize a graph-input edge from the environment."""
+        if edge.kind is EdgeKind.STDIN:
+            return list(environment.stdin)
+        if edge.kind is EdgeKind.FILE:
+            try:
+                return environment.filesystem.read(edge.name or "")
+            except FileNotFoundError as exc:
+                raise ExecutionError(str(exc)) from exc
+        return []
+
+    def _deliver(
+        self,
+        graph: DataflowGraph,
+        store: "EdgeStore | Dict[int, Stream]",
+        environment: ExecutionEnvironment,
+        result: ExecutionResult,
+    ) -> None:
+        values = store if isinstance(store, dict) else None
+        for edge in graph.output_edges():
+            if values is not None:
+                stream = values.get(edge.edge_id)
+            elif store.has(edge.edge_id):
+                stream = store.lines(edge.edge_id)
+            else:
+                stream = None
+            if stream is None:
+                stream = self._resolve_input(edge, environment) if edge.source is None else []
+            deliver_output(edge, stream, result, environment.filesystem)
+
+
+class _GraphRun:
+    """All per-graph scheduling state: ready queues, in-flight tasks, store."""
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        graph: DataflowGraph,
+        environment: ExecutionEnvironment,
+        metrics: EngineMetrics,
+    ) -> None:
+        self.coordinator = coordinator
+        self.options = coordinator.options
+        self.tracer = coordinator.tracer
+        self.graph = graph
+        self.environment = environment
+        self.metrics = metrics
+        self.store = EdgeStore(
+            chunk_size=self.options.chunk_size,
+            spill_threshold=self.options.spill_threshold,
+            directory=self.options.spill_directory,
+        )
+        #: Custom registries cannot be pickled to a remote process; the run
+        #: degrades to coordinator-local execution (still correct, not wide).
+        self.remote_ok = environment.registry is standard_registry()
+        self.ready_local: Deque[int] = deque()
+        self.ready_remote: Deque[int] = deque()
+        self.inflight: Dict[int, _RemoteTask] = {}
+        self.done: Set[int] = set()
+        self.waiting: Dict[int, Set[int]] = {}
+        self.consumers: Dict[int, List[int]] = {}
+        self.output_values: Dict[int, Stream] = {}
+
+    # -- setup ---------------------------------------------------------------
+
+    def _seed(self) -> None:
+        for edge in self.graph.input_edges():
+            self.store.put_lines(
+                edge.edge_id, self.coordinator._resolve_input(edge, self.environment)
+            )
+        for node_id, node in self.graph.nodes.items():
+            self.waiting[node_id] = {
+                edge_id for edge_id in node.inputs if not self.store.has(edge_id)
+            }
+            for edge_id in node.inputs:
+                self.consumers.setdefault(edge_id, []).append(node_id)
+        for node in self.graph.topological_order():
+            if not self.waiting[node.node_id]:
+                self._enqueue(node.node_id)
+
+    def _enqueue(self, node_id: int) -> None:
+        node = self.graph.node(node_id)
+        if self.remote_ok and remote_eligible(node):
+            self.ready_remote.append(node_id)
+        else:
+            self.ready_local.append(node_id)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, worker_trace) -> None:
+        self._seed()
+        deadline = time.monotonic() + self.options.report_timeout_seconds
+        total = len(self.graph.nodes)
+        while len(self.done) < total:
+            while self.ready_local:
+                self._run_local(self.ready_local.popleft())
+            while self.ready_remote and self._idle_worker() is not None:
+                node_id = self.ready_remote.popleft()
+                self._dispatch(self._idle_worker(), node_id, worker_trace)
+            if len(self.done) >= total:
+                break
+            if self.ready_local:
+                continue
+            if (self.ready_remote or self.inflight) and not self._any_alive():
+                raise ExecutionError(
+                    "cluster run failed: every worker was lost with "
+                    f"{len(self.ready_remote) + len(self.inflight)} task(s) pending"
+                )
+            if not self.inflight and not self.ready_remote:
+                raise ExecutionError("cluster scheduling stalled: no runnable node")
+            self._pump(deadline)
+
+    def close(self) -> None:
+        for task in self.inflight.values():
+            task.abandon()
+        self.inflight.clear()
+        self.store.close()
+
+    # -- local execution -----------------------------------------------------
+
+    def _run_local(self, node_id: int) -> None:
+        node = self.graph.node(node_id)
+        inputs = [self.store.lines(edge_id) for edge_id in node.inputs]
+        started = time.perf_counter()
+        with self.tracer.span(
+            f"node:{node.label()}", "worker", node_id=node_id, kind=node.kind,
+            location="coordinator",
+        ):
+            try:
+                outputs = evaluate_node(node, inputs, self.environment.registry)
+            except ExecutionError:
+                raise
+            except Exception as exc:
+                raise ExecutionError(f"node {node.label()} failed: {exc}") from exc
+        wall = time.perf_counter() - started
+        if node.outputs and len(outputs) != len(node.outputs):
+            raise ExecutionError(
+                f"node {node.label()} produced {len(outputs)} streams for "
+                f"{len(node.outputs)} output edges"
+            )
+        for edge_id, stream in zip(node.outputs, outputs):
+            self.store.put_lines(edge_id, stream)
+        bytes_in = sum(len(line) + 1 for stream in inputs for line in stream)
+        lines_in = sum(len(stream) for stream in inputs)
+        bytes_out = sum(
+            len(line) + 1 for stream in outputs[: len(node.outputs)] for line in stream
+        )
+        lines_out = sum(len(stream) for stream in outputs[: len(node.outputs)])
+        self.metrics.nodes.append(
+            NodeMetrics(
+                node_id=node_id,
+                label=node.label(),
+                kind=node.kind,
+                pid=os.getpid(),
+                wall_seconds=wall,
+                compute_seconds=wall,
+                bytes_in=bytes_in,
+                bytes_out=bytes_out,
+                lines_in=lines_in,
+                lines_out=lines_out,
+            )
+        )
+        self._complete(node_id)
+
+    # -- remote execution ----------------------------------------------------
+
+    def _any_alive(self) -> bool:
+        return any(handle.alive for handle in self.coordinator.workers)
+
+    def _idle_worker(self) -> Optional[ClusterWorkerHandle]:
+        for handle in self.coordinator.workers:
+            if handle.alive and handle.task is None:
+                return handle
+        return None
+
+    def _dispatch(self, handle: ClusterWorkerHandle, node_id: int, worker_trace) -> None:
+        node = self.graph.node(node_id)
+        sinks = {edge_id: self.store.sink(edge_id) for edge_id in node.outputs}
+        handle.task = node_id
+        self.inflight[node_id] = _RemoteTask(node, handle, sinks)
+        try:
+            handle.channel.send(
+                {
+                    "type": MSG_TASK,
+                    "task_id": node_id,
+                    "node": node,
+                    "inputs": list(node.inputs),
+                    "outputs": list(node.outputs),
+                    "use_host_commands": self.options.use_host_commands,
+                    "chunk_size": self.options.chunk_size,
+                    "spill_threshold": self.options.spill_threshold,
+                    "trace": worker_trace,
+                }
+            )
+            for edge_id in node.inputs:
+                for frame in self.store.frames(edge_id):
+                    handle.channel.send(
+                        {
+                            "type": MSG_CHUNK,
+                            "task_id": node_id,
+                            "edge_id": edge_id,
+                            "data": frame,
+                        }
+                    )
+                handle.channel.send(
+                    {"type": MSG_EDGE_END, "task_id": node_id, "edge_id": edge_id}
+                )
+        except (OSError, ProtocolError):
+            self._worker_lost(handle)
+
+    def _worker_lost(self, handle: ClusterWorkerHandle) -> None:
+        """Declare a worker dead and requeue whatever it was running."""
+        if not handle.alive:
+            return
+        handle.alive = False
+        handle.channel.close()
+        node_id, handle.task = handle.task, None
+        if node_id is not None and node_id in self.inflight:
+            task = self.inflight.pop(node_id)
+            task.abandon()
+            # At-most-once commit: nothing of the lost attempt reached the
+            # store, so re-running on another worker yields identical bytes.
+            self.ready_remote.appendleft(node_id)
+            self.metrics.requeued_tasks += 1
+
+    def _pump(self, deadline: float) -> None:
+        """Process one inbox slice: results, frames, heartbeats, losses."""
+        try:
+            item = self.coordinator._inbox.get(timeout=0.25)
+        except queue_module.Empty:
+            item = None
+        now = time.monotonic()
+        if item is not None:
+            handle, message = item
+            if message is None:
+                self._worker_lost(handle)
+            else:
+                handle.last_seen = now
+                self._handle_message(handle, message)
+        for handle in self.coordinator.workers:
+            if handle.alive and now - handle.last_seen > self.options.heartbeat_timeout:
+                self._worker_lost(handle)
+        if time.monotonic() > deadline:
+            raise ExecutionError(
+                f"cluster execution wedged: {len(self.inflight)} task(s) never "
+                f"reported (timeout {self.options.report_timeout_seconds}s)"
+            )
+
+    def _handle_message(self, handle: ClusterWorkerHandle, message: Dict) -> None:
+        kind = message["type"]
+        if kind == MSG_HEARTBEAT:
+            return
+        task_id = message.get("task_id")
+        task = self.inflight.get(task_id)
+        if task is None or task.handle is not handle:
+            return  # stale traffic from a requeued or completed task
+        if kind == MSG_CHUNK:
+            task.sinks[message["edge_id"]].write(message["data"])
+            return
+        if kind == MSG_EDGE_END:
+            return  # commit happens atomically at RESULT time
+        if kind == MSG_RESULT:
+            self._finish_remote(handle, task_id, task, message["report"])
+
+    def _finish_remote(
+        self,
+        handle: ClusterWorkerHandle,
+        node_id: int,
+        task: _RemoteTask,
+        report: Dict,
+    ) -> None:
+        del self.inflight[node_id]
+        handle.task = None
+        if report.get("error"):
+            task.abandon()
+            raise ExecutionError(
+                f"cluster worker {handle.worker_id} failed on "
+                f"{report.get('label', task.node.label())}: {report['error']}"
+            )
+        for sink in task.sinks.values():
+            sink.commit()
+        try:
+            handle.channel.send({"type": MSG_ACK, "task_id": node_id})
+        except OSError:
+            pass  # the outputs are committed; a dying worker changes nothing
+        for span in report.get("spans") or ():
+            span.set(cluster_worker=handle.worker_id)
+            self.tracer.record(span)
+        self.metrics.remote_tasks += 1
+        self.metrics.nodes.append(
+            NodeMetrics(
+                node_id=report["node_id"],
+                label=report["label"],
+                kind=report["kind"],
+                pid=report["pid"],
+                wall_seconds=report["wall_seconds"],
+                compute_seconds=report.get("compute_seconds", 0.0),
+                bytes_in=report["bytes_in"],
+                bytes_out=report["bytes_out"],
+                lines_in=report["lines_in"],
+                lines_out=report["lines_out"],
+                host_command=report["host_command"],
+                peak_buffered_bytes=report.get("peak_buffered_bytes", 0),
+                spilled_bytes=report.get("spilled_bytes", 0),
+                spill_events=report.get("spill_events", 0),
+            )
+        )
+        self._complete(node_id)
+
+    # -- completion ----------------------------------------------------------
+
+    def _complete(self, node_id: int) -> None:
+        node = self.graph.node(node_id)
+        self.done.add(node_id)
+        for edge_id in node.outputs:
+            edge = self.graph.edge(edge_id)
+            if edge.target is None:
+                self.output_values[edge_id] = self.store.lines(edge_id)
+            for consumer in self.consumers.get(edge_id, ()):
+                pending = self.waiting[consumer]
+                if edge_id in pending:
+                    pending.discard(edge_id)
+                    if not pending:
+                        self._enqueue(consumer)
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+
+class ClusterBackend(ExecutionBackend):
+    """The ``cluster`` entry in the engine's backend registry.
+
+    Constructor keywords become :class:`ClusterOptions` fields, mirroring the
+    parallel backend: ``engine.run(graph, backend="cluster", workers=4)``
+    runs a 4-worker localhost cluster, ``connect="HOST:PORT"`` listens there
+    for externally-started ``pash-worker`` processes instead.  Each
+    ``execute`` call owns its fleet — started before the run, shut down
+    unconditionally after — so no worker process outlives the result.
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        options: Optional[ClusterOptions] = None,
+        tracer: Optional[Tracer] = None,
+        **overrides,
+    ) -> None:
+        import dataclasses
+
+        if options is None:
+            options = ClusterOptions(**overrides)
+        elif overrides:
+            options = dataclasses.replace(options, **overrides)
+        self.options = options
+        self.tracer = tracer or NULL_TRACER
+
+    def execute(self, graph: DataflowGraph, environment: ExecutionEnvironment) -> EngineResult:
+        started = time.perf_counter()
+        coordinator = ClusterCoordinator(self.options, tracer=self.tracer)
+        mark = self.tracer.mark()
+        try:
+            result, metrics = coordinator.execute(graph, environment)
+        finally:
+            coordinator.shutdown()
+        elapsed = time.perf_counter() - started
+        metrics.processes_spawned += coordinator.spawned
+        wrapped = self._wrap(result, elapsed, metrics)
+        wrapped.spans = self.tracer.since(mark)
+        return wrapped

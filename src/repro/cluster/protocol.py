@@ -1,0 +1,170 @@
+"""The coordinator/worker wire protocol.
+
+Every message is one length-prefixed pickle frame::
+
+    +----------------+----------------------+
+    | 4 bytes, ">I"  | pickled dict payload |
+    +----------------+----------------------+
+
+Control messages (REGISTER, WELCOME, TASK, RESULT, HEARTBEAT, ACK, SHUTDOWN)
+are small dicts; bulk data never rides inside them.  Cross-host DFG edges
+travel instead as a sequence of CHUNK messages whose ``data`` payloads are
+*exactly* the framed byte chunks of :mod:`repro.engine.channels`
+(newline-delimited UTF-8, produced by :func:`iter_encoded_chunks` and decoded
+by :func:`iter_decoded_lines`), terminated by one EDGE_END — so the cluster
+data plane reuses the engine's framing rather than inventing a second one,
+and a stream moves in bounded memory on both sides of the socket.
+
+Message flow for one task::
+
+    coordinator                                worker
+        TASK {task_id, node, inputs, outputs, ...}  ->
+        CHUNK* / EDGE_END per input edge            ->
+                                                    (executes the node)
+        <-  CHUNK* / EDGE_END per output edge
+        <-  RESULT {task_id, report}
+        ACK {task_id}                               ->
+
+Pickle is safe here in the same sense as the worker pool's plan queue: both
+endpoints are the same codebase, started by the same user, on an address the
+user chose — the protocol is an internal process boundary, not a public
+network service.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import Any, Dict, Iterable, Iterator, Optional
+
+#: Bumped on any incompatible message-shape change; checked at registration.
+PROTOCOL_VERSION = 1
+
+#: Upper bound for one pickled message — a corrupt length prefix must not
+#: make the receiver allocate gigabytes.  Chunk payloads are engine-sized
+#: (64 KiB by default), so 64 MiB is generous headroom, not a data cap.
+MAX_MESSAGE_BYTES = 1 << 26
+
+# -- message types -----------------------------------------------------------
+MSG_REGISTER = "register"  # worker -> coordinator: {pid, cores, version}
+MSG_WELCOME = "welcome"  # coordinator -> worker: {worker_id, heartbeat_interval}
+MSG_HEARTBEAT = "heartbeat"  # worker -> coordinator: liveness beacon
+MSG_TASK = "task"  # coordinator -> worker: one pickled node plan
+MSG_CHUNK = "chunk"  # either direction: one framed byte chunk of an edge
+MSG_EDGE_END = "edge-end"  # either direction: the edge's stream is complete
+MSG_RESULT = "result"  # worker -> coordinator: the node's execution report
+MSG_ACK = "ack"  # coordinator -> worker: the task's outputs are committed
+MSG_SHUTDOWN = "shutdown"  # coordinator -> worker: exit cleanly
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """Raised on malformed or oversized frames."""
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Write one length-prefixed pickled message."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the {MAX_MESSAGE_BYTES}-byte cap"
+        )
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on EOF before the first byte."""
+    pieces = []
+    remaining = count
+    while remaining:
+        piece = sock.recv(remaining)
+        if not piece:
+            if remaining == count:
+                return None  # clean EOF at a frame boundary
+            raise ProtocolError("connection closed mid-frame")
+        pieces.append(piece)
+        remaining -= len(piece)
+    return b"".join(pieces)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one message; None on clean EOF (the peer closed the connection)."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_MESSAGE_BYTES}-byte cap"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    message = pickle.loads(payload)
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"malformed message: {type(message).__name__}")
+    return message
+
+
+class MessageSocket:
+    """One protocol endpoint: locked sends, single-reader receives.
+
+    The send lock lets a worker's heartbeat thread interleave safely with
+    task-result streaming on the same connection; receiving stays
+    single-threaded by construction (one receiver loop per connection).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._send_lock = threading.Lock()
+
+    def send(self, message: Dict[str, Any]) -> None:
+        with self._send_lock:
+            send_message(self.sock, message)
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        return recv_message(self.sock)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def send_edge_stream(
+    channel: MessageSocket, task_id: int, edge_id: int, frames: Iterable[bytes]
+) -> None:
+    """Stream one edge as CHUNK messages terminated by EDGE_END."""
+    for frame in frames:
+        if not frame:
+            continue
+        channel.send(
+            {"type": MSG_CHUNK, "task_id": task_id, "edge_id": edge_id, "data": frame}
+        )
+    channel.send({"type": MSG_EDGE_END, "task_id": task_id, "edge_id": edge_id})
+
+
+def iter_file_frames(path: str, chunk_size: int) -> Iterator[bytes]:
+    """Framed byte chunks of an on-disk spill file (already engine-framed)."""
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(max(1, chunk_size))
+            if not chunk:
+                return
+            yield chunk
+
+
+def parse_address(address: str) -> "tuple[str, int]":
+    """Parse a ``HOST:PORT`` string (the CLI's --cluster-connect format)."""
+    host, separator, port = address.rpartition(":")
+    if not separator or not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host, int(port)

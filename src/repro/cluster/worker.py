@@ -1,0 +1,271 @@
+"""``pash-worker`` — the cluster's remote execution client.
+
+A worker is a small state machine around one coordinator connection::
+
+    connect (with retry) -> register -> welcome
+        -> { receive TASK + input CHUNKs -> execute -> stream output CHUNKs
+             + RESULT } ...
+        -> SHUTDOWN (exit 0) | connection lost (exit 1)
+
+Execution reuses the engine's worker body verbatim: every task becomes a
+:class:`~repro.engine.workers.WorkerPlan` whose inputs are inline line
+streams (decoded from the task's chunk frames) and whose outputs are
+report-collected, and :func:`~repro.engine.workers.execute_plan` runs it —
+same registry, same batch-mode streaming, same counters, same span recording
+— so a node produces the same bytes here as on the single-host scheduler by
+construction.  Output streams larger than the spill threshold take the same
+path as locally: :class:`~repro.engine.workers.ReportSink` spills them to a
+worker-local temp file, which this module streams back frame-by-frame and
+deletes — the report itself never carries bulk data.
+
+A daemon thread heartbeats on the shared connection (the protocol socket
+serializes sends), so a worker stuck in a long node evaluation still proves
+liveness and only a *dead* worker trips the coordinator's requeue path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import socket
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.protocol import (
+    MSG_ACK,
+    MSG_CHUNK,
+    MSG_EDGE_END,
+    MSG_HEARTBEAT,
+    MSG_REGISTER,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    MSG_WELCOME,
+    PROTOCOL_VERSION,
+    MessageSocket,
+    ProtocolError,
+    iter_file_frames,
+    parse_address,
+    send_edge_stream,
+)
+from repro.engine.channels import iter_decoded_lines, iter_encoded_chunks
+from repro.engine.workers import SPILL_PATH_KEY, InputPort, OutputPort, WorkerPlan, execute_plan
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class _ReportBox:
+    """The queue shim :func:`execute_plan` reports into (single plan, no IPC)."""
+
+    def __init__(self) -> None:
+        self.report: Optional[Dict[str, Any]] = None
+
+    def put(self, report: Dict[str, Any]) -> None:
+        self.report = report
+
+
+class _PendingTask:
+    """A TASK message plus the input frames still streaming in."""
+
+    def __init__(self, message: Dict[str, Any]) -> None:
+        self.message = message
+        self.frames: Dict[int, List[bytes]] = {
+            edge_id: [] for edge_id in message["inputs"]
+        }
+        self.ended = {edge_id: False for edge_id in message["inputs"]}
+
+    def complete(self) -> bool:
+        return all(self.ended.values())
+
+
+def _connect_with_retry(host: str, port: int, retry_seconds: float) -> socket.socket:
+    """Connect to the coordinator, retrying while it is still coming up.
+
+    Lets operators start workers *before* the coordinator listens (the CI
+    smoke job does exactly that) instead of imposing a start order.
+    """
+    deadline = time.monotonic() + max(0.0, retry_seconds)
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=10.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def _heartbeat_loop(channel: MessageSocket, interval: float, stop: threading.Event) -> None:
+    while not stop.wait(max(0.05, interval)):
+        try:
+            channel.send({"type": MSG_HEARTBEAT, "pid": os.getpid()})
+        except OSError:
+            return
+
+
+def _execute_task(channel: MessageSocket, task: _PendingTask) -> None:
+    """Run one node plan and stream its outputs and report home."""
+    message = task.message
+    task_id = message["task_id"]
+    chunk_size = message.get("chunk_size") or 1 << 16
+    spill_directory = tempfile.mkdtemp(prefix="pash-worker-spill-")
+    try:
+        plan = WorkerPlan(
+            node=message["node"],
+            inputs=[
+                InputPort(edge_id, data=list(iter_decoded_lines(iter(task.frames[edge_id]))))
+                for edge_id in message["inputs"]
+            ],
+            outputs=[OutputPort(edge_id) for edge_id in message["outputs"]],
+            registry=None,  # re-created in-process: the standard registry
+            use_host_commands=bool(message.get("use_host_commands")),
+            chunk_size=chunk_size,
+            spill_threshold=message.get("spill_threshold") or 1 << 23,
+            spill_directory=spill_directory,
+            run_token=task_id,
+            trace=message.get("trace"),
+        )
+        box = _ReportBox()
+        execute_plan(plan, box)
+        report = box.report or {"node_id": plan.node.node_id, "error": "no report"}
+        outputs = report.pop("outputs", {})
+        if not report.get("error"):
+            for edge_id in message["outputs"]:
+                entry = outputs.get(edge_id, [])
+                if isinstance(entry, dict) and SPILL_PATH_KEY in entry:
+                    # Oversized stage: the stream spilled to a worker-local
+                    # file; stream it back framed and delete it.
+                    path = entry[SPILL_PATH_KEY]
+                    try:
+                        send_edge_stream(
+                            channel, task_id, edge_id, iter_file_frames(path, chunk_size)
+                        )
+                    finally:
+                        try:
+                            os.unlink(path)
+                        except OSError:
+                            pass
+                else:
+                    send_edge_stream(
+                        channel, task_id, edge_id, iter_encoded_chunks(entry, chunk_size)
+                    )
+        channel.send({"type": MSG_RESULT, "task_id": task_id, "report": report})
+    finally:
+        shutil.rmtree(spill_directory, ignore_errors=True)
+
+
+def run_worker(address: str, retry_seconds: float = 10.0) -> int:
+    """The worker state machine; returns the process exit code."""
+    host, port = parse_address(address)
+    try:
+        sock = _connect_with_retry(host, port, retry_seconds)
+    except OSError as exc:
+        print(f"pash-worker: cannot reach coordinator {address}: {exc}", file=sys.stderr)
+        return 1
+    channel = MessageSocket(sock)
+    stop = threading.Event()
+    try:
+        channel.send(
+            {
+                "type": MSG_REGISTER,
+                "pid": os.getpid(),
+                "cores": _usable_cores(),
+                "version": PROTOCOL_VERSION,
+            }
+        )
+        welcome = channel.recv()
+        if welcome is None or welcome.get("type") != MSG_WELCOME:
+            print("pash-worker: coordinator refused registration", file=sys.stderr)
+            return 1
+        heartbeat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(channel, float(welcome.get("heartbeat_interval", 0.5)), stop),
+            daemon=True,
+        )
+        heartbeat.start()
+
+        pending: Dict[int, _PendingTask] = {}
+        while True:
+            try:
+                message = channel.recv()
+            except (ProtocolError, OSError):
+                return 1
+            if message is None:
+                return 1  # coordinator vanished without SHUTDOWN
+            kind = message["type"]
+            if kind == MSG_SHUTDOWN:
+                return 0
+            if kind == MSG_ACK or kind == MSG_HEARTBEAT:
+                continue
+            if kind == MSG_TASK:
+                task = _PendingTask(message)
+                if task.complete():  # no input edges: run immediately
+                    _execute_task(channel, task)
+                else:
+                    pending[message["task_id"]] = task
+                continue
+            if kind == MSG_CHUNK:
+                task = pending.get(message["task_id"])
+                if task is not None:
+                    task.frames[message["edge_id"]].append(message["data"])
+                continue
+            if kind == MSG_EDGE_END:
+                task = pending.get(message["task_id"])
+                if task is None:
+                    continue
+                task.ended[message["edge_id"]] = True
+                if task.complete():
+                    del pending[message["task_id"]]
+                    _execute_task(channel, task)
+                continue
+            # Unknown message types are ignored for forward compatibility.
+    except (OSError, ProtocolError) as exc:
+        print(f"pash-worker: connection error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        stop.set()
+        channel.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pash-worker",
+        description="Execute PaSh dataflow nodes on behalf of a cluster coordinator.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to register with",
+    )
+    parser.add_argument(
+        "--retry-seconds",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="keep retrying the initial connection for this long "
+        "(lets workers start before the coordinator listens; default 10)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    try:
+        parse_address(arguments.connect)
+    except ValueError as exc:
+        print(f"pash-worker: {exc}", file=sys.stderr)
+        return 2
+    return run_worker(arguments.connect, retry_seconds=arguments.retry_seconds)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

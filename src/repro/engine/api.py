@@ -349,10 +349,18 @@ def _jit_backend_factory(**options) -> ExecutionBackend:
     return JitBackend(**options)
 
 
+def _cluster_backend_factory(**options) -> ExecutionBackend:
+    """Deferred factory: the cluster package imports this module, not vice versa."""
+    from repro.cluster.coordinator import ClusterBackend
+
+    return ClusterBackend(**options)
+
+
 register_backend("interpreter", InterpreterBackend)
 register_backend("parallel", ParallelBackend)
 register_backend("shell", ShellBackend)
 register_backend("jit", _jit_backend_factory)
+register_backend("cluster", _cluster_backend_factory)
 
 
 # ---------------------------------------------------------------------------

@@ -86,6 +86,12 @@ class EngineMetrics:
     edges_direct: int = 0
     #: Channel inputs drained through eager pumps (deadlock-relevant fan-in).
     edges_buffered: int = 0
+    #: Nodes executed on remote cluster workers (0 for single-host backends).
+    remote_tasks: int = 0
+    #: Tasks re-dispatched after a cluster worker was lost mid-run.
+    requeued_tasks: int = 0
+    #: Cluster workers registered when the run started (0 = not a cluster run).
+    cluster_workers: int = 0
 
     @property
     def worker_count(self) -> int:
@@ -192,6 +198,10 @@ class EngineMetrics:
         self.relays_elided += other.relays_elided
         self.edges_direct += other.edges_direct
         self.edges_buffered += other.edges_buffered
+        self.remote_tasks += other.remote_tasks
+        self.requeued_tasks += other.requeued_tasks
+        # The fleet is shared across regions, not additive per region.
+        self.cluster_workers = max(self.cluster_workers, other.cluster_workers)
 
     def summary(self) -> str:
         """One-line human-readable digest (used by the CLI's --report)."""
@@ -212,6 +222,13 @@ class EngineMetrics:
                 f"; fused {self.commands_fused} commands into "
                 f"{self.stages_fused} stages, elided {self.relays_elided} relays"
             )
+        if self.cluster_workers:
+            digest += (
+                f"; {self.remote_tasks} tasks on {self.cluster_workers} "
+                f"cluster workers"
+            )
+            if self.requeued_tasks:
+                digest += f" ({self.requeued_tasks} requeued)"
         if self.total_spilled_bytes:
             digest += (
                 f"; spilled {self.total_spilled_bytes} bytes to disk "

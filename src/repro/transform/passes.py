@@ -52,6 +52,7 @@ from repro.transform.pipeline import (
     OptimizationReport,
     ParallelizationConfig,
     SplitMode,
+    effective_width,
 )
 
 
@@ -96,10 +97,11 @@ class SplitInsertionPass(GraphPass):
         config = context.config
         if config.split is SplitMode.NONE:
             return
+        width = effective_width(config)
 
         def rule(graph: DataflowGraph, node: CommandNode):
             return insert_split_before(
-                graph, node, config.width, strategy=config.split.value
+                graph, node, width, strategy=config.split.value
             )
 
         context.state[self.STATE_KEY] = rule
@@ -112,7 +114,8 @@ class ParallelizePass(GraphPass):
     description = "T: replace each parallelizable command with width copies"
 
     def run(self, context: PassContext) -> None:
-        if context.config.width < 2:
+        width = effective_width(context.config)
+        if width < 2:
             return
         graph, config, report = context.graph, context.config, context.report
         split_rule = context.state.get(SplitInsertionPass.STATE_KEY)
@@ -143,12 +146,12 @@ class ParallelizePass(GraphPass):
                 if concatenation is None and len(node.data_inputs) >= 2:
                     # t1 yields min(inputs, width) copies; don't mutate the
                     # graph for a node the minimum-copies bar would reject.
-                    if min(len(node.data_inputs), config.width) >= config.minimum_copies:
+                    if min(len(node.data_inputs), width) >= config.minimum_copies:
                         concatenation = insert_cat_for_multi_input(graph, node)
                 if concatenation is None and split_rule is not None:
                     # A split yields `width` streams; don't insert one that
                     # cannot reach the minimum worthwhile copy count.
-                    if len(node.data_inputs) == 1 and config.width >= config.minimum_copies:
+                    if len(node.data_inputs) == 1 and width >= config.minimum_copies:
                         concatenation = split_rule(graph, node)
                         if concatenation is not None:
                             report.inserted_splits += 1
@@ -166,7 +169,7 @@ class ParallelizePass(GraphPass):
                     node,
                     concatenation,
                     fan_in=0,
-                    max_copies=config.width,
+                    max_copies=width,
                 )
                 if copies:
                     report.parallelized_commands.append(node.label())
@@ -178,10 +181,11 @@ class ParallelizePass(GraphPass):
         """True when T would create fewer copies than the configured minimum.
 
         The copy count is the concatenation's stream count capped by the
-        width; with the default ``minimum_copies=2`` this only excludes
-        degenerate single-stream concatenations, which T skips anyway.
+        effective width; with the default ``minimum_copies=2`` this only
+        excludes degenerate single-stream concatenations, which T skips
+        anyway.
         """
-        return min(len(concatenation.inputs), config.width) < config.minimum_copies
+        return min(len(concatenation.inputs), effective_width(config)) < config.minimum_copies
 
 
 class AggregationLoweringPass(GraphPass):

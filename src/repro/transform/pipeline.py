@@ -62,6 +62,12 @@ class ParallelizationConfig:
     #: figures) are reproduced unchanged; the ``repro.api.PashConfig`` front
     #: door defaults it on for the execution engine's hot path.
     fuse_stages: bool = False
+    #: Cores the target backend can keep busy, or ``None`` for "trust the
+    #: width".  When set, the parallelize/split passes clamp the effective
+    #: width to it (``PashConfig.adaptive_width`` feeds it): CPU-bound stages
+    #: gain nothing from more copies than cores, they only pay splitting and
+    #: aggregation overhead.
+    available_cores: Optional[int] = None
 
     @classmethod
     def paper_default(cls, width: int) -> "ParallelizationConfig":
@@ -83,6 +89,17 @@ class ParallelizationConfig:
     @classmethod
     def blocking_split(cls, width: int) -> "ParallelizationConfig":
         return cls(width=width, eager=EagerMode.EAGER, split=SplitMode.INPUT_AWARE)
+
+
+def effective_width(config: ParallelizationConfig) -> int:
+    """The width the passes actually fan out to.
+
+    The configured width, clamped to ``available_cores`` when the config
+    carries a core budget (never below 1).
+    """
+    if config.available_cores is None:
+        return config.width
+    return max(1, min(config.width, config.available_cores))
 
 
 @dataclass

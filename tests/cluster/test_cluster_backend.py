@@ -1,0 +1,165 @@
+"""Cluster tier unit tests: sharding policy, edge store, backend semantics."""
+
+import os
+
+import pytest
+
+from repro import engine
+from repro.cluster.coordinator import (
+    ClusterBackend,
+    ClusterCoordinator,
+    ClusterOptions,
+    EdgeStore,
+    remote_eligible,
+)
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.nodes import AggregatorNode, CatNode, CommandNode, SplitNode
+from repro.runtime.executor import ExecutionEnvironment, ExecutionError
+from repro.runtime.streams import VirtualFileSystem
+
+FILES = {"a.txt": ["banana", "apple foo"], "b.txt": ["cherry foo", "date"]}
+SCRIPT = "cat a.txt b.txt | grep foo | sort > out.txt"
+
+
+def env():
+    return ExecutionEnvironment(
+        filesystem=VirtualFileSystem({name: list(lines) for name, lines in FILES.items()})
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sharding policy
+# ---------------------------------------------------------------------------
+
+
+def test_sharding_policy_matches_statelessness():
+    graph = DFGBuilder().build_from_script(SCRIPT)
+    verdicts = {node.label(): remote_eligible(node) for node in graph.nodes.values()}
+    assert verdicts["grep foo"] is True  # stateless: shards across workers
+    assert verdicts["sort"] is False  # needs the whole stream: stays local
+    assert verdicts["cat"] is False  # fan-in point: stays local
+
+
+def test_structural_nodes_stay_on_coordinator():
+    assert not remote_eligible(SplitNode(node_id=1))
+    assert not remote_eligible(CatNode(node_id=2))
+    assert not remote_eligible(AggregatorNode(node_id=3, aggregator="sort -m"))
+
+
+# ---------------------------------------------------------------------------
+# EdgeStore
+# ---------------------------------------------------------------------------
+
+
+def test_edge_store_memory_roundtrip(tmp_path):
+    store = EdgeStore(directory=str(tmp_path))
+    try:
+        store.put_lines(1, ["alpha", "beta"])
+        assert store.has(1)
+        assert store.lines(1) == ["alpha", "beta"]
+        assert b"".join(store.frames(1)) == b"alpha\nbeta\n"
+    finally:
+        store.close()
+
+
+def test_edge_store_spills_past_threshold(tmp_path):
+    store = EdgeStore(spill_threshold=8, directory=str(tmp_path))
+    try:
+        lines = [f"line {i}" for i in range(100)]
+        store.put_lines(1, lines)
+        assert store._spilled and not store._memory
+        assert store.lines(1) == lines
+    finally:
+        store.close()
+
+
+def test_edge_sink_commit_and_abandon(tmp_path):
+    store = EdgeStore(spill_threshold=4, directory=str(tmp_path))
+    try:
+        sink = store.sink(5)
+        sink.write(b"one\ntwo\n")  # beyond threshold: goes to a spill file
+        sink.commit()
+        assert store.lines(5) == ["one", "two"]
+
+        abandoned = store.sink(6)
+        abandoned.write(b"partial\n")
+        abandoned.abandon()
+        assert not store.has(6)
+    finally:
+        store.close()
+
+
+def test_store_directory_removed_on_close(tmp_path):
+    store = EdgeStore(directory=str(tmp_path))
+    directory = store.directory
+    assert os.path.isdir(directory)
+    store.close()
+    assert not os.path.exists(directory)
+
+
+# ---------------------------------------------------------------------------
+# Backend semantics
+# ---------------------------------------------------------------------------
+
+
+def test_cluster_registered_as_backend():
+    assert "cluster" in engine.available_backends()
+    backend = engine.create_backend("cluster", workers=3)
+    assert isinstance(backend, ClusterBackend)
+    assert backend.options.workers == 3
+
+
+def test_cluster_run_matches_interpreter_and_uses_workers():
+    graph = DFGBuilder().build_from_script(SCRIPT)
+    expected = engine.run(graph, backend="interpreter", environment=env())
+    graph = DFGBuilder().build_from_script(SCRIPT)
+    result = engine.run(graph, backend="cluster", environment=env())
+    assert result.output_of("out.txt") == expected.output_of("out.txt")
+    assert result.backend == "cluster"
+    assert result.metrics.cluster_workers == 2
+    assert result.metrics.remote_tasks >= 1
+    remote_pids = {node.pid for node in result.metrics.nodes} - {os.getpid()}
+    assert remote_pids
+
+
+def test_remote_command_error_fails_cleanly():
+    graph = DFGBuilder().build_from_script("cat a.txt | grep [ | sort")
+    with pytest.raises(ExecutionError):
+        engine.run(graph, backend="cluster", environment=env())
+
+
+def test_startup_timeout_is_a_clean_error():
+    coordinator = ClusterCoordinator(
+        ClusterOptions(workers=1, connect="127.0.0.1:0", register_timeout_seconds=0.5)
+    )
+    with pytest.raises(ExecutionError, match="timed out"):
+        coordinator.start()
+
+
+def test_malformed_connect_address_is_a_clean_error():
+    coordinator = ClusterCoordinator(ClusterOptions(connect="nonsense"))
+    with pytest.raises(ExecutionError, match="HOST:PORT"):
+        coordinator.start()
+
+
+def test_no_worker_processes_leak():
+    backend = ClusterBackend(workers=2)
+    graph = DFGBuilder().build_from_script(SCRIPT)
+    backend.execute(graph, env())
+    # ClusterBackend shuts its per-run coordinator down unconditionally, so
+    # any pash-worker it spawned must be gone.
+    alive = [
+        pid
+        for pid in os.listdir("/proc")
+        if pid.isdigit()
+        and _cmdline_mentions_worker(pid)
+    ]
+    assert alive == []
+
+
+def _cmdline_mentions_worker(pid):
+    try:
+        with open(f"/proc/{pid}/cmdline", "rb") as handle:
+            return b"repro.cluster.worker" in handle.read()
+    except OSError:
+        return False

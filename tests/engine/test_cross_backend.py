@@ -64,6 +64,68 @@ def test_parallel_engine_matches_interpreter(name):
     assert metrics.worker_count >= 2
 
 
+@pytest.mark.parametrize("name", [benchmark.name for benchmark in ONE_LINERS])
+def test_cluster_backend_matches_interpreter(name):
+    """Table-2 corpus on the distributed tier: 2 localhost workers."""
+    benchmark = get_one_liner(name)
+    expected_stdout, expected_files, _ = run_backend(benchmark, "interpreter")
+    stdout, files, metrics = run_backend(benchmark, "cluster")
+    assert stdout == expected_stdout
+    assert files == expected_files
+    assert metrics.backend == "cluster"
+    assert metrics.cluster_workers == 2
+
+
+def test_cluster_backend_runs_nodes_remotely():
+    """Wide stateless stages really execute in worker processes."""
+    import os
+
+    benchmark = get_one_liner("grep")
+    _, _, metrics = run_backend(benchmark, "cluster")
+    remote_pids = {node.pid for node in metrics.nodes} - {os.getpid()}
+    assert remote_pids, "no node ran outside the coordinator process"
+    assert metrics.remote_tasks >= 2
+
+
+def test_cluster_survives_killed_worker():
+    """SIGKILL one worker mid-run: requeue to byte-identical output, or a
+    clean ``ExecutionError`` — never a hang (the run deadline bounds it)."""
+    import signal
+    import threading
+
+    from repro.cluster.coordinator import ClusterCoordinator, ClusterOptions
+    from repro.runtime.executor import ExecutionError
+
+    benchmark = get_one_liner("grep")
+    dataset = benchmark.correctness_dataset(WIDTH, LINES)
+    expected_stdout, _, _ = run_backend(benchmark, "interpreter")
+    compiled = Pash.compile(
+        benchmark.script_for_width(WIDTH), PashConfig.paper_default(WIDTH)
+    )
+    graphs = compiled.optimized_graphs
+    assert graphs
+
+    coordinator = ClusterCoordinator(
+        ClusterOptions(workers=2, report_timeout_seconds=60.0)
+    )
+    coordinator.start()
+    victim = coordinator.processes[0]
+    killer = threading.Timer(0.05, lambda: victim.send_signal(signal.SIGKILL))
+    killer.start()
+    environment = ExecutionEnvironment(
+        filesystem=VirtualFileSystem({name: list(lines) for name, lines in dataset.items()})
+    )
+    try:
+        try:
+            result, metrics = coordinator.execute(graphs[0], environment)
+        except ExecutionError:
+            return  # clean failure is an accepted outcome
+        assert result.stdout == expected_stdout
+    finally:
+        killer.cancel()
+        coordinator.shutdown()
+
+
 @pytest.mark.skipif(shutil.which("sh") is None, reason="requires a POSIX shell")
 @pytest.mark.parametrize("name", SHELL_FAITHFUL)
 def test_emitted_shell_script_matches_interpreter(name):
@@ -118,7 +180,7 @@ def test_reassignment_orders_correctly_at_compile_time():
     assert "grep dark" in emitted
 
 
-@pytest.mark.parametrize("backend", ["interpreter", "parallel", "jit"])
+@pytest.mark.parametrize("backend", ["interpreter", "parallel", "jit", "cluster"])
 def test_assignment_visibility_across_backends(backend):
     from repro.runtime.interpreter import ShellInterpreter
 

@@ -146,6 +146,68 @@ def test_list_backends_includes_jit(capsys):
 
 
 # ---------------------------------------------------------------------------
+# --execute cluster
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def static_workspace(tmp_path, monkeypatch):
+    """A cwd with real input files and a fully-translatable pipeline."""
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "a.txt").write_text("banana\napple foo\n")
+    (tmp_path / "b.txt").write_text("cherry foo\ndate\n")
+    script = tmp_path / "static.sh"
+    script.write_text("cat a.txt b.txt | grep foo | sort > out.txt\n")
+    return script
+
+
+def test_list_backends_includes_cluster(capsys):
+    assert main(["--list-backends"]) == 0
+    assert "cluster" in capsys.readouterr().out.split()
+
+
+def test_cluster_flags_parse():
+    arguments = build_parser().parse_args(
+        ["x.sh", "--execute", "cluster", "--cluster-workers", "3",
+         "--cluster-connect", "127.0.0.1:7077", "--adaptive-width"]
+    )
+    assert arguments.cluster_workers == 3
+    assert arguments.cluster_connect == "127.0.0.1:7077"
+    assert arguments.adaptive_width is True
+
+
+def test_execute_cluster_runs_pipeline(static_workspace, tmp_path, capsys):
+    assert main([str(static_workspace), "--width", "2", "--execute", "cluster"]) == 0
+    assert (tmp_path / "out.txt").read_text() == "apple foo\ncherry foo\n"
+
+
+def test_execute_cluster_report_mentions_workers(static_workspace, capsys):
+    assert (
+        main(
+            [
+                str(static_workspace),
+                "--width",
+                "2",
+                "--execute",
+                "cluster",
+                "--cluster-workers",
+                "2",
+                "--report",
+            ]
+        )
+        == 0
+    )
+    assert "cluster workers" in capsys.readouterr().err
+
+
+def test_pash_worker_rejects_malformed_address(capsys):
+    from repro.cluster.worker import main as worker_main
+
+    assert worker_main(["--connect", "nonsense"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
 # --trace / --metrics-json
 # ---------------------------------------------------------------------------
 
