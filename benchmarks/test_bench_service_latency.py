@@ -1,0 +1,157 @@
+"""EXP-SERVICE — submission latency of the warm daemon vs cold CLI processes.
+
+The service tier's pitch is amortization: one long-lived daemon holds a warm
+:class:`~repro.engine.pool.WorkerPool` and a warm plan cache, so the marginal
+cost of a submission is *admission + execution*, while every ``pash`` CLI
+invocation pays interpreter start-up, module import, compilation, and worker
+spawning from zero.
+
+This benchmark submits ``N`` jobs **concurrently** to an in-process daemon
+(each from its own client thread, like real tenants) and runs the same ``N``
+jobs as **serial CLI child processes**, then compares per-job p50/p99
+latency.  Run with ``--bench-json`` to persist the measurements.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from conftest import print_header
+
+from repro.api import PashConfig
+from repro.service import PashServiceDaemon, ServiceClient, ServiceOptions
+
+N_JOBS = 8
+WIDTH = 2
+SCRIPT = "cat in0.txt in1.txt | grep the | tr a-z A-Z | sort | uniq"
+WORDS = ["the", "light", "dark", "lantern", "the", "apple"]
+
+
+def _lines(count=400):
+    return [f"{WORDS[index % len(WORDS)]} line {index}" for index in range(count)]
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_service(files):
+    daemon = PashServiceDaemon(
+        ServiceOptions(
+            listen="127.0.0.1:0",
+            executors=4,
+            queue_limit=2 * N_JOBS,
+            tenant_quota=2 * N_JOBS,
+            config=PashConfig.paper_default(WIDTH, backend="jit"),
+        )
+    )
+    daemon.start()
+    try:
+        # One warm-up submission: the daemon's pitch is steady-state latency,
+        # so the pool spawn + first compile are paid before measuring.
+        ServiceClient(daemon.endpoint, timeout=60.0).submit(SCRIPT, files=files)
+        latencies = [None] * N_JOBS
+        errors = []
+
+        def submit(slot):
+            try:
+                client = ServiceClient(daemon.endpoint, timeout=60.0)
+                started = time.perf_counter()
+                job = client.submit(
+                    SCRIPT, tenant=f"tenant-{slot}", files=files, timeout=55.0
+                )
+                latencies[slot] = time.perf_counter() - started
+                assert job["state"] == "done", job.get("error")
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submit, args=(slot,)) for slot in range(N_JOBS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not errors, errors
+        assert all(sample is not None for sample in latencies)
+        return latencies
+    finally:
+        daemon.shutdown()
+
+
+def _run_serial_cli(files):
+    """The same jobs as cold ``python -m repro.cli`` child processes."""
+    source = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = os.path.abspath(source)
+    latencies = []
+    with tempfile.TemporaryDirectory(prefix="pash-bench-cli-") as workdir:
+        for name, lines in files.items():
+            with open(os.path.join(workdir, name), "w") as handle:
+                handle.write("\n".join(lines) + "\n")
+        script_path = os.path.join(workdir, "job.sh")
+        with open(script_path, "w") as handle:
+            handle.write(SCRIPT + "\n")
+        for _ in range(N_JOBS):
+            started = time.perf_counter()
+            completed = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "job.sh",
+                    "--width",
+                    str(WIDTH),
+                    "--execute",
+                    "jit",
+                ],
+                cwd=workdir,
+                env=environment,
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            latencies.append(time.perf_counter() - started)
+            assert completed.returncode == 0, completed.stderr
+    return latencies
+
+
+def test_bench_service_latency(bench_record):
+    files = {"in0.txt": _lines(), "in1.txt": _lines(300)}
+
+    service = _run_service(files)
+    serial = _run_serial_cli(files)
+
+    service_p50 = _percentile(service, 0.50) * 1000
+    service_p99 = _percentile(service, 0.99) * 1000
+    serial_p50 = _percentile(serial, 0.50) * 1000
+    serial_p99 = _percentile(serial, 0.99) * 1000
+
+    print_header(
+        f"EXP-SERVICE — {N_JOBS} concurrent daemon submissions vs "
+        f"{N_JOBS} serial CLI invocations"
+    )
+    print(f"{'leg':<28}{'p50 ms':>10}{'p99 ms':>10}")
+    print(f"{'daemon (concurrent)':<28}{service_p50:>10.1f}{service_p99:>10.1f}")
+    print(f"{'cold CLI (serial)':<28}{serial_p50:>10.1f}{serial_p99:>10.1f}")
+    speedup_p50 = serial_p50 / service_p50 if service_p50 > 0 else float("inf")
+    print(f"p50 speedup: {speedup_p50:.1f}x")
+
+    bench_record(
+        "service_latency",
+        jobs=N_JOBS,
+        service_p50_ms=round(service_p50, 2),
+        service_p99_ms=round(service_p99, 2),
+        serial_cli_p50_ms=round(serial_p50, 2),
+        serial_cli_p99_ms=round(serial_p99, 2),
+        speedup_p50=round(speedup_p50, 2),
+    )
+
+    # The warm daemon must beat cold per-job CLI start-up comfortably; the
+    # CLI leg pays interpreter+import+compile+spawn per job (hundreds of ms).
+    assert service_p50 < serial_p50

@@ -46,6 +46,8 @@ if __name__ == "__main__":
                 "pash-compile=repro.cli:main",
                 "pash-repro=repro.cli:main",
                 "pash-worker=repro.cluster.worker:main",
+                "pash-serve=repro.service.daemon:main",
+                "pash-client=repro.service.client:main",
             ]
         },
         classifiers=[

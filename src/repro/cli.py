@@ -90,6 +90,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the registered engine backends and exit",
     )
     parser.add_argument(
+        "--submit",
+        default=None,
+        metavar="HOST:PORT",
+        help="submit the script to a running pash-serve daemon instead of "
+        "compiling locally; the script's file inputs are uploaded into the "
+        "job's virtual filesystem (see also pash-client for the full "
+        "status/cancel/stats surface)",
+    )
+    parser.add_argument(
+        "--tenant",
+        default="default",
+        metavar="NAME",
+        help="tenant name for --submit (admission quotas are per tenant)",
+    )
+    parser.add_argument(
         "--jobs",
         "-j",
         type=int,
@@ -171,6 +186,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         with open(arguments.script) as handle:
             source = handle.read()
+
+    if arguments.submit:
+        return _submit(source, arguments)
 
     try:
         config = PashConfig.from_cli_args(arguments)
@@ -269,6 +287,72 @@ def _export_artifacts(
         with open(arguments.metrics_json, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+
+def _submit(source: str, arguments: argparse.Namespace) -> int:
+    """Route the script to a running ``pash-serve`` daemon (``--submit``).
+
+    The daemon never reads the submitter's filesystem (tenant isolation), so
+    the script's file inputs must travel with the request: a best-effort
+    local compile discovers the FILE input edges and every named input that
+    exists on disk is uploaded into the job's virtual filesystem.  Scripts
+    whose input names are computed at runtime should be submitted through
+    ``pash-client submit --input`` with the uploads named explicitly.
+    """
+    from repro.dfg.edges import EdgeKind
+    from repro.service.client import ServiceClient
+    from repro.service.admission import ServiceBusy, ServiceError
+
+    files = {}
+    try:
+        compiled = Pash(PashConfig.from_cli_args(arguments)).compile(source)
+    except Exception:
+        compiled = None  # dynamic scripts still submit; uploads are best-effort
+    if compiled is not None:
+        import os
+
+        for region in compiled.translation.regions:
+            for edge in region.dfg.input_edges():
+                if edge.kind is EdgeKind.FILE and edge.name and os.path.isfile(edge.name):
+                    with open(edge.name) as handle:
+                        files[edge.name] = handle.read().splitlines()
+    client = ServiceClient(arguments.submit)
+    try:
+        job = client.submit(
+            source,
+            tenant=arguments.tenant,
+            files=files or None,
+            backend=arguments.execute,
+        )
+    except ServiceBusy as busy:
+        print(f"pash-compile: submission rejected ({busy.code}): {busy}", file=sys.stderr)
+        return 3
+    except ServiceError as error:
+        print(f"pash-compile: {error}", file=sys.stderr)
+        return 2
+    if job.get("state") != "done":
+        print(
+            f"pash-compile: job {job.get('job_id')} {job.get('state')}: "
+            f"{job.get('error', '')}",
+            file=sys.stderr,
+        )
+        return 1
+    for line in job.get("stdout", []):
+        print(line)
+    for name, lines in (job.get("files") or {}).items():
+        with open(name, "w") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+    if arguments.report:
+        jit = (job.get("report") or {}).get("jit") or {}
+        if jit:
+            _report_line(
+                f"jit: {jit.get('regions_seen', 0)} regions seen, "
+                f"{jit.get('regions_compiled', 0)} compiled, "
+                f"{jit.get('cache_hits', 0)} cache hits, "
+                f"{jit.get('fallbacks', 0)} fell back"
+            )
+    return 0
 
 
 def _execute(compiled: CompiledScript, arguments: argparse.Namespace):

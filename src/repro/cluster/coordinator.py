@@ -213,6 +213,8 @@ class EdgeStore:
     ) -> None:
         self.chunk_size = max(1, chunk_size)
         self.spill_threshold = max(0, spill_threshold)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
         self.directory = tempfile.mkdtemp(prefix="pash-cluster-run-", dir=directory)
         self._memory: Dict[int, List[str]] = {}
         self._spilled: Dict[int, str] = {}

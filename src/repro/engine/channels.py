@@ -313,6 +313,11 @@ class SpillBuffer:
 
     def _spill(self, chunk: bytes) -> None:
         if self._file is None:
+            if self.directory:
+                # A configured directory may not exist yet (service jobs get
+                # per-job directories; users point at scratch paths): create
+                # it here rather than crash at the first oversized stream.
+                os.makedirs(self.directory, exist_ok=True)
             self._file = tempfile.TemporaryFile(prefix="pash-spill-", dir=self.directory)
         self._file.seek(self._write_offset)
         self._file.write(chunk)

@@ -223,6 +223,17 @@ class WorkerPool:
         workers = list(self._idle) + list(self._busy.values())
         return sorted(worker.pid for worker in workers if worker.pid > 0)
 
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters plus current occupancy (the daemon's STATS view)."""
+        return {
+            "workers": self.worker_count,
+            "idle": len(self._idle),
+            "busy": len(self._busy),
+            "processes_spawned": self.processes_spawned,
+            "tasks_dispatched": self.tasks_dispatched,
+            "tasks_reused": self.tasks_reused,
+        }
+
     def prewarm(self, count: int) -> None:
         """Ensure at least ``count`` workers exist (spawning the difference)."""
         if self._closed:

@@ -190,6 +190,8 @@ class ParallelScheduler:
         # outputs) live in one run-scoped directory, removed unconditionally
         # on the way out — so even a worker killed before reporting cannot
         # leak its spill file.
+        if self.options.spill_directory:
+            os.makedirs(self.options.spill_directory, exist_ok=True)
         run_spill_directory = tempfile.mkdtemp(
             prefix="pash-run-spill-", dir=self.options.spill_directory
         )

@@ -483,6 +483,8 @@ class ReportSink(OutputSink):
                 self.peak_buffered_bytes = len(self._buffer)
             return
         if self._file is None:
+            if self.directory:
+                os.makedirs(self.directory, exist_ok=True)
             handle, self._path = tempfile.mkstemp(
                 prefix="pash-output-", suffix=".spill", dir=self.directory
             )

@@ -15,18 +15,51 @@ compiler refuses once is refused from the cache on later iterations instead
 of re-walking the builder every time.  Regions whose expansion depends on
 state outside the key — command substitutions, glob patterns — are never
 cached; the driver marks them uncacheable.
+
+Two cache classes share this keying:
+
+* :class:`PlanCache` — the in-memory bounded LRU every :class:`JitDriver`
+  owns by default.  Thread-safe: the service daemon shares one instance
+  across executor threads.
+* :class:`DiskPlanCache` — the LRU plus a **persistent disk tier**: every
+  successfully compiled plan is also pickled to a cache directory, so a
+  popular one-liner compiles once per fleet, not once per process.  Disk
+  entries carry :func:`cache_version`; a version mismatch (new release, new
+  plan format) invalidates the file on first touch.  Corrupt or truncated
+  files are never fatal: the lookup falls back to a fresh compile and the
+  bad file is removed (and negative-cached in memory if removal fails), so
+  one crashed writer cannot poison the fleet.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import pickle
+import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Set, Tuple, Union
 
 #: (fingerprint, referenced-binding values, config digest)
 PlanKey = Tuple[str, Tuple[Tuple[str, Optional[str]], ...], str]
+
+#: Bumped on any incompatible change to the pickled disk-entry layout.
+PLAN_FORMAT_VERSION = 1
+
+
+def cache_version() -> str:
+    """The disk tier's compatibility stamp.
+
+    Combines the package version with the on-disk format version: plans
+    compiled by any other release (whose passes may produce different
+    graphs) or written in any other layout are stale on arrival.
+    """
+    from repro import __version__
+
+    return f"{__version__}+plan{PLAN_FORMAT_VERSION}"
 
 
 @dataclass
@@ -60,6 +93,14 @@ class CacheStats:
     misses: int = 0
     negative_hits: int = 0
     evictions: int = 0
+    #: Disk-tier counters (all zero on a purely in-memory cache).
+    disk_hits: int = 0
+    disk_writes: int = 0
+    #: Files discarded for a cache-version mismatch.
+    disk_stale: int = 0
+    #: Files discarded as corrupt/truncated/unreadable (read side), plus
+    #: entries that could not be pickled or written (write side).
+    disk_errors: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -67,52 +108,192 @@ class CacheStats:
             "misses": self.misses,
             "negative_hits": self.negative_hits,
             "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "disk_stale": self.disk_stale,
+            "disk_errors": self.disk_errors,
         }
 
 
 class PlanCache:
-    """A bounded LRU cache of compiled region plans."""
+    """A bounded LRU cache of compiled region plans (thread-safe)."""
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError("PlanCache capacity must be >= 1")
         self.capacity = capacity
         self._entries: "OrderedDict[PlanKey, PlanEntry]" = OrderedDict()
+        #: Reentrant: DiskPlanCache holds it across a lookup-then-promote.
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: PlanKey) -> Optional[PlanEntry]:
         """Look up a plan; records a hit/miss and refreshes LRU order."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        if isinstance(entry, FailedPlan):
-            self.stats.negative_hits += 1
-        else:
-            self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            if isinstance(entry, FailedPlan):
+                self.stats.negative_hits += 1
+            else:
+                self.stats.hits += 1
+            return entry
 
     def put(self, key: PlanKey, entry: PlanEntry) -> None:
         """Insert (or refresh) a plan, evicting the least recently used."""
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+
+class DiskPlanCache(PlanCache):
+    """The in-memory LRU backed by a persistent on-disk tier.
+
+    ``directory`` holds one pickled file per plan, named by a hash of the
+    full :data:`PlanKey`; the payload stores the key itself, so a hash
+    collision reads as a miss, never as a wrong plan.  Only successful
+    compilations persist — negative entries (compiler refusals) stay
+    memory-only, since refusal is cheap to rediscover and may be
+    version-specific in ways the digest cannot see.
+
+    Failure policy (exercised by ``tests/service/test_plan_cache_faults.py``):
+    any unreadable, truncated, stale-versioned, or wrong-keyed file is
+    treated as a miss, deleted best-effort, and — if deletion fails —
+    remembered in an in-memory poison set so the broken file is read at
+    most once per process.  The caller then compiles fresh and ``put``
+    rewrites the entry atomically (temp file + ``os.replace``).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        capacity: int = 256,
+        version: Optional[str] = None,
+    ) -> None:
+        super().__init__(capacity=capacity)
+        self.directory = directory
+        self.version = version or cache_version()
+        self._poisoned: Set[str] = set()
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key: PlanKey) -> str:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:40]
+        return os.path.join(self.directory, f"{digest}.plan")
+
+    def _discard(self, path: str) -> None:
+        """Remove a bad file; poison the path in memory if removal fails."""
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+        except OSError:
+            self._poisoned.add(path)
+
+    def get(self, key: PlanKey) -> Optional[PlanEntry]:
+        with self._lock:
+            entry = super().get(key)
+            if entry is not None:
+                return entry
+            path = self._path(key)
+            if path in self._poisoned:
+                return None
+            try:
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+            except FileNotFoundError:
+                return None
+            except Exception:
+                # Corrupt, truncated, or unreadable: fall back to a fresh
+                # compile; drop the file so it is not re-parsed forever.
+                self.stats.disk_errors += 1
+                self._discard(path)
+                return None
+            if not isinstance(payload, dict) or payload.get("version") != self.version:
+                self.stats.disk_stale += 1
+                self._discard(path)
+                return None
+            if payload.get("key") != key or not isinstance(
+                payload.get("entry"), CompiledPlan
+            ):
+                # A filename-hash collision or a foreign payload shape:
+                # miss, and leave collision files for their real owner.
+                if not isinstance(payload.get("entry"), CompiledPlan):
+                    self.stats.disk_errors += 1
+                    self._discard(path)
+                return None
+            entry = payload["entry"]
+            self.stats.disk_hits += 1
+            PlanCache.put(self, key, entry)  # promote; no disk re-write
+            return entry
+
+    def put(self, key: PlanKey, entry: PlanEntry) -> None:
+        super().put(key, entry)
+        if not isinstance(entry, CompiledPlan):
+            return  # negative entries stay memory-only
+        path = self._path(key)
+        payload = {"version": self.version, "key": key, "entry": entry}
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            handle, staging = tempfile.mkstemp(
+                prefix=".plan-", suffix=".tmp", dir=self.directory
+            )
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(staging, path)  # atomic: readers never see a torn file
+            except BaseException:
+                try:
+                    os.unlink(staging)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # Unpicklable graph or unwritable directory: the memory tier
+            # still serves this process; persistence just degrades.
+            self.stats.disk_errors += 1
+            return
+        self._poisoned.discard(path)
+        self.stats.disk_writes += 1
+
+
+#: Config fields that never change what the pass pipeline produces — they
+#: steer *how a run executes or is observed*, so including them would only
+#: fragment the (disk-persistent) plan cache across daemons and jobs:
+#: ``tracing`` toggles span recording, ``report_timeout_seconds`` bounds a
+#: wait, ``jobs`` sizes the worker pool, ``streaming.spill_directory`` names
+#: where a run spills (the service daemon makes it unique per job).
+_RUNTIME_ONLY_FIELDS = ("tracing", "report_timeout_seconds", "jobs")
 
 
 def config_digest(config: Any) -> str:
     """A stable digest of a :class:`~repro.api.config.PashConfig`.
 
     Uses the config's round-trippable dict form, so any field that changes
-    compilation output changes the digest (and therefore the cache key).
+    compilation output changes the digest (and therefore the cache key) —
+    minus the runtime-only fields listed in :data:`_RUNTIME_ONLY_FIELDS`,
+    which must *not* defeat plan sharing (a traced daemon and an untraced
+    one compile identical graphs).
     """
-    payload = json.dumps(config.to_dict(), sort_keys=True, default=str)
+    snapshot = config.to_dict()
+    for field_name in _RUNTIME_ONLY_FIELDS:
+        snapshot.pop(field_name, None)
+    streaming = snapshot.get("streaming")
+    if isinstance(streaming, dict):
+        streaming.pop("spill_directory", None)
+    payload = json.dumps(snapshot, sort_keys=True, default=str)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

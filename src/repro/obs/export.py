@@ -21,7 +21,7 @@ _PROCESS_LABELS = {True: "pash driver", False: "pash worker"}
 
 #: Span categories recorded by the driver process (everything else is a
 #: worker-side category).
-_DRIVER_CATEGORIES = {"parse", "pass", "jit", "scheduler", "engine"}
+_DRIVER_CATEGORIES = {"parse", "pass", "jit", "scheduler", "engine", "service"}
 
 
 def chrome_trace_events(spans: Iterable[SpanRecord]) -> List[Dict[str, Any]]:

@@ -19,6 +19,7 @@ the bounded-memory property can be unit-tested without forking processes.
 
 from __future__ import annotations
 
+import os
 import tempfile
 from collections import deque
 from typing import Deque, Iterable, Iterator, List, Optional, Tuple, Union
@@ -102,6 +103,8 @@ class EagerBuffer:
 
     def _spill(self, encoded: bytes) -> None:
         if self._file is None:
+            if self.spill_directory:
+                os.makedirs(self.spill_directory, exist_ok=True)
             self._file = tempfile.TemporaryFile(
                 prefix="pash-eager-spill-", dir=self.spill_directory
             )

@@ -1,0 +1,40 @@
+"""``repro.service`` — pash-as-a-service: the multi-tenant daemon tier.
+
+One warm ``pash-serve`` process serves many tenants over a local socket:
+submissions pass admission control (bounded queue, per-tenant quotas — a
+full daemon rejects with :class:`ServiceBusy`, it never hangs), execute on
+the shared session machinery (one persistent worker pool, one persistent
+disk-backed plan cache), and return results plus ``RunReport`` documents.
+See ``docs/SERVICE.md`` for the guided tour.
+
+Public surface::
+
+    PashServiceDaemon(ServiceOptions(...)).start()   # the daemon
+    ServiceClient("127.0.0.1:7070").submit("...")    # the API client
+    pash-serve / pash-client                          # the console scripts
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionStats,
+    ServiceBusy,
+    ServiceError,
+)
+from repro.service.client import ServiceClient
+from repro.service.daemon import PashServiceDaemon, ServiceOptions
+from repro.service.jobs import Job, JobState, JobTable
+from repro.service.protocol import SERVICE_PROTOCOL_VERSION
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "Job",
+    "JobState",
+    "JobTable",
+    "PashServiceDaemon",
+    "SERVICE_PROTOCOL_VERSION",
+    "ServiceBusy",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOptions",
+]

@@ -1,0 +1,118 @@
+"""Admission control for the service daemon.
+
+The daemon's contract is *reject cleanly, never hang*: a submission either
+enters the bounded run queue immediately or is refused with a typed
+:class:`ServiceBusy` before any work starts.  Two independent limits apply,
+checked atomically under one lock:
+
+* ``queue_limit`` — total jobs in flight (queued + running) across every
+  tenant.  This bounds the daemon's memory and keeps queueing delay
+  proportional to the limit, not to the arrival rate.
+* ``tenant_quota`` — jobs in flight per tenant, so one chatty tenant cannot
+  occupy the whole queue and starve the rest (the multi-tenant half of the
+  ROADMAP's service item).
+
+Both rejections are *admission* outcomes, not errors inside a job: nothing
+was compiled, nothing ran, and the client can simply retry later.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class ServiceError(RuntimeError):
+    """Any service-layer failure surfaced to a client (typed by ``code``)."""
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceBusy(ServiceError):
+    """Admission refused: the queue is full (``busy``) or the tenant is at
+    quota (``quota``).  Raised synchronously — the submission never queues."""
+
+    def __init__(self, message: str, code: str = "busy") -> None:
+        super().__init__(message, code=code)
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for one controller's lifetime."""
+
+    admitted: int = 0
+    rejected_queue_full: int = 0
+    rejected_quota: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_quota": self.rejected_quota,
+        }
+
+
+@dataclass
+class AdmissionController:
+    """Atomic admit/release bookkeeping over the two limits."""
+
+    #: Max jobs in flight (queued + running) across all tenants.
+    queue_limit: int = 16
+    #: Max jobs in flight per tenant.
+    tenant_quota: int = 4
+    stats: AdmissionStats = field(default_factory=AdmissionStats)
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1")
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def admit(self, tenant: str) -> None:
+        """Claim one slot for ``tenant`` or raise :class:`ServiceBusy`."""
+        with self._lock:
+            total = sum(self._inflight.values())
+            if total >= self.queue_limit:
+                self.stats.rejected_queue_full += 1
+                raise ServiceBusy(
+                    f"run queue is full ({total}/{self.queue_limit} jobs in flight)",
+                    code="busy",
+                )
+            held = self._inflight.get(tenant, 0)
+            if held >= self.tenant_quota:
+                self.stats.rejected_quota += 1
+                raise ServiceBusy(
+                    f"tenant {tenant!r} is at quota "
+                    f"({held}/{self.tenant_quota} jobs in flight)",
+                    code="quota",
+                )
+            self._inflight[tenant] = held + 1
+            self.stats.admitted += 1
+
+    def release(self, tenant: str) -> None:
+        """Return ``tenant``'s slot (idempotence is the caller's job)."""
+        with self._lock:
+            held = self._inflight.get(tenant, 0)
+            if held <= 1:
+                self._inflight.pop(tenant, None)
+            else:
+                self._inflight[tenant] = held - 1
+
+    def inflight(self, tenant: Optional[str] = None) -> int:
+        """Jobs currently holding slots (for one tenant, or in total)."""
+        with self._lock:
+            if tenant is not None:
+                return self._inflight.get(tenant, 0)
+            return sum(self._inflight.values())
+
+    def to_dict(self) -> Dict[str, int]:
+        snapshot = self.stats.to_dict()
+        snapshot["inflight"] = self.inflight()
+        return snapshot

@@ -1,0 +1,279 @@
+"""``ServiceClient`` / ``pash-client`` — talk to a running ``pash-serve``.
+
+The Python API is a thin typed wrapper over the one-shot request protocol:
+every method is one connect/send/recv/close round trip, raises
+:class:`~repro.service.admission.ServiceBusy` on admission rejections and
+:class:`~repro.service.admission.ServiceError` on everything else, and
+never blocks past its timeout.  The CLI (``pash-client submit | status |
+result | cancel | stats | ping | shutdown``) maps those calls onto exit
+codes: 0 success, 1 job failed, 2 unreachable/usage, 3 rejected busy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.service import protocol
+from repro.service.admission import ServiceBusy, ServiceError
+from repro.service.protocol import Address
+
+
+class ServiceClient:
+    """A handle on one daemon address (no persistent connection)."""
+
+    def __init__(
+        self,
+        address: Address,
+        timeout: float = 30.0,
+        retry_seconds: float = 0.0,
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+        #: Retry window for *unreachable* daemons (connection refused while
+        #: pash-serve is still starting) — the same idiom as pash-worker's
+        #: ``--retry-seconds``.  Admission rejections are never retried.
+        self.retry_seconds = retry_seconds
+
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, message: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        deadline = time.monotonic() + self.retry_seconds
+        while True:
+            try:
+                response = protocol.request(
+                    self.address, message, timeout=timeout or self.timeout
+                )
+            except ServiceError as error:
+                if error.code == "unreachable" and time.monotonic() < deadline:
+                    time.sleep(0.2)
+                    continue
+                raise
+            return protocol.raise_for_error(response)
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        script: str,
+        tenant: str = "default",
+        files: Optional[Dict[str, List[str]]] = None,
+        stdin: Optional[List[str]] = None,
+        backend: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit a script; returns the job payload.
+
+        With ``wait=True`` (default) the payload is terminal — ``state`` is
+        ``done``/``failed``/``cancelled`` and carries ``stdout``/``files``/
+        ``report`` on success.  With ``wait=False`` it is the queued
+        snapshot; poll with :meth:`result`.
+        """
+        message: Dict[str, Any] = {
+            "type": protocol.MSG_SUBMIT,
+            "script": script,
+            "tenant": tenant,
+            "wait": wait,
+        }
+        if files:
+            message["files"] = files
+        if stdin:
+            message["stdin"] = stdin
+        if backend:
+            message["backend"] = backend
+        if config:
+            message["config"] = config
+        if timeout is not None:
+            message["timeout"] = timeout
+        # The socket must outlive the server-side wait, or a slow job reads
+        # as a dead connection instead of a clean in-flight snapshot.
+        socket_timeout = (timeout or self.timeout) + 15.0 if wait else self.timeout
+        return self._request(message, timeout=socket_timeout)["job"]
+
+    def status(self, job_id: int) -> Dict[str, Any]:
+        """The job's current snapshot (non-blocking)."""
+        return self._request({"type": protocol.MSG_STATUS, "job_id": job_id})["job"]
+
+    def result(self, job_id: int, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block (bounded) until the job is terminal; its final payload."""
+        message: Dict[str, Any] = {"type": protocol.MSG_RESULT, "job_id": job_id}
+        if timeout is not None:
+            message["timeout"] = timeout
+        socket_timeout = (timeout or self.timeout) + 15.0
+        return self._request(message, timeout=socket_timeout)["job"]
+
+    def cancel(self, job_id: int) -> Dict[str, Any]:
+        """Cancel a queued job (running jobs record the wish only)."""
+        return self._request({"type": protocol.MSG_CANCEL, "job_id": job_id})["job"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request({"type": protocol.MSG_STATS})["stats"]
+
+    def ping(self) -> Dict[str, Any]:
+        return self._request({"type": protocol.MSG_PING})
+
+    def shutdown(self) -> None:
+        self._request({"type": protocol.MSG_SHUTDOWN})
+
+
+# ---------------------------------------------------------------------------
+# The pash-client entry point
+# ---------------------------------------------------------------------------
+
+
+def _read_lines(path: str) -> List[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read().splitlines()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pash-client", description="Submit scripts to a running pash-serve daemon."
+    )
+    parser.add_argument(
+        "--connect", default="127.0.0.1:7070", help="daemon address (HOST:PORT)"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, help="round-trip timeout in seconds"
+    )
+    parser.add_argument(
+        "--retry-seconds",
+        type=float,
+        default=10.0,
+        help="keep retrying an unreachable daemon for this long",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit = commands.add_parser("submit", help="run a script on the daemon")
+    submit.add_argument("script", help="script file to submit")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument(
+        "--input",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="upload a local file into the job's virtual filesystem (repeatable)",
+    )
+    submit.add_argument("--backend", default=None, help="override the daemon default")
+    submit.add_argument(
+        "--no-wait", action="store_true", help="enqueue and print the job id only"
+    )
+    submit.add_argument(
+        "--write-files",
+        action="store_true",
+        help="write the job's output files into the current directory",
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="print the whole job payload as JSON"
+    )
+
+    for name, help_text in (
+        ("status", "print a job's current state"),
+        ("result", "wait for a job and print its output"),
+        ("cancel", "cancel a queued job"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("job_id", type=int)
+
+    commands.add_parser("stats", help="print daemon statistics as JSON")
+    commands.add_parser("ping", help="check the daemon is alive")
+    commands.add_parser("shutdown", help="ask the daemon to shut down")
+    return parser
+
+
+def _print_job(job: Dict[str, Any], arguments: Any) -> int:
+    if getattr(arguments, "json", False):
+        print(json.dumps(job, indent=2, sort_keys=True))
+        return 0 if job.get("state") == "done" else 1
+    state = job.get("state")
+    if state == "done":
+        for line in job.get("stdout", []):
+            print(line)
+        if getattr(arguments, "write_files", False):
+            for name, lines in (job.get("files") or {}).items():
+                with open(name, "w", encoding="utf-8") as handle:
+                    for line in lines:
+                        handle.write(line + "\n")
+        return 0
+    print(
+        f"pash-client: job {job.get('job_id')} {state}: "
+        f"{job.get('error', '(no error recorded)')}",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    client = ServiceClient(
+        arguments.connect,
+        timeout=arguments.timeout,
+        retry_seconds=arguments.retry_seconds,
+    )
+    try:
+        if arguments.command == "submit":
+            try:
+                source = _read_lines(arguments.script)
+            except OSError as exc:
+                print(f"pash-client: cannot read script: {exc}", file=sys.stderr)
+                return 2
+            files = {}
+            for path in arguments.input:
+                try:
+                    files[path] = _read_lines(path)
+                except OSError as exc:
+                    print(f"pash-client: cannot read input: {exc}", file=sys.stderr)
+                    return 2
+            job = client.submit(
+                "\n".join(source),
+                tenant=arguments.tenant,
+                files=files or None,
+                backend=arguments.backend,
+                wait=not arguments.no_wait,
+                timeout=arguments.timeout,
+            )
+            if arguments.no_wait:
+                print(job["job_id"])
+                return 0
+            return _print_job(job, arguments)
+        if arguments.command == "status":
+            job = client.status(arguments.job_id)
+            print(json.dumps(job, indent=2, sort_keys=True))
+            return 0
+        if arguments.command == "result":
+            return _print_job(
+                client.result(arguments.job_id, timeout=arguments.timeout), arguments
+            )
+        if arguments.command == "cancel":
+            job = client.cancel(arguments.job_id)
+            print(f"pash-client: job {job['job_id']} is now {job['state']}")
+            return 0
+        if arguments.command == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if arguments.command == "ping":
+            pong = client.ping()
+            print(f"pash-serve {pong['version']} (pid {pong['pid']}) is alive")
+            return 0
+        if arguments.command == "shutdown":
+            client.shutdown()
+            print("pash-client: daemon acknowledged shutdown")
+            return 0
+        return 2
+    except ServiceBusy as busy:
+        print(f"pash-client: rejected ({busy.code}): {busy}", file=sys.stderr)
+        return 3
+    except ServiceError as error:
+        print(f"pash-client: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke job
+    sys.exit(main())

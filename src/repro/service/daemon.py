@@ -1,0 +1,613 @@
+"""``pash-serve`` — the long-running multi-tenant service daemon.
+
+One warm process serves many tenants: scripts arrive over a local socket
+(the cluster tier's length-prefixed framing), pass an
+:class:`~repro.service.admission.AdmissionController` (bounded queue,
+per-tenant quotas — reject cleanly, never hang), and execute on the shared
+session machinery — one persistent :class:`~repro.engine.pool.WorkerPool`
+for every parallel region, one :class:`~repro.jit.cache.DiskPlanCache` so a
+popular one-liner compiles once per fleet rather than once per submission,
+and one :class:`~repro.obs.tracer.Tracer` whose per-job ``service:job``
+spans make an 8-tenant burst one coherent timeline.
+
+Isolation model (what *shared* means here):
+
+* **Filesystem** — every job runs against its own
+  :class:`~repro.runtime.streams.VirtualFileSystem` built from the files it
+  submitted (``allow_real_files`` stays off: tenants cannot read the
+  daemon's host filesystem).
+* **Shell state** — JIT jobs get a fresh :class:`~repro.jit.driver.JitDriver`
+  per job; variables, ``$?``, and cwd never leak between tenants.
+* **Spill files** — each job spills under its own unique subdirectory of
+  the configured spill directory, created before and removed after the run,
+  so concurrent jobs sharing one ``spill_directory`` cannot collide.
+* **Worker processes and compiled plans** — deliberately shared; that is
+  the point of the daemon.  The pool's ``run_lock`` serializes scheduler
+  runs (bounding process count at the pool's high-water mark) and the plan
+  cache is keyed on (fingerprint, bindings, config digest), so sharing is
+  correctness-neutral by construction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import queue
+import shutil
+import socket
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.config import PashConfig, StreamingConfig
+from repro.api.pash import Pash
+from repro.cluster.protocol import ProtocolError, recv_message, send_message
+from repro.obs.export import export_chrome_trace
+from repro.obs.report import RunReport
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.runtime.executor import ExecutionEnvironment, ExecutionError
+from repro.runtime.streams import VirtualFileSystem
+from repro.service import protocol
+from repro.service.admission import AdmissionController, ServiceBusy, ServiceError
+from repro.service.jobs import Job, JobState, JobTable
+from repro.shell.expansion import ExpansionError
+
+
+@dataclass
+class ServiceOptions:
+    """Every knob of one daemon instance."""
+
+    #: ``HOST:PORT`` to listen on (port 0 = ephemeral, for tests).
+    listen: str = "127.0.0.1:0"
+    #: Executor threads pulling jobs off the run queue.  ``0`` is the
+    #: admission-only mode tests use: jobs queue but never start, which
+    #: makes queue-full/quota/cancel paths deterministic.
+    executors: int = 4
+    #: Max jobs in flight (queued + running) across all tenants.
+    queue_limit: int = 16
+    #: Max jobs in flight per tenant.
+    tenant_quota: int = 4
+    #: Directory for the persistent plan cache (None = memory-only).
+    cache_directory: Optional[str] = None
+    cache_capacity: int = 256
+    #: Server-side ceiling for any blocking wait (submit/result).
+    max_wait_seconds: float = 300.0
+    #: How long shutdown waits for running jobs before failing them.
+    shutdown_grace_seconds: float = 10.0
+    #: Finished jobs kept queryable (older ones are dropped).
+    retain_jobs: int = 256
+    #: Compilation/execution defaults; per-job ``config`` overrides merge
+    #: on top.  The default backend is ``jit`` — the only tier that runs
+    #: arbitrary scripts (loops, variables) instead of refusing them.
+    config: PashConfig = field(default_factory=lambda: PashConfig(backend="jit"))
+    #: Chrome-trace destination written at shutdown (enables tracing).
+    trace_path: Optional[str] = None
+
+
+class PashServiceDaemon:
+    """The pash-as-a-service daemon (see module docstring)."""
+
+    def __init__(
+        self, options: Optional[ServiceOptions] = None, tracer: Optional[Tracer] = None
+    ) -> None:
+        self.options = options or ServiceOptions()
+        self.config = self.options.config
+        if tracer is None:
+            tracing = self.config.tracing or bool(self.options.trace_path)
+            tracer = Tracer() if tracing else NULL_TRACER
+        self.tracer = tracer
+        self.admission = AdmissionController(
+            queue_limit=self.options.queue_limit,
+            tenant_quota=self.options.tenant_quota,
+        )
+        self.jobs = JobTable(retain=self.options.retain_jobs)
+        self.run_queue: "queue.Queue[Job]" = queue.Queue()
+        from repro.jit.cache import DiskPlanCache, PlanCache
+
+        if self.options.cache_directory:
+            self.plan_cache: PlanCache = DiskPlanCache(
+                self.options.cache_directory, capacity=self.options.cache_capacity
+            )
+        else:
+            self.plan_cache = PlanCache(capacity=self.options.cache_capacity)
+        self.pool: Optional[Any] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self.started_at = 0.0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._executors: list = []
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_started = False
+        self._shutdown_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def endpoint(self) -> str:
+        """The ``HOST:PORT`` clients connect to (known after :meth:`start`)."""
+        if self.address is None:
+            raise RuntimeError("daemon is not started")
+        return f"{self.address[0]}:{self.address[1]}"
+
+    def start(self) -> None:
+        """Bind the socket, warm the pool, and start serving."""
+        host, port = protocol.resolve_address(self.options.listen)
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.25)
+        self.address = self._listener.getsockname()[:2]
+        self.started_at = time.time()
+        scheduler = self.config.scheduler_options()
+        if getattr(scheduler, "use_pool", True):
+            from repro.engine.pool import WorkerPool
+
+            self.pool = WorkerPool(
+                start_method=getattr(scheduler, "start_method", "fork"),
+                size=getattr(scheduler, "pool_size", None),
+            )
+        for index in range(max(0, self.options.executors)):
+            thread = threading.Thread(
+                target=self._executor_loop, name=f"pash-serve-exec-{index}", daemon=True
+            )
+            thread.start()
+            self._executors.append(thread)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="pash-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes (Ctrl-C shuts down)."""
+        try:
+            self._stopped.wait()
+        except KeyboardInterrupt:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop accepting, cancel queued jobs, drain running ones (bounded).
+
+        Idempotent and bounded: queued jobs are cancelled immediately (their
+        waiters wake with a clean terminal state), running jobs get
+        ``shutdown_grace_seconds`` to finish and are then *failed* — every
+        client blocked on a result gets an answer, never a hang.
+        """
+        with self._shutdown_lock:
+            already = self._shutdown_started
+            self._shutdown_started = True
+            self._stopping.set()
+        if already:
+            self._stopped.wait()
+            return
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        while True:
+            try:
+                job = self.run_queue.get_nowait()
+            except queue.Empty:
+                break
+            if job.cancel():
+                job.error = "daemon shutting down"
+                job.error_code = protocol.ERR_SHUTTING_DOWN
+                self.jobs_cancelled += 1
+            self._release(job)
+        deadline = time.time() + self.options.shutdown_grace_seconds
+        for thread in self._executors:
+            thread.join(timeout=max(0.1, deadline - time.time()))
+        for job in self.jobs.all():
+            if job.state in (JobState.RUNNING, JobState.QUEUED):
+                job.fail(
+                    "daemon shut down before the job finished",
+                    code=protocol.ERR_SHUTTING_DOWN,
+                )
+                self.jobs_failed += 1
+                self._release(job)
+        if self.pool is not None:
+            self.pool.shutdown()
+        if self.options.trace_path and self.tracer.enabled:
+            export_chrome_trace(self.tracer.spans, self.options.trace_path)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Socket plane
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="pash-serve-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        """One request, one response, close — errors answered, never raised."""
+        shutdown_after = False
+        try:
+            connection.settimeout(self.options.max_wait_seconds + 10.0)
+            try:
+                message = recv_message(connection)
+            except ProtocolError as exc:
+                message = None
+                response: Optional[Dict[str, Any]] = protocol.error_response(
+                    protocol.ERR_BAD_REQUEST, str(exc)
+                )
+            else:
+                response = None
+            if message is not None:
+                response, shutdown_after = self._handle(message)
+            if response is not None:
+                send_message(connection, response)
+        except OSError:
+            pass  # the client vanished; its job (if any) keeps running
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        if shutdown_after:
+            self.shutdown()
+
+    def _handle(self, message: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        """Dispatch one request; returns (response, shutdown-after-reply)."""
+        kind = message.get("type")
+        try:
+            if kind == protocol.MSG_SUBMIT:
+                return self._handle_submit(message), False
+            if kind == protocol.MSG_STATUS:
+                return self._job_response(message, wait=False), False
+            if kind == protocol.MSG_RESULT:
+                return self._job_response(message, wait=True), False
+            if kind == protocol.MSG_CANCEL:
+                return self._handle_cancel(message), False
+            if kind == protocol.MSG_STATS:
+                return {"type": protocol.MSG_STATS_REPLY, "stats": self.stats()}, False
+            if kind == protocol.MSG_PING:
+                from repro import __version__
+
+                return {
+                    "type": protocol.MSG_PONG,
+                    "version": __version__,
+                    "protocol": protocol.SERVICE_PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                }, False
+            if kind == protocol.MSG_SHUTDOWN:
+                self._stopping.set()  # refuse new work before the reply lands
+                return {"type": protocol.MSG_OK}, True
+            return (
+                protocol.error_response(
+                    protocol.ERR_BAD_REQUEST, f"unknown request type {kind!r}"
+                ),
+                False,
+            )
+        except ServiceBusy as busy:
+            return protocol.error_response(busy.code, str(busy)), False
+        except ServiceError as error:
+            return protocol.error_response(error.code, str(error)), False
+        except Exception as exc:  # noqa: BLE001 - the reply IS the error path
+            return (
+                protocol.error_response(
+                    protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                ),
+                False,
+            )
+
+    # -- request handlers ----------------------------------------------
+
+    def _handle_submit(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._stopping.is_set():
+            raise ServiceError(
+                "daemon is shutting down", code=protocol.ERR_SHUTTING_DOWN
+            )
+        script = message.get("script")
+        if not isinstance(script, str) or not script.strip():
+            raise ServiceError(
+                "submit requires a non-empty 'script' string",
+                code=protocol.ERR_BAD_REQUEST,
+            )
+        tenant = str(message.get("tenant") or "default")
+        config = self._job_config(message.get("config"))
+        backend = str(message.get("backend") or config.backend)
+        files = {
+            str(name): [str(line) for line in lines]
+            for name, lines in (message.get("files") or {}).items()
+        }
+        stdin = [str(line) for line in (message.get("stdin") or [])]
+        self.admission.admit(tenant)
+        job = self.jobs.create(
+            tenant=tenant,
+            script=script,
+            backend=backend,
+            config=config,
+            files=files,
+            stdin=stdin,
+        )
+        self.run_queue.put(job)
+        if message.get("wait", True):
+            return self._wait_for(job, message.get("timeout"))
+        return {"type": protocol.MSG_JOB, "job": job.payload(include_output=False)}
+
+    def _job_config(self, overrides: Any) -> PashConfig:
+        """The daemon's config with a submission's overrides merged on top."""
+        if not overrides:
+            return self.config
+        if not isinstance(overrides, dict):
+            raise ServiceError(
+                "'config' must be a dict of PashConfig fields",
+                code=protocol.ERR_BAD_REQUEST,
+            )
+        merged = self.config.to_dict()
+        merged.update(overrides)
+        try:
+            return PashConfig.from_dict(merged)
+        except (ValueError, TypeError) as exc:
+            raise ServiceError(str(exc), code=protocol.ERR_BAD_REQUEST) from exc
+
+    def _find_job(self, message: Dict[str, Any]) -> Job:
+        job = self.jobs.get(int(message.get("job_id", -1)))
+        if job is None:
+            raise ServiceError(
+                f"unknown job id {message.get('job_id')!r}",
+                code=protocol.ERR_UNKNOWN_JOB,
+            )
+        return job
+
+    def _job_response(self, message: Dict[str, Any], wait: bool) -> Dict[str, Any]:
+        job = self._find_job(message)
+        if wait:
+            return self._wait_for(job, message.get("timeout"))
+        return {"type": protocol.MSG_JOB, "job": job.payload()}
+
+    def _wait_for(self, job: Job, timeout: Any) -> Dict[str, Any]:
+        """Bounded wait for a terminal state; a timeout is a typed error."""
+        ceiling = self.options.max_wait_seconds
+        wait_seconds = ceiling if timeout is None else min(float(timeout), ceiling)
+        if job.finished.wait(timeout=max(0.0, wait_seconds)):
+            return {"type": protocol.MSG_JOB, "job": job.payload()}
+        return protocol.error_response(
+            protocol.ERR_TIMEOUT,
+            f"job {job.job_id} still {job.state} after {wait_seconds:.1f}s",
+            job=job.payload(include_output=False),
+        )
+
+    def _handle_cancel(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._find_job(message)
+        if job.cancel():
+            self.jobs_cancelled += 1
+            self._release(job)
+        return {"type": protocol.MSG_JOB, "job": job.payload()}
+
+    # ------------------------------------------------------------------
+    # Execution plane
+    # ------------------------------------------------------------------
+
+    def _executor_loop(self) -> None:
+        while True:
+            try:
+                job = self.run_queue.get(timeout=0.2)
+            except queue.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            self._run_job(job)
+
+    def _release(self, job: Job) -> None:
+        if job.first_release():
+            self.admission.release(job.tenant)
+
+    def _run_job(self, job: Job) -> None:
+        if not job.try_start():  # cancelled while queued
+            self._release(job)
+            return
+        started = time.perf_counter()
+        spill_dir: Optional[str] = None
+        try:
+            try:
+                environment = ExecutionEnvironment(
+                    filesystem=VirtualFileSystem(job.files), stdin=list(job.stdin)
+                )
+                config, spill_dir = self._job_spill_directory(job)
+                with self.tracer.span(
+                    "service:job",
+                    "service",
+                    job_id=job.job_id,
+                    tenant=job.tenant,
+                    backend=job.backend,
+                ):
+                    result, compiled = self._execute(job, config, environment)
+                report = RunReport.from_run(result, compiled).to_dict()
+            finally:
+                # Before the job turns terminal: a waiter that observes
+                # "done" must never still see the job's spill directory.
+                if spill_dir is not None:
+                    shutil.rmtree(spill_dir, ignore_errors=True)
+            job.complete(
+                stdout=result.stdout,
+                out_files=result.files,
+                report=report,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+            self.jobs_completed += 1
+        except (ExecutionError, ExpansionError, ValueError, KeyError) as exc:
+            job.fail(str(exc) or type(exc).__name__, code=protocol.ERR_EXECUTION)
+            self.jobs_failed += 1
+        except Exception as exc:  # noqa: BLE001 - a tenant bug must not kill the daemon
+            job.fail(f"{type(exc).__name__}: {exc}", code=protocol.ERR_INTERNAL)
+            self.jobs_failed += 1
+        finally:
+            self._release(job)
+
+    def _job_spill_directory(self, job: Job) -> Tuple[PashConfig, Optional[str]]:
+        """A per-job unique spill subdirectory (when one is configured).
+
+        Concurrent jobs must never share a flat spill directory: the run
+        directory is created fresh per job (``mkdtemp``) and removed after,
+        so no two jobs can ever see each other's spill files.  The cache
+        digest ignores ``spill_directory``, so this does not fragment the
+        plan cache.
+        """
+        base = job.config.streaming.spill_directory
+        if base is None:
+            return job.config, None
+        os.makedirs(base, exist_ok=True)
+        spill_dir = tempfile.mkdtemp(prefix=f"pash-job-{job.job_id}-", dir=base)
+        streaming = StreamingConfig(
+            chunk_size=job.config.streaming.chunk_size,
+            spill_threshold=job.config.streaming.spill_threshold,
+            spill_directory=spill_dir,
+        )
+        return job.config.replace(streaming=streaming), spill_dir
+
+    def _execute(self, job: Job, config: PashConfig, environment: ExecutionEnvironment):
+        """Run one job on its backend, sharing the daemon's pool and cache."""
+        if job.backend == "jit":
+            from repro.jit.driver import JitDriver
+
+            options: Dict[str, Any] = {
+                "cache": self.plan_cache,
+                "tracer": self.tracer,
+                "inner_backend": config.jit_inner_backend,
+            }
+            if self.pool is not None and config.jit_inner_backend == "parallel":
+                options["pool"] = self.pool
+            driver = JitDriver(config=config, environment=environment, **options)
+            return driver.run(job.script), None
+        compiled = Pash(config, tracer=self.tracer).compile(job.script)
+        options = {}
+        if job.backend == "parallel" and self.pool is not None:
+            options["pool"] = self.pool
+        result = compiled.execute(
+            backend=job.backend, environment=environment, **options
+        )
+        return result, compiled
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The STATS payload: admission, queue, cache, and pool counters."""
+        snapshot: Dict[str, Any] = {
+            "endpoint": self.endpoint if self.address else None,
+            "uptime_seconds": time.time() - self.started_at if self.started_at else 0.0,
+            "executors": len(self._executors),
+            "queue_depth": self.run_queue.qsize(),
+            "admission": self.admission.to_dict(),
+            "jobs": {
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "cancelled": self.jobs_cancelled,
+            },
+            "plan_cache": dict(
+                self.plan_cache.stats.to_dict(), entries=len(self.plan_cache)
+            ),
+        }
+        if self.pool is not None:
+            snapshot["pool"] = self.pool.stats()
+        return snapshot
+
+
+# ---------------------------------------------------------------------------
+# The pash-serve entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pash-serve",
+        description="Long-running PaSh service daemon: submit scripts with pash-client.",
+    )
+    parser.add_argument(
+        "--listen", default="127.0.0.1:7070", help="HOST:PORT to listen on (port 0 = ephemeral)"
+    )
+    parser.add_argument("--executors", type=int, default=4, help="executor threads")
+    parser.add_argument(
+        "--queue-limit", type=int, default=16, help="max jobs in flight, all tenants"
+    )
+    parser.add_argument(
+        "--tenant-quota", type=int, default=4, help="max jobs in flight per tenant"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="persistent plan-cache directory"
+    )
+    parser.add_argument("--cache-capacity", type=int, default=256)
+    parser.add_argument("--width", type=int, default=2, help="parallelism width")
+    parser.add_argument(
+        "--execute",
+        default="jit",
+        help="default backend for submissions (jit | parallel | interpreter | ...)",
+    )
+    parser.add_argument(
+        "--jit-backend", default="parallel", help="engine behind JIT-compiled regions"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="pre-warm the worker pool to N processes"
+    )
+    parser.add_argument("--spill-dir", default=None, help="base spill directory")
+    parser.add_argument("--max-wait-seconds", type=float, default=300.0)
+    parser.add_argument(
+        "--trace", default=None, help="write a Chrome trace of every job at shutdown"
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    config = PashConfig.paper_default(
+        arguments.width,
+        backend=arguments.execute,
+        jobs=arguments.jobs,
+        jit_inner_backend=arguments.jit_backend,
+        tracing=bool(arguments.trace),
+        streaming=StreamingConfig(spill_directory=arguments.spill_dir),
+    )
+    options = ServiceOptions(
+        listen=arguments.listen,
+        executors=arguments.executors,
+        queue_limit=arguments.queue_limit,
+        tenant_quota=arguments.tenant_quota,
+        cache_directory=arguments.cache_dir,
+        cache_capacity=arguments.cache_capacity,
+        max_wait_seconds=arguments.max_wait_seconds,
+        config=config,
+        trace_path=arguments.trace,
+    )
+    daemon = PashServiceDaemon(options)
+    try:
+        daemon.start()
+    except OSError as exc:
+        print(f"pash-serve: cannot listen on {arguments.listen}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"pash-serve: listening on {daemon.endpoint} "
+        f"(executors={arguments.executors}, backend={arguments.execute})",
+        file=sys.stderr,
+        flush=True,
+    )
+    daemon.serve_forever()
+    print("pash-serve: shut down cleanly", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke job
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""The client/daemon wire protocol of the service tier.
+
+Framing is exactly :mod:`repro.cluster.protocol` — a 4-byte big-endian
+length prefix and one pickled dict — reused rather than reinvented.  On top
+of it the service speaks a one-shot request/response shape (one connection
+per request, HTTP-like), which keeps the daemon's concurrency model trivial:
+every accepted connection is read once, answered once, and closed, so a
+stalled client can never wedge another tenant's traffic.
+
+Requests::
+
+    SUBMIT   {script, tenant, files?, stdin?, backend?, config?, wait?, timeout?}
+    STATUS   {job_id}
+    RESULT   {job_id, timeout?}          # blocks (bounded) until terminal
+    CANCEL   {job_id}
+    STATS    {}
+    PING     {}
+    SHUTDOWN {}
+
+Responses::
+
+    JOB   {job: {job_id, state, stdout?, files?, report?, ...}}
+    ERROR {code, message, job?}          # codes below; `job` on timeouts
+    STATS {stats: {...}}
+    PONG  {version, protocol, pid}
+    OK    {}
+
+Every blocking path is bounded server-side by the daemon's
+``max_wait_seconds`` — a client that asks to wait forever still gets a
+typed ``timeout`` error (carrying the job snapshot) instead of a hang.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.cluster.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from repro.service.admission import ServiceBusy, ServiceError
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "ProtocolError",
+    "SERVICE_PROTOCOL_VERSION",
+    "request",
+    "raise_for_error",
+]
+
+#: Bumped on any incompatible message-shape change; reported by PING.
+SERVICE_PROTOCOL_VERSION = 1
+
+# -- request types -----------------------------------------------------------
+MSG_SUBMIT = "submit"
+MSG_STATUS = "status"
+MSG_RESULT = "result"
+MSG_CANCEL = "cancel"
+MSG_STATS = "stats"
+MSG_PING = "ping"
+MSG_SHUTDOWN = "shutdown"
+
+# -- response types ----------------------------------------------------------
+MSG_JOB = "job"
+MSG_ERROR = "error"
+MSG_STATS_REPLY = "stats-reply"
+MSG_PONG = "pong"
+MSG_OK = "ok"
+
+# -- error codes -------------------------------------------------------------
+ERR_BUSY = "busy"  # run queue full (admission)
+ERR_QUOTA = "quota"  # tenant at quota (admission)
+ERR_BAD_REQUEST = "bad-request"
+ERR_UNKNOWN_JOB = "unknown-job"
+ERR_TIMEOUT = "timeout"  # bounded wait elapsed; job still in flight
+ERR_SHUTTING_DOWN = "shutting-down"
+ERR_EXECUTION = "execution"  # the script itself failed
+ERR_INTERNAL = "internal"
+
+#: Admission codes map back to :class:`ServiceBusy` client-side.
+BUSY_CODES = frozenset({ERR_BUSY, ERR_QUOTA})
+
+Address = Union[str, Tuple[str, int]]
+
+
+def resolve_address(address: Address) -> Tuple[str, int]:
+    """Accept ``"HOST:PORT"`` or an ``(host, port)`` pair."""
+    if isinstance(address, str):
+        return parse_address(address)
+    host, port = address
+    return host, int(port)
+
+
+def request(
+    address: Address,
+    message: Dict[str, Any],
+    timeout: Optional[float] = 30.0,
+) -> Dict[str, Any]:
+    """One round trip: connect, send ``message``, read one response, close.
+
+    Raises :class:`ServiceError` (code ``unreachable``) when the daemon
+    cannot be reached and on a connection dropped before the response —
+    never returns ``None`` and never blocks past ``timeout``.
+    """
+    host, port = resolve_address(address)
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            send_message(sock, message)
+            response = recv_message(sock)
+    except (ConnectionError, socket.timeout, TimeoutError, OSError) as exc:
+        raise ServiceError(
+            f"cannot reach pash-serve at {host}:{port}: {exc}", code="unreachable"
+        ) from exc
+    except ProtocolError as exc:
+        raise ServiceError(f"malformed response from {host}:{port}: {exc}") from exc
+    if response is None:
+        raise ServiceError(
+            f"pash-serve at {host}:{port} closed the connection without replying"
+        )
+    return response
+
+
+def error_response(
+    code: str, message: str, job: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"type": MSG_ERROR, "code": code, "message": message}
+    if job is not None:
+        response["job"] = job
+    return response
+
+
+def raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
+    """Map an ERROR response to the matching typed exception; pass the rest."""
+    if response.get("type") != MSG_ERROR:
+        return response
+    code = response.get("code", "error")
+    message = response.get("message", "service error")
+    if code in BUSY_CODES:
+        raise ServiceBusy(message, code=code)
+    raise ServiceError(message, code=code)

@@ -7,10 +7,14 @@ configurations, and assert output equality between the unoptimized and the
 optimized dataflow graphs.
 """
 
+import threading
+
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.dfg.builder import translate_script
 from repro.runtime.executor import DFGExecutor, ExecutionEnvironment
+from repro.runtime.interpreter import ShellInterpreter
 from repro.runtime.streams import VirtualFileSystem
 from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode, optimize_graph
 
@@ -89,3 +93,92 @@ def test_stateless_only_pipelines_any_width(data, width):
     baseline = execute(script, files)
     parallel = execute(script, files, ParallelizationConfig.paper_default(width))
     assert parallel == baseline
+
+
+# ---------------------------------------------------------------------------
+# Service-tier concurrency: random pipelines through one shared daemon
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service_daemon():
+    """One long-lived daemon shared by every hypothesis example below."""
+    from repro.api import PashConfig
+    from repro.service import PashServiceDaemon, ServiceOptions
+
+    daemon = PashServiceDaemon(
+        ServiceOptions(
+            listen="127.0.0.1:0",
+            executors=4,
+            queue_limit=64,
+            tenant_quota=64,
+            config=PashConfig.paper_default(2, backend="jit"),
+        )
+    )
+    daemon.start()
+    yield daemon
+    daemon.shutdown()
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=st.lists(lines_strategy, min_size=1, max_size=2),
+    pipelines=st.lists(
+        st.lists(
+            st.sampled_from(STATELESS_STAGES + PURE_STAGES), min_size=1, max_size=3
+        ),
+        min_size=4,
+        max_size=4,
+    ),
+)
+def test_concurrent_service_jobs_match_sequential_interpreter(
+    service_daemon, data, pipelines
+):
+    """Four threads, one shared session pool: no cross-job interleaving.
+
+    Each random pipeline's stdout over the socket must equal a sequential
+    :class:`ShellInterpreter` run of the same script on the same corpus —
+    under concurrent submission through the daemon's shared ``WorkerPool``.
+    """
+    from repro.service import ServiceClient
+
+    files = {f"p{index}.txt": list(chunk) for index, chunk in enumerate(data)}
+    scripts = [
+        "cat " + " ".join(files) + " | " + " | ".join(stages)
+        for stages in pipelines
+    ]
+    expected = []
+    for script in scripts:
+        oracle = ShellInterpreter(
+            filesystem=VirtualFileSystem({k: list(v) for k, v in files.items()})
+        )
+        expected.append(oracle.run_script(script))
+
+    results = [None] * len(scripts)
+    errors = []
+
+    def submit(slot):
+        try:
+            client = ServiceClient(service_daemon.endpoint, timeout=60.0)
+            results[slot] = client.submit(
+                scripts[slot], tenant=f"prop-{slot}", files=files, timeout=55.0
+            )
+        except Exception as exc:  # noqa: BLE001 - collected for the assertion
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=submit, args=(slot,)) for slot in range(len(scripts))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=90.0)
+    assert not any(thread.is_alive() for thread in threads), "a submission hung"
+    assert not errors, errors
+    for slot, job in enumerate(results):
+        assert job["state"] == "done", job.get("error")
+        assert job["stdout"] == expected[slot]
+    # The shared pool amortizes processes across every example this module
+    # has run: lifetime spawn count is bounded by the widest single graph
+    # (plus warm idle workers), not by the number of jobs served.
+    assert service_daemon.pool.stats()["processes_spawned"] <= 48

@@ -1,0 +1,76 @@
+"""Shared fixtures for the service-tier suite.
+
+Every daemon here binds an ephemeral port, and every blocking call is
+wrapped in :func:`run_with_deadline` — the suite's contract is the service
+contract: *clean errors, never hangs*, so a hang is itself a test failure
+rather than a pytest timeout.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import PashConfig
+from repro.service import PashServiceDaemon, ServiceClient, ServiceOptions
+
+#: Generous bound for any single service interaction in these tests.
+DEADLINE_SECONDS = 30.0
+
+
+class Hang(AssertionError):
+    """A call that should have returned promptly did not."""
+
+
+def _run_with_deadline(fn, seconds=DEADLINE_SECONDS, name="call"):
+    """Run ``fn`` in a thread; fail the test if it outlives ``seconds``."""
+    box = {}
+
+    def runner():
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in the test thread
+            box["error"] = exc
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    thread.join(timeout=seconds)
+    if thread.is_alive():
+        raise Hang(f"{name} still running after {seconds}s (the service hung)")
+    if "error" in box:
+        raise box["error"]
+    return box.get("result")
+
+
+@pytest.fixture
+def run_with_deadline():
+    """The deadline helper as a fixture (the tests dir is not a package)."""
+    return _run_with_deadline
+
+
+@pytest.fixture
+def make_daemon():
+    """Factory for ephemeral daemons; everything started here is shut down."""
+    daemons = []
+
+    def factory(**kwargs):
+        config = kwargs.pop(
+            "config", PashConfig.paper_default(2, backend="jit")
+        )
+        options = ServiceOptions(listen="127.0.0.1:0", config=config, **kwargs)
+        daemon = PashServiceDaemon(options)
+        daemon.start()
+        daemons.append(daemon)
+        return daemon
+
+    yield factory
+    for daemon in daemons:
+        _run_with_deadline(daemon.shutdown, name="daemon.shutdown")
+
+
+@pytest.fixture
+def client_for():
+    def factory(daemon, **kwargs):
+        kwargs.setdefault("timeout", DEADLINE_SECONDS)
+        return ServiceClient(daemon.endpoint, **kwargs)
+
+    return factory
