@@ -35,7 +35,11 @@ class ServiceClient:
         self.timeout = timeout
         #: Retry window for *unreachable* daemons (connection refused while
         #: pash-serve is still starting) — the same idiom as pash-worker's
-        #: ``--retry-seconds``.  Admission rejections are never retried.
+        #: ``--retry-seconds``.  Only the ``unreachable`` code is retried:
+        #: protocol.request reserves it for failures of the TCP connect
+        #: itself, so a retried request provably never reached the daemon
+        #: (a retried SUBMIT is not idempotent).  ``connection-lost`` and
+        #: admission rejections are never retried.
         self.retry_seconds = retry_seconds
 
     # ------------------------------------------------------------------
@@ -50,7 +54,7 @@ class ServiceClient:
                     self.address, message, timeout=timeout or self.timeout
                 )
             except ServiceError as error:
-                if error.code == "unreachable" and time.monotonic() < deadline:
+                if error.code == protocol.ERR_UNREACHABLE and time.monotonic() < deadline:
                     time.sleep(0.2)
                     continue
                 raise
@@ -90,11 +94,19 @@ class ServiceClient:
             message["backend"] = backend
         if config:
             message["config"] = config
-        if timeout is not None:
-            message["timeout"] = timeout
-        # The socket must outlive the server-side wait, or a slow job reads
-        # as a dead connection instead of a clean in-flight snapshot.
-        socket_timeout = (timeout or self.timeout) + 15.0 if wait else self.timeout
+        # The server must never wait longer than the client socket stays
+        # open: with no explicit timeout the daemon would block up to its
+        # own max_wait_seconds while the socket died much earlier, turning
+        # a slow job into a bogus connection error.  Always send the
+        # effective wait so both sides agree, and keep the socket open
+        # 15s past it so a timely server answer (including the typed
+        # timeout error) always gets through.
+        if wait:
+            effective = self.timeout if timeout is None else timeout
+            message["timeout"] = effective
+            socket_timeout = effective + 15.0
+        else:
+            socket_timeout = self.timeout
         return self._request(message, timeout=socket_timeout)["job"]
 
     def status(self, job_id: int) -> Dict[str, Any]:
@@ -104,10 +116,10 @@ class ServiceClient:
     def result(self, job_id: int, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Block (bounded) until the job is terminal; its final payload."""
         message: Dict[str, Any] = {"type": protocol.MSG_RESULT, "job_id": job_id}
-        if timeout is not None:
-            message["timeout"] = timeout
-        socket_timeout = (timeout or self.timeout) + 15.0
-        return self._request(message, timeout=socket_timeout)["job"]
+        # Same server/socket agreement as submit(wait=True).
+        effective = self.timeout if timeout is None else timeout
+        message["timeout"] = effective
+        return self._request(message, timeout=effective + 15.0)["job"]
 
     def cancel(self, job_id: int) -> Dict[str, Any]:
         """Cancel a queued job (running jobs record the wish only)."""

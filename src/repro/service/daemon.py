@@ -1,7 +1,8 @@
 """``pash-serve`` — the long-running multi-tenant service daemon.
 
 One warm process serves many tenants: scripts arrive over a local socket
-(the cluster tier's length-prefixed framing), pass an
+(length-prefixed JSON frames — see :mod:`repro.service.protocol` for why a
+tenant-facing boundary must never unpickle client bytes), pass an
 :class:`~repro.service.admission.AdmissionController` (bounded queue,
 per-tenant quotas — reject cleanly, never hang), and execute on the shared
 session machinery — one persistent :class:`~repro.engine.pool.WorkerPool`
@@ -44,13 +45,13 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.api.config import PashConfig, StreamingConfig
 from repro.api.pash import Pash
-from repro.cluster.protocol import ProtocolError, recv_message, send_message
 from repro.obs.export import export_chrome_trace
 from repro.obs.report import RunReport
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.executor import ExecutionEnvironment, ExecutionError
 from repro.runtime.streams import VirtualFileSystem
 from repro.service import protocol
+from repro.service.protocol import ProtocolError, recv_json_message, send_json_message
 from repro.service.admission import AdmissionController, ServiceBusy, ServiceError
 from repro.service.jobs import Job, JobState, JobTable
 from repro.shell.expansion import ExpansionError
@@ -62,6 +63,10 @@ class ServiceOptions:
 
     #: ``HOST:PORT`` to listen on (port 0 = ephemeral, for tests).
     listen: str = "127.0.0.1:0"
+    #: The protocol has no authentication: any client that can connect can
+    #: submit work, so :meth:`PashServiceDaemon.start` refuses a
+    #: non-loopback listen address unless this is set (``--allow-remote``).
+    allow_remote: bool = False
     #: Executor threads pulling jobs off the run queue.  ``0`` is the
     #: admission-only mode tests use: jobs queue but never start, which
     #: makes queue-full/quota/cancel paths deterministic.
@@ -141,6 +146,13 @@ class PashServiceDaemon:
     def start(self) -> None:
         """Bind the socket, warm the pool, and start serving."""
         host, port = protocol.resolve_address(self.options.listen)
+        if not protocol.is_loopback_host(host) and not self.options.allow_remote:
+            raise ServiceError(
+                f"refusing to listen on non-loopback address {host!r}: the "
+                "service protocol is unauthenticated, so every client that "
+                "can connect can submit work; pass --allow-remote "
+                "(allow_remote=True) only on a trusted network"
+            )
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.25)
         self.address = self._listener.getsockname()[:2]
@@ -208,11 +220,11 @@ class PashServiceDaemon:
             thread.join(timeout=max(0.1, deadline - time.time()))
         for job in self.jobs.all():
             if job.state in (JobState.RUNNING, JobState.QUEUED):
-                job.fail(
+                if job.fail(
                     "daemon shut down before the job finished",
                     code=protocol.ERR_SHUTTING_DOWN,
-                )
-                self.jobs_failed += 1
+                ):
+                    self.jobs_failed += 1
                 self._release(job)
         if self.pool is not None:
             self.pool.shutdown()
@@ -246,7 +258,7 @@ class PashServiceDaemon:
         try:
             connection.settimeout(self.options.max_wait_seconds + 10.0)
             try:
-                message = recv_message(connection)
+                message = recv_json_message(connection)
             except ProtocolError as exc:
                 message = None
                 response: Optional[Dict[str, Any]] = protocol.error_response(
@@ -257,8 +269,8 @@ class PashServiceDaemon:
             if message is not None:
                 response, shutdown_after = self._handle(message)
             if response is not None:
-                send_message(connection, response)
-        except OSError:
+                send_json_message(connection, response)
+        except (OSError, ProtocolError):
             pass  # the client vanished; its job (if any) keeps running
         finally:
             try:
@@ -333,6 +345,9 @@ class PashServiceDaemon:
             for name, lines in (message.get("files") or {}).items()
         }
         stdin = [str(line) for line in (message.get("stdin") or [])]
+        # Validate before admission: a malformed request must not claim a
+        # quota slot or enqueue a job it then answers bad-request for.
+        timeout = self._validated_timeout(message.get("timeout"))
         self.admission.admit(tenant)
         job = self.jobs.create(
             tenant=tenant,
@@ -344,7 +359,7 @@ class PashServiceDaemon:
         )
         self.run_queue.put(job)
         if message.get("wait", True):
-            return self._wait_for(job, message.get("timeout"))
+            return self._wait_for(job, timeout)
         return {"type": protocol.MSG_JOB, "job": job.payload(include_output=False)}
 
     def _job_config(self, overrides: Any) -> PashConfig:
@@ -364,11 +379,18 @@ class PashServiceDaemon:
             raise ServiceError(str(exc), code=protocol.ERR_BAD_REQUEST) from exc
 
     def _find_job(self, message: Dict[str, Any]) -> Job:
-        job = self.jobs.get(int(message.get("job_id", -1)))
+        raw = message.get("job_id")
+        try:
+            job_id = int(raw)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"'job_id' must be an integer, got {raw!r}",
+                code=protocol.ERR_BAD_REQUEST,
+            ) from None
+        job = self.jobs.get(job_id)
         if job is None:
             raise ServiceError(
-                f"unknown job id {message.get('job_id')!r}",
-                code=protocol.ERR_UNKNOWN_JOB,
+                f"unknown job id {raw!r}", code=protocol.ERR_UNKNOWN_JOB
             )
         return job
 
@@ -378,10 +400,24 @@ class PashServiceDaemon:
             return self._wait_for(job, message.get("timeout"))
         return {"type": protocol.MSG_JOB, "job": job.payload()}
 
+    @staticmethod
+    def _validated_timeout(value: Any) -> Optional[float]:
+        """A client-supplied ``timeout`` as a float (bad-request otherwise)."""
+        if value is None:
+            return None
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"'timeout' must be a number, got {value!r}",
+                code=protocol.ERR_BAD_REQUEST,
+            ) from None
+
     def _wait_for(self, job: Job, timeout: Any) -> Dict[str, Any]:
         """Bounded wait for a terminal state; a timeout is a typed error."""
         ceiling = self.options.max_wait_seconds
-        wait_seconds = ceiling if timeout is None else min(float(timeout), ceiling)
+        timeout = self._validated_timeout(timeout)
+        wait_seconds = ceiling if timeout is None else min(timeout, ceiling)
         if job.finished.wait(timeout=max(0.0, wait_seconds)):
             return {"type": protocol.MSG_JOB, "job": job.payload()}
         return protocol.error_response(
@@ -441,19 +477,22 @@ class PashServiceDaemon:
                 # "done" must never still see the job's spill directory.
                 if spill_dir is not None:
                     shutil.rmtree(spill_dir, ignore_errors=True)
-            job.complete(
+            # complete() is False when the job already turned terminal
+            # (failed by the shutdown path past its grace period) — terminal
+            # states stay terminal and the counters stay consistent.
+            if job.complete(
                 stdout=result.stdout,
                 out_files=result.files,
                 report=report,
                 elapsed_seconds=time.perf_counter() - started,
-            )
-            self.jobs_completed += 1
+            ):
+                self.jobs_completed += 1
         except (ExecutionError, ExpansionError, ValueError, KeyError) as exc:
-            job.fail(str(exc) or type(exc).__name__, code=protocol.ERR_EXECUTION)
-            self.jobs_failed += 1
+            if job.fail(str(exc) or type(exc).__name__, code=protocol.ERR_EXECUTION):
+                self.jobs_failed += 1
         except Exception as exc:  # noqa: BLE001 - a tenant bug must not kill the daemon
-            job.fail(f"{type(exc).__name__}: {exc}", code=protocol.ERR_INTERNAL)
-            self.jobs_failed += 1
+            if job.fail(f"{type(exc).__name__}: {exc}", code=protocol.ERR_INTERNAL):
+                self.jobs_failed += 1
         finally:
             self._release(job)
 
@@ -540,6 +579,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--listen", default="127.0.0.1:7070", help="HOST:PORT to listen on (port 0 = ephemeral)"
     )
+    parser.add_argument(
+        "--allow-remote",
+        action="store_true",
+        help="allow a non-loopback --listen address (the protocol is "
+        "unauthenticated: anyone who can connect can submit work)",
+    )
     parser.add_argument("--executors", type=int, default=4, help="executor threads")
     parser.add_argument(
         "--queue-limit", type=int, default=16, help="max jobs in flight, all tenants"
@@ -583,6 +628,7 @@ def main(argv: Optional[list] = None) -> int:
     )
     options = ServiceOptions(
         listen=arguments.listen,
+        allow_remote=arguments.allow_remote,
         executors=arguments.executors,
         queue_limit=arguments.queue_limit,
         tenant_quota=arguments.tenant_quota,
@@ -595,7 +641,7 @@ def main(argv: Optional[list] = None) -> int:
     daemon = PashServiceDaemon(options)
     try:
         daemon.start()
-    except OSError as exc:
+    except (OSError, ServiceError) as exc:
         print(f"pash-serve: cannot listen on {arguments.listen}: {exc}", file=sys.stderr)
         return 2
     print(

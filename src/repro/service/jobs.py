@@ -80,23 +80,34 @@ class Job:
         out_files: Dict[str, List[str]],
         report: Optional[Dict[str, Any]],
         elapsed_seconds: float,
-    ) -> None:
+    ) -> bool:
+        """running → done; False when the job already turned terminal.
+
+        Terminal states are terminal: an executor that finishes a job the
+        shutdown path already failed must not flip ``failed`` back to
+        ``done`` (or double-count it in the daemon's counters).
+        """
         with self._lock:
+            if self.state in JobState.TERMINAL:
+                return False
             self.stdout = list(stdout)
             self.out_files = dict(out_files)
             self.report = report
             self.elapsed_seconds = elapsed_seconds
             self.state = JobState.DONE
         self.finished.set()
+        return True
 
-    def fail(self, message: str, code: str = "execution") -> None:
+    def fail(self, message: str, code: str = "execution") -> bool:
+        """→ failed; False when the job already turned terminal."""
         with self._lock:
             if self.state in JobState.TERMINAL:
-                return
+                return False
             self.error = message
             self.error_code = code
             self.state = JobState.FAILED
         self.finished.set()
+        return True
 
     def cancel(self) -> bool:
         """Cancel if still queued; mark the wish otherwise.

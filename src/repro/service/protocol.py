@@ -1,11 +1,19 @@
 """The client/daemon wire protocol of the service tier.
 
-Framing is exactly :mod:`repro.cluster.protocol` — a 4-byte big-endian
-length prefix and one pickled dict — reused rather than reinvented.  On top
-of it the service speaks a one-shot request/response shape (one connection
-per request, HTTP-like), which keeps the daemon's concurrency model trivial:
-every accepted connection is read once, answered once, and closed, so a
-stalled client can never wedge another tenant's traffic.
+Framing shares the *shape* of :mod:`repro.cluster.protocol` — a 4-byte
+big-endian length prefix and one frame — but the body is **UTF-8 JSON, not
+pickle**.  The cluster tier can justify pickle because both endpoints are
+the same codebase started by the same user (an internal process boundary);
+``pash-serve`` is a *tenant-facing* service with an advertised isolation
+model, and unpickling client bytes would hand any connecting client
+arbitrary code execution in the daemon.  Every payload here is a dict of
+strings, numbers, and lists, so JSON loses nothing and a malicious frame
+can at worst be a parse error — answered as ``bad-request``, never
+executed.  On top of the framing the service speaks a one-shot
+request/response shape (one connection per request, HTTP-like), which keeps
+the daemon's concurrency model trivial: every accepted connection is read
+once, answered once, and closed, so a stalled client can never wedge
+another tenant's traffic.
 
 Requests::
 
@@ -32,15 +40,16 @@ typed ``timeout`` error (carrying the job snapshot) instead of a hang.
 
 from __future__ import annotations
 
+import ipaddress
+import json
 import socket
+import struct
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.cluster.protocol import (
     MAX_MESSAGE_BYTES,
     ProtocolError,
     parse_address,
-    recv_message,
-    send_message,
 )
 from repro.service.admission import ServiceBusy, ServiceError
 
@@ -48,12 +57,15 @@ __all__ = [
     "MAX_MESSAGE_BYTES",
     "ProtocolError",
     "SERVICE_PROTOCOL_VERSION",
+    "recv_json_message",
     "request",
     "raise_for_error",
+    "send_json_message",
 ]
 
 #: Bumped on any incompatible message-shape change; reported by PING.
-SERVICE_PROTOCOL_VERSION = 1
+#: Version 2: the frame body switched from pickle to JSON.
+SERVICE_PROTOCOL_VERSION = 2
 
 # -- request types -----------------------------------------------------------
 MSG_SUBMIT = "submit"
@@ -81,10 +93,20 @@ ERR_SHUTTING_DOWN = "shutting-down"
 ERR_EXECUTION = "execution"  # the script itself failed
 ERR_INTERNAL = "internal"
 
+# Client-side codes (never sent by the daemon).  The distinction matters
+# for retries: an ``unreachable`` failure is provably pre-send (the TCP
+# connect itself failed), so resubmitting is safe; ``connection-lost``
+# means the request may already have reached the daemon and executed, so a
+# blind retry could run a submission twice.
+ERR_UNREACHABLE = "unreachable"
+ERR_CONNECTION_LOST = "connection-lost"
+
 #: Admission codes map back to :class:`ServiceBusy` client-side.
 BUSY_CODES = frozenset({ERR_BUSY, ERR_QUOTA})
 
 Address = Union[str, Tuple[str, int]]
+
+_HEADER = struct.Struct(">I")
 
 
 def resolve_address(address: Address) -> Tuple[str, int]:
@@ -95,6 +117,84 @@ def resolve_address(address: Address) -> Tuple[str, int]:
     return host, int(port)
 
 
+def is_loopback_host(host: str) -> bool:
+    """True when ``host`` can only be reached from this machine.
+
+    An empty host binds every interface, so it is *not* loopback.
+    """
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# JSON framing
+# ---------------------------------------------------------------------------
+
+
+def send_json_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Write one length-prefixed UTF-8 JSON message."""
+    try:
+        payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not JSON-serializable: {exc}") from exc
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the {MAX_MESSAGE_BYTES}-byte cap"
+        )
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on EOF before the first byte."""
+    pieces = []
+    remaining = count
+    while remaining:
+        piece = sock.recv(remaining)
+        if not piece:
+            if remaining == count:
+                return None  # clean EOF at a frame boundary
+            raise ProtocolError("connection closed mid-frame")
+        pieces.append(piece)
+        remaining -= len(piece)
+    return b"".join(pieces)
+
+
+def recv_json_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one message; None on clean EOF (the peer closed the connection).
+
+    The body is parsed as JSON only — a frame that is not valid JSON (for
+    example a pickle, or random bytes) raises :class:`ProtocolError` and is
+    never evaluated.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_MESSAGE_BYTES}-byte cap"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"malformed message: {type(message).__name__}")
+    return message
+
+
+# ---------------------------------------------------------------------------
+# One-shot requests
+# ---------------------------------------------------------------------------
+
+
 def request(
     address: Address,
     message: Dict[str, Any],
@@ -102,25 +202,36 @@ def request(
 ) -> Dict[str, Any]:
     """One round trip: connect, send ``message``, read one response, close.
 
-    Raises :class:`ServiceError` (code ``unreachable``) when the daemon
-    cannot be reached and on a connection dropped before the response —
-    never returns ``None`` and never blocks past ``timeout``.
+    Raises :class:`ServiceError` with code ``unreachable`` only when the
+    *connect* itself fails (the request provably never left this process —
+    safe to retry), and ``connection-lost`` when the connection dies after
+    that (the daemon may have executed the request — not safe to retry
+    blindly).  Never returns ``None`` and never blocks past ``timeout``.
     """
     host, port = resolve_address(address)
     try:
-        with socket.create_connection((host, port), timeout=timeout) as sock:
-            sock.settimeout(timeout)
-            send_message(sock, message)
-            response = recv_message(sock)
-    except (ConnectionError, socket.timeout, TimeoutError, OSError) as exc:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
         raise ServiceError(
-            f"cannot reach pash-serve at {host}:{port}: {exc}", code="unreachable"
+            f"cannot reach pash-serve at {host}:{port}: {exc}",
+            code=ERR_UNREACHABLE,
         ) from exc
+    try:
+        with sock:
+            sock.settimeout(timeout)
+            send_json_message(sock, message)
+            response = recv_json_message(sock)
     except ProtocolError as exc:
         raise ServiceError(f"malformed response from {host}:{port}: {exc}") from exc
+    except OSError as exc:
+        raise ServiceError(
+            f"connection to pash-serve at {host}:{port} lost mid-request: {exc}",
+            code=ERR_CONNECTION_LOST,
+        ) from exc
     if response is None:
         raise ServiceError(
-            f"pash-serve at {host}:{port} closed the connection without replying"
+            f"pash-serve at {host}:{port} closed the connection without replying",
+            code=ERR_CONNECTION_LOST,
         )
     return response
 
