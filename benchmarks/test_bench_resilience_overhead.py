@@ -1,0 +1,111 @@
+"""EXP-RESILIENCE — the fault-injection hooks' cost when nothing is armed.
+
+The resilience tier threads ``fault.fire(point, nbytes)`` hooks through hot
+paths: every pool-worker dispatch, every channel chunk read, every spill
+write.  With no plan installed each hook is one module-global load and a
+``None`` check, so — like the tracing plane — resilience must be free until
+someone opts in.
+
+Methodology (mirrors ``test_bench_tracing_overhead``): measure the per-hook
+disabled cost directly over many iterations, multiply by a *conservative
+over-estimate* of the hooks one run walks through (two per worker dispatch
+plus one per data chunk, derived from the run's own metrics), and divide by
+the measured per-run wall clock of the spawn-bound batch.  That ratio is
+asserted < 2% without differencing two noisy wall clocks.
+"""
+
+import math
+import time
+
+from conftest import print_header
+
+from repro.api import Pash, PashConfig
+from repro.resilience import fault
+from repro.runtime.executor import ExecutionEnvironment
+from repro.runtime.streams import VirtualFileSystem
+from repro.workloads import text
+
+WIDTH = 4
+LINES_PER_CHUNK = 300
+RUNS = 4
+SCRIPT = "cat in0.txt in1.txt in2.txt in3.txt | grep the | tr A-Z a-z > out.txt"
+NULL_HOOK_ITERATIONS = 200_000
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _environment():
+    files = {f"in{i}.txt": text.text_lines(LINES_PER_CHUNK, seed=i) for i in range(4)}
+    return ExecutionEnvironment(filesystem=VirtualFileSystem(files))
+
+
+def _null_hook_seconds():
+    """Seconds per disabled fault point (one global load + None check)."""
+    fault.clear()
+    started = time.perf_counter()
+    for _ in range(NULL_HOOK_ITERATIONS):
+        fault.fire(fault.CHANNEL_READ, 65536)
+    return (time.perf_counter() - started) / NULL_HOOK_ITERATIONS
+
+
+def _hooks_per_run(metrics, chunk_size):
+    """Conservative over-estimate of fault-point passages in one run.
+
+    Each worker dispatch crosses ``pool:worker-exec`` once and its spill
+    sink at most once per output chunk; each channel read crosses
+    ``channel:read`` once per chunk plus a final partial chunk per node.
+    Over-estimating is safe: it can only *inflate* the asserted overhead.
+    """
+    dispatches = len(metrics.nodes)
+    chunk_reads = math.ceil(metrics.total_bytes_moved / chunk_size) + dispatches
+    return dispatches * 2 + chunk_reads
+
+
+def _run_workloads():
+    config = PashConfig.paper_default(WIDTH)
+    compiled = Pash(config).compile(SCRIPT)
+    compiled.execute(backend="parallel", environment=_environment())  # warm pool
+
+    environments = [_environment() for _ in range(RUNS)]
+    started = time.perf_counter()
+    results = [
+        compiled.execute(backend="parallel", environment=environment)
+        for environment in environments
+    ]
+    batch_seconds = time.perf_counter() - started
+    hook_seconds = _null_hook_seconds()
+    return config, batch_seconds, results, hook_seconds
+
+
+def test_bench_resilience_disabled_overhead(benchmark, bench_record):
+    """Unarmed fault hooks must cost < 2% of the per-run wall clock."""
+    config, batch_seconds, results, hook_seconds = benchmark.pedantic(
+        _run_workloads, rounds=1, iterations=1
+    )
+
+    metrics = results[-1].metrics
+    hooks_per_run = _hooks_per_run(metrics, config.streaming.chunk_size or 1 << 16)
+    per_run_seconds = batch_seconds / RUNS
+    disabled_overhead = hook_seconds * hooks_per_run / per_run_seconds
+
+    print_header("Resilience — fault-injection hook overhead, unarmed")
+    print(
+        f"null hook: {hook_seconds * 1e9:.0f} ns/call x {hooks_per_run} hooks "
+        f"= {disabled_overhead * 100:.4f}% of a {per_run_seconds * 1000:.1f} ms run"
+    )
+
+    bench_record(
+        "resilience_overhead",
+        width=WIDTH,
+        runs=RUNS,
+        batch_seconds=round(batch_seconds, 4),
+        per_run_seconds=round(per_run_seconds, 4),
+        null_hook_nanoseconds=round(hook_seconds * 1e9, 1),
+        hooks_per_run=hooks_per_run,
+        disabled_overhead_fraction=round(disabled_overhead, 6),
+    )
+
+    # An unarmed run touches the ladder nowhere: no retries, no degrades.
+    assert all(result.metrics.runs_retried == 0 for result in results)
+    assert all(result.metrics.degraded_runs == 0 for result in results)
+    assert hooks_per_run > 0
+    assert disabled_overhead < MAX_DISABLED_OVERHEAD

@@ -34,7 +34,12 @@ remain importable but are deprecation shims over this package.
 """
 
 from repro.api.artifact import CompilationStats, CompiledScript
-from repro.api.config import ClusterConfig, PashConfig, StreamingConfig
+from repro.api.config import (
+    ClusterConfig,
+    PashConfig,
+    ResilienceConfig,
+    StreamingConfig,
+)
 from repro.api.pash import Pash, compile, optimize, run
 from repro.transform.pipeline import EagerMode, SplitMode
 
@@ -45,6 +50,7 @@ __all__ = [
     "EagerMode",
     "Pash",
     "PashConfig",
+    "ResilienceConfig",
     "SplitMode",
     "StreamingConfig",
     "compile",

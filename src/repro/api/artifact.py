@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, TYPE_CHECKING
 from repro.dfg.builder import TranslationResult
 from repro.dfg.graph import DataflowGraph
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience import fault
 from repro.shell.ast_nodes import (
     AndOr,
     BackgroundNode,
@@ -38,7 +39,7 @@ from repro.shell.unparser import unparse, unparse_word
 from repro.transform.pipeline import OptimizationReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine/backend lazy)
-    from repro.api.config import PashConfig
+    from repro.api.config import PashConfig, ResilienceConfig
     from repro.backend.shell_emitter import EmitterOptions
     from repro.engine.api import EngineResult
     from repro.runtime.executor import ExecutionEnvironment
@@ -147,6 +148,7 @@ class CompiledScript:
             result = execute_graphs(
                 self.optimized_graphs, name, environment, backend_options,
                 tracer=self.tracer,
+                resilience=self.config.resilience if self.config else None,
             )
         if self.tracer.enabled:
             # Per-run view: spans recorded during this execute() call.  The
@@ -219,6 +221,7 @@ def execute_graphs(
     environment: Optional["ExecutionEnvironment"] = None,
     backend_options: Optional[Dict[str, Any]] = None,
     tracer: Optional[Tracer] = None,
+    resilience: Optional["ResilienceConfig"] = None,
 ) -> "EngineResult":
     """Execute graphs in order on one backend, sharing one environment.
 
@@ -227,6 +230,18 @@ def execute_graphs(
     :class:`~repro.engine.api.EngineResult` — the engine-level equivalent of
     running the script top to bottom.  ``tracer`` records one ``region:N``
     span per graph (and is handed to the parallel scheduler for its own).
+
+    With an *active* ``resilience`` section each region runs under the
+    retry-then-degrade ladder: a region whose parallel/cluster execution
+    keeps failing (crashed worker, exhausted disk) is retried with backoff
+    and finally re-run on the sequential interpreter, which is byte-identical
+    by the paper's correctness contract.  Region-level supervision is safe
+    because every engine backend delivers a region's outputs to the
+    environment only after the whole region succeeded — a failed attempt
+    never leaves partial state behind.  An active fault plan in the config
+    is also installed process-globally for the duration of the run, arming
+    coordinator-side fault points (worker-side points travel inside the
+    worker plans).
     """
     from repro import engine  # deferred: keeps the artifact importable early
     from repro.runtime.executor import ExecutionEnvironment
@@ -238,14 +253,55 @@ def execute_graphs(
         options.setdefault("tracer", tracer)
     engine_backend = engine.create_backend(backend, **options)
     combined = engine.EngineResult(backend=engine_backend.name)
-    for index, graph in enumerate(graphs):
-        with tracer.span(f"region:{index}", "engine", nodes=len(graph.nodes)):
-            region_result = engine_backend.execute(graph, environment)
-        # The caller slices per-run spans off the tracer; per-region results
-        # must not be double-counted through absorb().
-        region_result.spans = []
-        combined.absorb(region_result)
+    supervisor = None
+    # The interpreter is the ladder's landing ground (nothing to degrade
+    # to) and the shell backend runs real commands with real side effects
+    # (a retry could replay them), so supervision covers parallel/cluster.
+    if (
+        resilience is not None
+        and resilience.active
+        and backend in ("parallel", "cluster")
+    ):
+        from repro.resilience.supervisor import Supervisor
+
+        supervisor = Supervisor(resilience, tracer)
+    plan = resilience.fault_plan() if resilience is not None else None
+    previous_plan = fault.active()
+    if plan is not None:
+        fault.install(plan)
+    try:
+        for index, graph in enumerate(graphs):
+            if supervisor is None:
+                with tracer.span(f"region:{index}", "engine", nodes=len(graph.nodes)):
+                    region_result = engine_backend.execute(graph, environment)
+            else:
+
+                def attempt(graph=graph, index=index):
+                    with tracer.span(
+                        f"region:{index}", "engine", nodes=len(graph.nodes)
+                    ):
+                        return engine_backend.execute(graph, environment)
+
+                def degrade(graph=graph):
+                    return engine.create_backend("interpreter").execute(
+                        graph, environment
+                    )
+
+                region_result = supervisor.run(f"region:{index}", attempt, degrade)
+            # The caller slices per-run spans off the tracer; per-region
+            # results must not be double-counted through absorb().
+            region_result.spans = []
+            combined.absorb(region_result)
+    finally:
+        if plan is not None:
+            # Restore (not clear): the service daemon installs a job-level
+            # plan around the whole attempt ladder, and a nested region
+            # execution must not wipe it out.
+            fault.install(previous_plan)
     combined.metrics.backend = engine_backend.name
+    if supervisor is not None:
+        combined.metrics.runs_retried += supervisor.runs_retried
+        combined.metrics.degraded_runs += supervisor.degraded_runs
     return combined
 
 

@@ -22,6 +22,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
+from repro.resilience.fault import FaultPlan, FaultSpec
+from repro.resilience.retry import RetryPolicy
 from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode
 
 if TYPE_CHECKING:  # pragma: no cover - runtime imports stay deferred so that
@@ -113,6 +115,115 @@ class ClusterConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """The supervision tier's knobs (one section of the config).
+
+    Inactive by default (``max_retries=0``, ``degrade=False``): runs fail
+    exactly as they always did.  Turning either knob on arms the
+    retry-then-degrade ladder around engine runs, JIT regions, and service
+    jobs — see ``docs/RESILIENCE.md``.  ``faults`` + ``fault_seed`` describe
+    a deterministic :class:`~repro.resilience.fault.FaultPlan` for chaos
+    runs (the CLI loads them from ``--fault-plan FILE.json``).
+    """
+
+    #: Retries per supervised run after the first attempt (0 = no retries).
+    max_retries: int = 0
+    #: After retries are exhausted, re-run on the sequential interpreter
+    #: (always byte-identical by the paper's correctness contract).
+    degrade: bool = False
+    #: Exponential-backoff schedule: first delay, cap, and jitter fraction.
+    retry_base_seconds: float = 0.05
+    retry_max_seconds: float = 2.0
+    retry_jitter: float = 0.5
+    #: Overall wall-clock budget across all attempts of one supervised run;
+    #: 0 = unbounded (each attempt is still bounded by the engine's own
+    #: report timeout, so runs never hang).
+    deadline_seconds: float = 0.0
+    #: Seed for fault determinism and backoff jitter.
+    fault_seed: int = 0
+    #: Injected faults (empty = none); frozen specs keep the config hashable.
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("ResilienceConfig.max_retries must be >= 0")
+        if self.retry_base_seconds < 0 or self.retry_max_seconds < 0:
+            raise ValueError("ResilienceConfig backoff seconds must be >= 0")
+        if self.deadline_seconds < 0:
+            raise ValueError("ResilienceConfig.deadline_seconds must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """Whether any supervision rung (retry or degrade) is armed."""
+        return self.max_retries > 0 or self.degrade
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            base_seconds=self.retry_base_seconds,
+            max_seconds=self.retry_max_seconds,
+            jitter=self.retry_jitter,
+            deadline_seconds=self.deadline_seconds,
+        )
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """A fresh plan with pristine counters, or None without faults."""
+        if not self.faults:
+            return None
+        return FaultPlan(self.faults, seed=self.fault_seed)
+
+    @classmethod
+    def from_cli_args(cls, arguments: Any) -> "ResilienceConfig":
+        """Build the section from ``--max-retries/--no-degrade/--fault-plan``.
+
+        Shared by ``pash-compile`` and ``pash-serve``.  Passing
+        ``--max-retries`` or ``--fault-plan`` arms the ladder; degradation
+        then defaults on unless ``--no-degrade`` opts out.
+        """
+        max_retries = getattr(arguments, "max_retries", None)
+        fault_path = getattr(arguments, "fault_plan", None)
+        fault_seed = 0
+        faults: Tuple[FaultSpec, ...] = ()
+        if fault_path:
+            from repro.resilience.fault import load_fault_file
+
+            plan = load_fault_file(fault_path)
+            fault_seed, faults = plan.seed, plan.faults
+        engaged = max_retries is not None or fault_path is not None
+        return cls(
+            max_retries=max_retries if max_retries is not None else 0,
+            degrade=engaged and not bool(getattr(arguments, "no_degrade", False)),
+            fault_seed=fault_seed,
+            faults=faults,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = {field.name: getattr(self, field.name) for field in dataclasses.fields(self)}
+        payload["faults"] = [spec.to_dict() for spec in self.faults]
+        return payload
+
+    @classmethod
+    def coerce(cls, value: Any) -> "ResilienceConfig":
+        """Accept a :class:`ResilienceConfig` or its dict form."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            unknown = set(value) - {field.name for field in dataclasses.fields(cls)}
+            if unknown:
+                raise ValueError(
+                    f"unknown ResilienceConfig fields: {', '.join(sorted(unknown))}"
+                )
+            values = dict(value)
+            if "faults" in values:
+                values["faults"] = tuple(
+                    spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(spec)
+                    for spec in values["faults"]
+                )
+            return cls(**values)
+        raise TypeError(f"expected ResilienceConfig or mapping, got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
 class PashConfig:
     """One configuration object for the whole compile-and-run pipeline."""
 
@@ -166,6 +277,8 @@ class PashConfig:
     streaming: StreamingConfig = StreamingConfig()
     #: Distributed-tier knobs (worker count, listen address, heartbeats).
     cluster: ClusterConfig = ClusterConfig()
+    #: Supervised retry/degrade + fault injection (inactive by default).
+    resilience: ResilienceConfig = ResilienceConfig()
     #: Engine backend the JIT driver executes compiled regions on
     #: (``backend="jit"`` orchestrates the script; this picks what runs each
     #: compiled plan — normally the parallel scheduler).
@@ -237,6 +350,7 @@ class PashConfig:
             workers=getattr(arguments, "cluster_workers", None) or 2,
             connect=getattr(arguments, "cluster_connect", None),
         )
+        resilience = ResilienceConfig.from_cli_args(arguments)
         return cls(
             width=arguments.width,
             eager=eager,
@@ -247,6 +361,7 @@ class PashConfig:
             backend=getattr(arguments, "execute", None) or "interpreter",
             jobs=getattr(arguments, "jobs", None),
             cluster=cluster,
+            resilience=resilience,
             jit_inner_backend=getattr(arguments, "jit_backend", None) or "parallel",
             tracing=bool(
                 getattr(arguments, "trace", None)
@@ -368,6 +483,8 @@ class PashConfig:
             options.spill_threshold = self.streaming.spill_threshold
         if self.streaming.spill_directory is not None:
             options.spill_directory = self.streaming.spill_directory
+        if self.resilience.faults:
+            options.fault_plan = self.resilience.fault_plan()
         return options
 
     def cluster_options(self):
@@ -395,6 +512,8 @@ class PashConfig:
             options.spill_threshold = self.streaming.spill_threshold
         if self.streaming.spill_directory is not None:
             options.spill_directory = self.streaming.spill_directory
+        if self.resilience.faults:
+            options.fault_plan = self.resilience.fault_plan()
         return options
 
     def backend_options(self, backend: Optional[str] = None) -> Dict[str, Any]:
@@ -421,7 +540,7 @@ class PashConfig:
                 value = value.value
             elif isinstance(value, tuple):
                 value = list(value)
-            elif isinstance(value, (StreamingConfig, ClusterConfig)):
+            elif isinstance(value, (StreamingConfig, ClusterConfig, ResilienceConfig)):
                 value = value.to_dict()
             payload[field.name] = value
         return payload
@@ -445,4 +564,6 @@ class PashConfig:
             values["streaming"] = StreamingConfig.coerce(values["streaming"])
         if "cluster" in values:
             values["cluster"] = ClusterConfig.coerce(values["cluster"])
+        if "resilience" in values:
+            values["resilience"] = ResilienceConfig.coerce(values["resilience"])
         return cls(**values)

@@ -272,7 +272,14 @@ def run(
     if pash_config is not None:
         for graph in graphs:
             optimize(graph, pash_config, tracer=tracer)
-    result = execute_graphs(graphs, backend, environment, backend_options, tracer=tracer)
+    result = execute_graphs(
+        graphs,
+        backend,
+        environment,
+        backend_options,
+        tracer=tracer,
+        resilience=pash_config.resilience if pash_config is not None else None,
+    )
     if tracer is not None:
         result.spans = list(tracer.spans)
     return result

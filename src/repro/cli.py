@@ -160,6 +160,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable run report (engine metrics + jit "
         "report + per-pass timings + span summary) as one JSON document",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a failed parallel run up to N times with exponential "
+        "backoff before degrading to the sequential interpreter (arms the "
+        "resilience ladder; see docs/RESILIENCE.md)",
+    )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="with --max-retries/--fault-plan: fail with a typed error after "
+        "retries instead of degrading to the interpreter",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE.json",
+        help="inject a deterministic fault plan ({\"seed\": N, \"faults\": "
+        "[...]}) for chaos testing — see docs/RESILIENCE.md for the format",
+    )
     return parser
 
 

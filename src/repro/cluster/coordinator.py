@@ -79,6 +79,9 @@ from repro.engine.channels import (
 )
 from repro.engine.metrics import EngineMetrics, NodeMetrics
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience import fault as fault_injection
+from repro.resilience.errors import wrap_capacity_error
+from repro.resilience.fault import FaultPlan
 from repro.runtime.executor import (
     ExecutionEnvironment,
     ExecutionError,
@@ -135,6 +138,9 @@ class ClusterOptions:
     spill_directory: Optional[str] = None
     #: Interpreter for locally-spawned workers (None = ``sys.executable``).
     python_executable: Optional[str] = None
+    #: Fault-injection plan shipped with every task message (chaos testing;
+    #: None = no injection).  Each worker re-arms its own pristine copy.
+    fault_plan: Optional[FaultPlan] = None
 
 
 # ---------------------------------------------------------------------------
@@ -161,15 +167,21 @@ class _EdgeSink:
         if self._file is None and len(self._buffer) + len(frame) <= self.store.spill_threshold:
             self._buffer += frame
             return
-        if self._file is None:
-            handle, self._path = tempfile.mkstemp(
-                prefix="pash-edge-", suffix=".spill", dir=self.store.directory
-            )
-            self._file = os.fdopen(handle, "wb")
-            if self._buffer:
-                self._file.write(self._buffer)
-                self._buffer.clear()
-        self._file.write(frame)
+        fault_injection.fire(fault_injection.SPILL_WRITE, len(frame))
+        try:
+            if self._file is None:
+                handle, self._path = tempfile.mkstemp(
+                    prefix="pash-edge-", suffix=".spill", dir=self.store.directory
+                )
+                self._file = os.fdopen(handle, "wb")
+                if self._buffer:
+                    self._file.write(self._buffer)
+                    self._buffer.clear()
+            self._file.write(frame)
+        except OSError as exc:
+            raise wrap_capacity_error(
+                exc, "spill:write", self._path or self.store.directory, len(frame)
+            ) from exc
 
     def commit(self) -> None:
         if self._file is not None:
@@ -225,12 +237,19 @@ class EdgeStore:
     def put_lines(self, edge_id: int, lines: List[str]) -> None:
         estimated = sum(len(line) + 1 for line in lines)
         if estimated > self.spill_threshold:
-            handle, path = tempfile.mkstemp(
-                prefix="pash-edge-", suffix=".spill", dir=self.directory
-            )
-            with os.fdopen(handle, "wb") as spill:
-                for frame in iter_encoded_chunks(lines, self.chunk_size):
-                    spill.write(frame)
+            fault_injection.fire(fault_injection.SPILL_WRITE, estimated)
+            path = None
+            try:
+                handle, path = tempfile.mkstemp(
+                    prefix="pash-edge-", suffix=".spill", dir=self.directory
+                )
+                with os.fdopen(handle, "wb") as spill:
+                    for frame in iter_encoded_chunks(lines, self.chunk_size):
+                        spill.write(frame)
+            except OSError as exc:
+                raise wrap_capacity_error(
+                    exc, "spill:write", path or self.directory, estimated
+                ) from exc
             self._spilled[edge_id] = path
             return
         self._memory[edge_id] = list(lines)
@@ -685,6 +704,7 @@ class _GraphRun:
                     "chunk_size": self.options.chunk_size,
                     "spill_threshold": self.options.spill_threshold,
                     "trace": worker_trace,
+                    "faults": self.options.fault_plan,
                 }
             )
             for edge_id in node.inputs:

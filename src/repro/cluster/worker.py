@@ -54,6 +54,8 @@ from repro.cluster.protocol import (
 )
 from repro.engine.channels import iter_decoded_lines, iter_encoded_chunks
 from repro.engine.workers import SPILL_PATH_KEY, InputPort, OutputPort, WorkerPlan, execute_plan
+from repro.resilience import fault as fault_injection
+from repro.resilience.retry import RetryPolicy, retry_call
 
 
 def _usable_cores() -> int:
@@ -91,20 +93,27 @@ def _connect_with_retry(host: str, port: int, retry_seconds: float) -> socket.so
     """Connect to the coordinator, retrying while it is still coming up.
 
     Lets operators start workers *before* the coordinator listens (the CI
-    smoke job does exactly that) instead of imposing a start order.
+    smoke job does exactly that) instead of imposing a start order.  The
+    shared :class:`RetryPolicy` spaces the attempts with exponential backoff
+    and jitter, so a fleet of workers racing one coordinator spreads out
+    instead of reconnecting in lockstep.
     """
-    deadline = time.monotonic() + max(0.0, retry_seconds)
-    while True:
-        try:
-            return socket.create_connection((host, port), timeout=10.0)
-        except OSError:
-            if time.monotonic() >= deadline:
-                raise
-            time.sleep(0.1)
+    connect = lambda: socket.create_connection((host, port), timeout=10.0)
+    if retry_seconds <= 0:
+        return connect()
+    policy = RetryPolicy(
+        max_retries=None,
+        base_seconds=0.05,
+        max_seconds=1.0,
+        deadline_seconds=retry_seconds,
+    )
+    return retry_call(connect, policy, retryable=(OSError,))
 
 
 def _heartbeat_loop(channel: MessageSocket, interval: float, stop: threading.Event) -> None:
     while not stop.wait(max(0.05, interval)):
+        if fault_injection.fire(fault_injection.CLUSTER_HEARTBEAT):
+            continue  # drop-frame fault: the coordinator hears silence
         try:
             channel.send({"type": MSG_HEARTBEAT, "pid": os.getpid()})
         except OSError:
@@ -132,6 +141,7 @@ def _execute_task(channel: MessageSocket, task: _PendingTask) -> None:
             spill_directory=spill_directory,
             run_token=task_id,
             trace=message.get("trace"),
+            faults=message.get("faults"),
         )
         box = _ReportBox()
         execute_plan(plan, box)
@@ -164,6 +174,9 @@ def _execute_task(channel: MessageSocket, task: _PendingTask) -> None:
 
 def run_worker(address: str, retry_seconds: float = 10.0) -> int:
     """The worker state machine; returns the process exit code."""
+    # Chaos tests arm fault points inside separately exec'd workers through
+    # the PASH_FAULTS environment variable (see repro.resilience.fault).
+    fault_injection.install_from_environ()
     host, port = parse_address(address)
     try:
         sock = _connect_with_retry(host, port, retry_seconds)

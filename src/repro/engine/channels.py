@@ -26,6 +26,9 @@ import threading
 from collections import deque
 from typing import Deque, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.resilience import fault as fault_injection
+from repro.resilience.errors import wrap_capacity_error
+
 #: Default framing-chunk size; matches a typical Linux pipe buffer.
 DEFAULT_CHUNK_SIZE = 1 << 16
 
@@ -225,6 +228,7 @@ class ChannelReader:
             if not chunk:
                 break
             self.bytes_read += len(chunk)
+            fault_injection.fire(fault_injection.CHANNEL_READ, len(chunk))
             yield chunk
         self.close()
 
@@ -312,15 +316,24 @@ class SpillBuffer:
             self._condition.notify_all()
 
     def _spill(self, chunk: bytes) -> None:
-        if self._file is None:
-            if self.directory:
-                # A configured directory may not exist yet (service jobs get
-                # per-job directories; users point at scratch paths): create
-                # it here rather than crash at the first oversized stream.
-                os.makedirs(self.directory, exist_ok=True)
-            self._file = tempfile.TemporaryFile(prefix="pash-spill-", dir=self.directory)
-        self._file.seek(self._write_offset)
-        self._file.write(chunk)
+        fault_injection.fire(fault_injection.SPILL_WRITE, len(chunk))
+        try:
+            if self._file is None:
+                if self.directory:
+                    # A configured directory may not exist yet (service jobs
+                    # get per-job directories; users point at scratch
+                    # paths): create it here rather than crash at the first
+                    # oversized stream.
+                    os.makedirs(self.directory, exist_ok=True)
+                self._file = tempfile.TemporaryFile(
+                    prefix="pash-spill-", dir=self.directory
+                )
+            self._file.seek(self._write_offset)
+            self._file.write(chunk)
+        except OSError as exc:
+            raise wrap_capacity_error(
+                exc, "spill:write", self.directory, len(chunk)
+            ) from exc
         self._tokens.append((self._write_offset, len(chunk)))
         self._write_offset += len(chunk)
         self.spilled_bytes += len(chunk)

@@ -92,6 +92,12 @@ class EngineMetrics:
     requeued_tasks: int = 0
     #: Cluster workers registered when the run started (0 = not a cluster run).
     cluster_workers: int = 0
+    #: Execution attempts the resilience supervisor retried after a
+    #: retryable failure (0 = every attempt succeeded first try).
+    runs_retried: int = 0
+    #: Supervised runs that exhausted retries and completed on the
+    #: sequential interpreter instead (the degradation ladder's last rung).
+    degraded_runs: int = 0
 
     @property
     def worker_count(self) -> int:
@@ -200,6 +206,8 @@ class EngineMetrics:
         self.edges_buffered += other.edges_buffered
         self.remote_tasks += other.remote_tasks
         self.requeued_tasks += other.requeued_tasks
+        self.runs_retried += other.runs_retried
+        self.degraded_runs += other.degraded_runs
         # The fleet is shared across regions, not additive per region.
         self.cluster_workers = max(self.cluster_workers, other.cluster_workers)
 
@@ -229,6 +237,11 @@ class EngineMetrics:
             )
             if self.requeued_tasks:
                 digest += f" ({self.requeued_tasks} requeued)"
+        if self.runs_retried or self.degraded_runs:
+            digest += (
+                f"; {self.runs_retried} retried, "
+                f"{self.degraded_runs} degraded to interpreter"
+            )
         if self.total_spilled_bytes:
             digest += (
                 f"; spilled {self.total_spilled_bytes} bytes to disk "

@@ -199,6 +199,7 @@ class WorkerPool:
         self.processes_spawned = 0
         self.tasks_dispatched = 0
         self.tasks_reused = 0
+        self.workers_replaced = 0
         atexit.register(self.shutdown)
         if size:
             self.prewarm(size)
@@ -232,6 +233,7 @@ class WorkerPool:
             "processes_spawned": self.processes_spawned,
             "tasks_dispatched": self.tasks_dispatched,
             "tasks_reused": self.tasks_reused,
+            "workers_replaced": self.workers_replaced,
         }
 
     def prewarm(self, count: int) -> None:
@@ -248,9 +250,19 @@ class WorkerPool:
         ``fork`` start method a worker spawned *during* a run would inherit
         the run's pipe descriptors and hold their write ends open forever,
         so every worker a run may need must exist before its pipes do.
+
+        Self-healing: idle workers that died while parked (OOM-killed,
+        crashed mid-shutdown, SIGKILLed by a chaos test) are detected and
+        replaced here instead of being handed out as corpses — dispatching
+        to one would only surface later as a broken pipe or a lost report.
         """
         if self._closed:
             raise RuntimeError("cannot grow a closed worker pool")
+        dead = [worker for worker in self._idle if not worker.process.is_alive()]
+        for worker in dead:
+            self._idle.remove(worker)
+            worker.kill()
+            self.workers_replaced += 1
         while len(self._idle) < count:
             self._idle.append(self._spawn())
 

@@ -60,6 +60,7 @@ from repro.engine.workers import (
     execute_plan,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience.fault import FaultPlan
 from repro.runtime.executor import (
     ExecutionEnvironment,
     ExecutionError,
@@ -105,6 +106,10 @@ class SchedulerOptions:
     #: Bridge non-blocking identity relays pipe-to-pipe instead of running
     #: them as forwarder processes.
     elide_relays: bool = True
+    #: Fault-injection plan shipped to every worker of this scheduler's runs
+    #: (chaos testing; None = no injection).  Workers receive a pristine
+    #: copy per dispatch — fault state is per-process.
+    fault_plan: Optional["FaultPlan"] = None
 
 
 class ParallelScheduler:
@@ -464,6 +469,7 @@ class ParallelScheduler:
             pump_policy=self.options.pump_policy,
             run_token=token,
             trace=trace,
+            faults=self.options.fault_plan,
         )
 
     @staticmethod

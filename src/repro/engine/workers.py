@@ -59,6 +59,9 @@ from repro.engine.channels import (
     iter_encoded_chunks,
 )
 from repro.obs.tracer import TraceContext, record_worker_span
+from repro.resilience import fault as fault_injection
+from repro.resilience.errors import wrap_capacity_error
+from repro.resilience.fault import FaultPlan
 from repro.runtime.executor import (
     evaluate_node,
     evaluate_stateless_batch,
@@ -129,6 +132,13 @@ class WorkerPlan:
     #: the report.  ``None`` — the default — skips the span path entirely,
     #: keeping the traced-off hot path at one attribute check.
     trace: Optional[TraceContext] = None
+    #: Fault-injection handoff (chaos testing): when set, the worker
+    #: installs this plan as its process-global injector before executing,
+    #: arming the ``pool:worker-exec``/``spill:write``/``channel:read``
+    #: fault points inside the worker.  Unpickling resets the plan's
+    #: counters, so fault state is per-process.  ``None`` — the default —
+    #: leaves the injection hooks at one global load + None check each.
+    faults: Optional[FaultPlan] = None
 
 
 def host_command_available(node: DFGNode, use_host_commands: bool) -> bool:
@@ -482,19 +492,25 @@ class ReportSink(OutputSink):
             if len(self._buffer) > self.peak_buffered_bytes:
                 self.peak_buffered_bytes = len(self._buffer)
             return
-        if self._file is None:
-            if self.directory:
-                os.makedirs(self.directory, exist_ok=True)
-            handle, self._path = tempfile.mkstemp(
-                prefix="pash-output-", suffix=".spill", dir=self.directory
-            )
-            self._file = os.fdopen(handle, "wb")
-            if self._buffer:
-                self._file.write(self._buffer)
-                self.spilled_bytes += len(self._buffer)
-                self.spill_events += 1
-                self._buffer.clear()
-        self._file.write(data)
+        fault_injection.fire(fault_injection.SPILL_WRITE, len(data))
+        try:
+            if self._file is None:
+                if self.directory:
+                    os.makedirs(self.directory, exist_ok=True)
+                handle, self._path = tempfile.mkstemp(
+                    prefix="pash-output-", suffix=".spill", dir=self.directory
+                )
+                self._file = os.fdopen(handle, "wb")
+                if self._buffer:
+                    self._file.write(self._buffer)
+                    self.spilled_bytes += len(self._buffer)
+                    self.spill_events += 1
+                    self._buffer.clear()
+            self._file.write(data)
+        except OSError as exc:
+            raise wrap_capacity_error(
+                exc, "spill:write", self._path or self.directory, len(data)
+            ) from exc
         self.spilled_bytes += len(data)
         self.spill_events += 1
 
@@ -686,6 +702,9 @@ def execute_plan(plan: WorkerPlan, report_queue) -> None:
     sinks: List[OutputSink] = []
     staging: List[SpillBuffer] = []
     try:
+        if plan.faults is not None:
+            fault_injection.install(plan.faults)
+        fault_injection.fire(fault_injection.POOL_WORKER_EXEC)
         for fd in plan.close_fds:
             if fd not in mine:
                 try:

@@ -276,8 +276,9 @@ class DiskPlanCache(PlanCache):
 #: fragment the (disk-persistent) plan cache across daemons and jobs:
 #: ``tracing`` toggles span recording, ``report_timeout_seconds`` bounds a
 #: wait, ``jobs`` sizes the worker pool, ``streaming.spill_directory`` names
-#: where a run spills (the service daemon makes it unique per job).
-_RUNTIME_ONLY_FIELDS = ("tracing", "report_timeout_seconds", "jobs")
+#: where a run spills (the service daemon makes it unique per job), and
+#: ``resilience`` only retries/degrades what the same compiled plan produced.
+_RUNTIME_ONLY_FIELDS = ("tracing", "report_timeout_seconds", "jobs", "resilience")
 
 
 def config_digest(config: Any) -> str:

@@ -54,6 +54,7 @@ from repro.jit.cache import (
 )
 from repro.jit.report import JitReport, RegionOutcome
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience.supervisor import Supervisor
 from repro.runtime.executor import ExecutionEnvironment
 from repro.runtime.interpreter import BUILTIN_COMMANDS, ShellInterpreter
 from repro.runtime.streams import VirtualFileSystem
@@ -275,10 +276,35 @@ class JitDriver(ShellInterpreter):
                 span.set(executions=entry.executions)
 
         started = time.perf_counter()
-        with self.tracer.span(
-            "jit:region-execute", "jit", fingerprint=fingerprint, action=action
-        ):
-            result = self._engine_backend().execute(entry.graph, self.environment)
+
+        def run_region() -> EngineResult:
+            with self.tracer.span(
+                "jit:region-execute", "jit", fingerprint=fingerprint, action=action
+            ):
+                return self._engine_backend().execute(entry.graph, self.environment)
+
+        resilience = self.config.resilience
+        if resilience.active and self.inner_backend != "interpreter":
+            # Retry-then-degrade ladder around the inner engine.  The
+            # degrade rung returns ``(False, None)`` so the region re-runs
+            # on the driver's inherited interpreter path — the same
+            # per-region fallback a compilation refusal takes, and
+            # byte-identical by the paper's correctness contract.
+            supervisor = Supervisor(resilience, self.tracer)
+            outcome = supervisor.run(
+                f"jit-region:{fingerprint[:32]}",
+                run_region,
+                degrade=(lambda: None) if resilience.degrade else None,
+            )
+            self.metrics.runs_retried += supervisor.runs_retried
+            self.metrics.degraded_runs += supervisor.degraded_runs
+            if outcome is None:
+                reason = "degraded to interpreter after retries"
+                self._record(node, fingerprint, "fallback", reason)
+                return False, None
+            result = outcome
+        else:
+            result = run_region()
         elapsed = time.perf_counter() - started
         entry.executions += 1
         self.metrics.merge(result.metrics)

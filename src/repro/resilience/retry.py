@@ -1,0 +1,95 @@
+"""``RetryPolicy`` — bounded retries, exponential backoff + jitter, deadline.
+
+One policy object serves every retry loop in the tree: the supervision
+ladder around engine runs, ``ServiceClient``'s unreachable-daemon window,
+and ``pash-worker``'s coordinator reconnect.  All of them used to hand-roll
+fixed-interval sleeps; now they share the same backoff math, so a thundering
+herd of reconnecting clients spreads out instead of hammering in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Union
+
+Retryable = Union[type, Tuple[type, ...], Callable[[BaseException], bool]]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, how long to wait, and when to give up."""
+
+    #: Retries after the first attempt; ``None`` = bounded by deadline only.
+    max_retries: Optional[int] = 2
+    base_seconds: float = 0.05
+    max_seconds: float = 2.0
+    multiplier: float = 2.0
+    #: Symmetric jitter fraction: a delay ``d`` lands in ``[d*(1-j), d*(1+j)]``.
+    jitter: float = 0.5
+    #: Overall wall-clock budget across all attempts; 0 = unbounded.
+    deadline_seconds: float = 0.0
+
+    def backoff_seconds(
+        self, retries_done: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """The sleep before retry number ``retries_done + 1``."""
+        delay = min(
+            self.max_seconds, self.base_seconds * (self.multiplier ** retries_done)
+        )
+        if self.jitter > 0.0:
+            draw = (rng or random).random()
+            delay *= 1.0 + self.jitter * (2.0 * draw - 1.0)
+        return max(0.0, delay)
+
+    def allows_retry(self, retries_done: int, elapsed_seconds: float) -> bool:
+        """May another attempt start after ``retries_done`` retries?
+
+        ``elapsed_seconds`` should include the backoff about to be slept, so
+        a retry that could only *begin* past the deadline is refused now
+        instead of hanging the caller.
+        """
+        if self.max_retries is not None and retries_done >= self.max_retries:
+            return False
+        if self.deadline_seconds > 0.0 and elapsed_seconds >= self.deadline_seconds:
+            return False
+        return True
+
+
+def _matches(retryable: Retryable, exc: BaseException) -> bool:
+    if isinstance(retryable, (type, tuple)):
+        return isinstance(exc, retryable)
+    return bool(retryable(exc))
+
+
+def retry_call(
+    operation: Callable[[], Any],
+    policy: RetryPolicy,
+    retryable: Retryable = (OSError,),
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    monotonic: Callable[[], float] = time.monotonic,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+) -> Any:
+    """Call ``operation`` under ``policy``; re-raise the last error.
+
+    ``retryable`` is an exception class, a tuple of them, or a predicate on
+    the caught exception.  ``on_retry(retries_done, exc, delay)`` fires
+    before each backoff sleep (for logging or span emission).
+    """
+    started = monotonic()
+    retries = 0
+    while True:
+        try:
+            return operation()
+        except Exception as exc:
+            if not _matches(retryable, exc):
+                raise
+            delay = policy.backoff_seconds(retries, rng)
+            if not policy.allows_retry(retries, monotonic() - started + delay):
+                raise
+            if on_retry is not None:
+                on_retry(retries, exc, delay)
+            sleep(delay)
+            retries += 1

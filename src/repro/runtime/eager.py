@@ -102,14 +102,24 @@ class EagerBuffer:
         return not would_block
 
     def _spill(self, encoded: bytes) -> None:
-        if self._file is None:
-            if self.spill_directory:
-                os.makedirs(self.spill_directory, exist_ok=True)
-            self._file = tempfile.TemporaryFile(
-                prefix="pash-eager-spill-", dir=self.spill_directory
-            )
-        self._file.seek(self._write_offset)
-        self._file.write(encoded)
+        # No fault point here on purpose: the eager buffer serves the
+        # sequential interpreter, which is the degradation ladder's landing
+        # ground — injected spill faults must not chase a degraded run.
+        try:
+            if self._file is None:
+                if self.spill_directory:
+                    os.makedirs(self.spill_directory, exist_ok=True)
+                self._file = tempfile.TemporaryFile(
+                    prefix="pash-eager-spill-", dir=self.spill_directory
+                )
+            self._file.seek(self._write_offset)
+            self._file.write(encoded)
+        except OSError as exc:
+            from repro.resilience.errors import wrap_capacity_error
+
+            raise wrap_capacity_error(
+                exc, "eager:spill-write", self.spill_directory, len(encoded)
+            ) from exc
         self._queue.append(("d", self._write_offset, len(encoded)))
         self._write_offset += len(encoded)
         self.spilled_bytes += len(encoded)

@@ -14,9 +14,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import Any, Dict, List, Optional
 
+from repro.resilience.retry import RetryPolicy, retry_call
 from repro.service import protocol
 from repro.service.admission import ServiceBusy, ServiceError
 from repro.service.protocol import Address
@@ -47,18 +47,32 @@ class ServiceClient:
     def _request(
         self, message: Dict[str, Any], timeout: Optional[float] = None
     ) -> Dict[str, Any]:
-        deadline = time.monotonic() + self.retry_seconds
-        while True:
-            try:
-                response = protocol.request(
-                    self.address, message, timeout=timeout or self.timeout
-                )
-            except ServiceError as error:
-                if error.code == protocol.ERR_UNREACHABLE and time.monotonic() < deadline:
-                    time.sleep(0.2)
-                    continue
-                raise
+        def once() -> Dict[str, Any]:
+            response = protocol.request(
+                self.address, message, timeout=timeout or self.timeout
+            )
             return protocol.raise_for_error(response)
+
+        if self.retry_seconds <= 0:
+            return once()
+        # Exponential backoff + jitter via the shared RetryPolicy: many
+        # clients waiting out one daemon restart spread their reconnects
+        # instead of hammering every 200 ms in lockstep.  Only the
+        # pre-send ``unreachable`` failures are retried (see __init__).
+        policy = RetryPolicy(
+            max_retries=None,
+            base_seconds=0.1,
+            max_seconds=2.0,
+            deadline_seconds=self.retry_seconds,
+        )
+        return retry_call(
+            once,
+            policy,
+            retryable=lambda error: (
+                isinstance(error, ServiceError)
+                and error.code == protocol.ERR_UNREACHABLE
+            ),
+        )
 
     # ------------------------------------------------------------------
 

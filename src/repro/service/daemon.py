@@ -48,6 +48,8 @@ from repro.api.pash import Pash
 from repro.obs.export import export_chrome_trace
 from repro.obs.report import RunReport
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience import fault as fault_injection
+from repro.resilience.supervisor import Supervisor
 from repro.runtime.executor import ExecutionEnvironment, ExecutionError
 from repro.runtime.streams import VirtualFileSystem
 from repro.service import protocol
@@ -459,9 +461,6 @@ class PashServiceDaemon:
         spill_dir: Optional[str] = None
         try:
             try:
-                environment = ExecutionEnvironment(
-                    filesystem=VirtualFileSystem(job.files), stdin=list(job.stdin)
-                )
                 config, spill_dir = self._job_spill_directory(job)
                 with self.tracer.span(
                     "service:job",
@@ -470,7 +469,7 @@ class PashServiceDaemon:
                     tenant=job.tenant,
                     backend=job.backend,
                 ):
-                    result, compiled = self._execute(job, config, environment)
+                    result, compiled = self._execute_supervised(job, config)
                 report = RunReport.from_run(result, compiled).to_dict()
             finally:
                 # Before the job turns terminal: a waiter that observes
@@ -487,7 +486,10 @@ class PashServiceDaemon:
                 elapsed_seconds=time.perf_counter() - started,
             ):
                 self.jobs_completed += 1
-        except (ExecutionError, ExpansionError, ValueError, KeyError) as exc:
+        except (ExecutionError, ExpansionError, OSError, ValueError, KeyError) as exc:
+            # OSError covers the resilience tier's typed failures (injected
+            # faults, ResourceExhausted) escaping a no-degrade ladder: the
+            # tenant gets a clean execution error, never an internal one.
             if job.fail(str(exc) or type(exc).__name__, code=protocol.ERR_EXECUTION):
                 self.jobs_failed += 1
         except Exception as exc:  # noqa: BLE001 - a tenant bug must not kill the daemon
@@ -517,8 +519,75 @@ class PashServiceDaemon:
         )
         return job.config.replace(streaming=streaming), spill_dir
 
+    def _fresh_environment(self, job: Job) -> ExecutionEnvironment:
+        """A pristine environment for one attempt (stdin is consumable)."""
+        return ExecutionEnvironment(
+            filesystem=VirtualFileSystem(job.files), stdin=list(job.stdin)
+        )
+
+    def _execute_supervised(self, job: Job, config: PashConfig):
+        """Run the job under the config's retry-then-degrade ladder.
+
+        Each attempt (and the degraded run) gets a *fresh* execution
+        environment, so a half-consumed stdin or partially written virtual
+        file from a failed attempt never leaks into the next one.  The
+        job-level fault plan installs once around the whole ladder — not per
+        attempt — so ``max_fires`` counts injections per job, and a retried
+        attempt sees the plan's advanced state (that is what lets
+        retry-then-succeed happen at all).
+        """
+        resilience = config.resilience
+
+        def attempt():
+            return self._execute(job, config, self._fresh_environment(job))
+
+        if not resilience.active or job.backend == "interpreter":
+            return attempt()
+
+        def degrade():
+            return self._execute_degraded(job, config, self._fresh_environment(job))
+
+        supervisor = Supervisor(resilience, self.tracer)
+        plan = resilience.fault_plan()
+        previous_plan = fault_injection.active()
+        if plan is not None:
+            fault_injection.install(plan)
+        try:
+            result, compiled = supervisor.run(f"job:{job.job_id}", attempt, degrade)
+        finally:
+            if plan is not None:
+                fault_injection.install(previous_plan)
+        result.metrics.runs_retried += supervisor.runs_retried
+        result.metrics.degraded_runs += supervisor.degraded_runs
+        return result, compiled
+
+    def _execute_degraded(
+        self, job: Job, config: PashConfig, environment: ExecutionEnvironment
+    ):
+        """The ladder's last rung: the job on the sequential interpreter.
+
+        Byte-identical to the parallel plan by the paper's correctness
+        contract; JIT jobs keep the driver (control flow still needs a
+        shell) but force its inner backend to the interpreter.
+        """
+        if job.backend == "jit":
+            from repro.jit.driver import JitDriver
+
+            driver = JitDriver(
+                config=config,
+                environment=environment,
+                cache=self.plan_cache,
+                tracer=self.tracer,
+                inner_backend="interpreter",
+            )
+            return driver.run(job.script), None
+        compiled = Pash(config, tracer=self.tracer).compile(job.script)
+        result = compiled.execute(backend="interpreter", environment=environment)
+        return result, compiled
+
     def _execute(self, job: Job, config: PashConfig, environment: ExecutionEnvironment):
         """Run one job on its backend, sharing the daemon's pool and cache."""
+        fault_injection.fire(fault_injection.SERVICE_EXECUTOR)
         if job.backend == "jit":
             from repro.jit.driver import JitDriver
 
@@ -613,11 +682,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace", default=None, help="write a Chrome trace of every job at shutdown"
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retry a failed job this many times before degrading (arms the "
+        "resilience ladder; see docs/RESILIENCE.md)",
+    )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail a job after retries instead of re-running it on the "
+        "sequential interpreter",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE.json",
+        help="inject a deterministic fault plan into every job (chaos testing)",
+    )
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     arguments = build_parser().parse_args(argv)
+    from repro.api.config import ResilienceConfig
+
     config = PashConfig.paper_default(
         arguments.width,
         backend=arguments.execute,
@@ -625,6 +715,7 @@ def main(argv: Optional[list] = None) -> int:
         jit_inner_backend=arguments.jit_backend,
         tracing=bool(arguments.trace),
         streaming=StreamingConfig(spill_directory=arguments.spill_dir),
+        resilience=ResilienceConfig.from_cli_args(arguments),
     )
     options = ServiceOptions(
         listen=arguments.listen,

@@ -126,36 +126,26 @@ def test_failure_does_not_wedge_downstream():
 
 
 def test_killed_worker_fails_fast_with_exit_code():
-    """A SIGKILLed worker never reports; the run must not sit out the timeout."""
-    import signal
+    """A SIGKILLed worker never reports; the run must not sit out the timeout.
+
+    The kill is injected through the resilience tier's fault plane
+    (``pool:worker-exec`` in kill mode) rather than a custom self-killing
+    command — the same rig the chaos suite uses.
+    """
     import time as time_module
 
-    env = environment(FILES)
+    from repro.resilience.fault import POOL_WORKER_EXEC, FaultPlan, FaultSpec
 
-    def self_kill(arguments, inputs):
-        os.kill(os.getpid(), signal.SIGKILL)
-
-    env.registry = env.registry.copy()
-    env.registry.register_function("self-kill", self_kill, "dies without reporting")
-
-    from repro.dfg.edges import EdgeKind
-    from repro.dfg.graph import DataflowGraph
-    from repro.dfg.nodes import CommandNode
-
-    graph = DataflowGraph()
-    node = graph.add_node(CommandNode(name="self-kill"))
-    source = graph.add_edge(kind=EdgeKind.FILE, name="a.txt")
-    graph.attach_input(node, source)
-    sink = graph.add_edge(kind=EdgeKind.FILE, name="out.txt")
-    graph.attach_output(node, sink)
-
-    scheduler = ParallelScheduler(env, SchedulerOptions(report_timeout_seconds=60))
+    plan = FaultPlan([FaultSpec(point=POOL_WORKER_EXEC, mode="kill", max_fires=0)])
+    scheduler = ParallelScheduler(
+        environment(FILES),
+        SchedulerOptions(report_timeout_seconds=60, fault_plan=plan),
+    )
     started = time_module.perf_counter()
     with pytest.raises(ExecutionError) as excinfo:
-        scheduler.execute(graph)
+        scheduler.execute(build("cat a.txt b.txt | grep foo | sort > out.txt"))
     assert time_module.perf_counter() - started < 30
     assert "died without reporting" in str(excinfo.value)
-    assert "self-kill" in str(excinfo.value)
 
 
 def test_output_arity_mismatch_is_a_loud_error():

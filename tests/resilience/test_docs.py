@@ -1,0 +1,16 @@
+"""docs/RESILIENCE.md is executable documentation: every example must run."""
+
+import doctest
+import os
+
+DOC = os.path.join(os.path.dirname(__file__), "..", "..", "docs", "RESILIENCE.md")
+
+
+def test_resilience_doc_examples_run():
+    results = doctest.testfile(
+        DOC,
+        module_relative=False,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted > 0
+    assert results.failed == 0

@@ -1,0 +1,56 @@
+"""ResourceExhausted: typed capacity failures that survive pickling."""
+
+import errno
+import pickle
+
+import pytest
+
+from repro.resilience.errors import (
+    RESOURCE_ERRNOS,
+    ResourceExhausted,
+    wrap_capacity_error,
+)
+
+
+def test_capacity_errnos_are_wrapped():
+    for code in sorted(RESOURCE_ERRNOS):
+        original = OSError(code, "boom")
+        wrapped = wrap_capacity_error(original, "spill:write", "/tmp/x", 4096)
+        assert isinstance(wrapped, ResourceExhausted)
+        assert wrapped.errno == code
+        assert wrapped.operation == "spill:write"
+        assert wrapped.path == "/tmp/x"
+        assert wrapped.byte_count == 4096
+
+
+def test_non_capacity_errors_pass_through_unchanged():
+    original = OSError(errno.EACCES, "permission denied")
+    assert wrap_capacity_error(original, "spill:write", "/tmp/x", 1) is original
+    exhausted = ResourceExhausted("spill:write", "/tmp/x", 1, errno.ENOSPC)
+    # Already typed: wrapping again is the identity.
+    assert wrap_capacity_error(exhausted, "other", "/y", 2) is exhausted
+
+
+def test_is_an_oserror_with_a_useful_message():
+    error = ResourceExhausted("spill:write", "/data/spool", 1 << 20, errno.ENOSPC)
+    assert isinstance(error, OSError)
+    text = str(error)
+    assert "spill:write" in text
+    assert "/data/spool" in text
+
+
+def test_pickle_round_trip_preserves_typed_fields():
+    error = ResourceExhausted(
+        "eager:spill-write", "/spool", 777, errno.EMFILE, detail="too many fds"
+    )
+    clone = pickle.loads(pickle.dumps(error))
+    assert isinstance(clone, ResourceExhausted)
+    assert clone.operation == "eager:spill-write"
+    assert clone.path == "/spool"
+    assert clone.byte_count == 777
+    assert clone.errno == errno.EMFILE
+
+
+def test_catchable_as_oserror_by_existing_handlers():
+    with pytest.raises(OSError):
+        raise ResourceExhausted("spill:write", None, 0, errno.ENOSPC)

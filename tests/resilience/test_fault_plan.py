@@ -1,0 +1,161 @@
+"""FaultSpec/FaultPlan semantics: validation, determinism, transport."""
+
+import errno
+import json
+import pickle
+
+import pytest
+
+from repro.resilience import fault
+from repro.resilience.fault import (
+    CHANNEL_READ,
+    CLUSTER_HEARTBEAT,
+    ENV_FAULTS,
+    FAULT_POINTS,
+    SPILL_WRITE,
+    FaultPlan,
+    FaultSpec,
+    load_fault_file,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    fault.clear()
+    yield
+    fault.clear()
+
+
+# ---------------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------------
+
+
+def test_spec_rejects_unknown_point():
+    with pytest.raises(ValueError, match="unknown fault point"):
+        FaultSpec(point="no:such-point")
+
+
+def test_spec_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="unknown fault mode"):
+        FaultSpec(point=SPILL_WRITE, mode="explode")
+
+
+def test_spec_rejects_unknown_errno():
+    with pytest.raises(ValueError, match="unknown errno name"):
+        FaultSpec(point=SPILL_WRITE, errno_name="ENOTANERRNO")
+
+
+def test_spec_rejects_bad_probability():
+    with pytest.raises(ValueError, match="probability"):
+        FaultSpec(point=SPILL_WRITE, probability=1.5)
+
+
+def test_spec_dict_round_trip_rejects_unknown_fields():
+    spec = FaultSpec(point=CHANNEL_READ, mode="kill", after_bytes=512)
+    assert FaultSpec.from_dict(spec.to_dict()) == spec
+    with pytest.raises(ValueError, match="unknown FaultSpec fields"):
+        FaultSpec.from_dict({"point": SPILL_WRITE, "color": "red"})
+
+
+# ---------------------------------------------------------------------------
+# Plan behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_error_mode_raises_typed_oserror_once():
+    plan = FaultPlan([FaultSpec(point=SPILL_WRITE, errno_name="ENOSPC")])
+    with pytest.raises(OSError) as caught:
+        plan.fire(SPILL_WRITE)
+    assert caught.value.errno == errno.ENOSPC
+    # max_fires=1 (the default): the second passage is clean.
+    assert plan.fire(SPILL_WRITE) is False
+    assert plan.fired == 1
+    assert plan.fires_at(SPILL_WRITE) == 1
+
+
+def test_after_bytes_counts_across_calls():
+    plan = FaultPlan([FaultSpec(point=CHANNEL_READ, after_bytes=100)])
+    assert plan.fire(CHANNEL_READ, nbytes=60) is False
+    with pytest.raises(OSError):
+        plan.fire(CHANNEL_READ, nbytes=60)  # cumulative 120 >= 100
+
+
+def test_drop_mode_returns_true():
+    plan = FaultPlan([FaultSpec(point=CLUSTER_HEARTBEAT, mode="drop", max_fires=2)])
+    assert plan.fire(CLUSTER_HEARTBEAT) is True
+    assert plan.fire(CLUSTER_HEARTBEAT) is True
+    assert plan.fire(CLUSTER_HEARTBEAT) is False
+
+
+def test_probability_is_deterministic_under_seed():
+    def trace(seed):
+        plan = FaultPlan(
+            [FaultSpec(point=CLUSTER_HEARTBEAT, mode="drop", max_fires=0, probability=0.5)],
+            seed=seed,
+        )
+        return [plan.fire(CLUSTER_HEARTBEAT) for _ in range(64)]
+
+    assert trace(7) == trace(7)
+    assert trace(7) != trace(8)  # astronomically unlikely to collide
+
+
+def test_unrelated_point_is_free():
+    plan = FaultPlan([FaultSpec(point=SPILL_WRITE)])
+    assert plan.fire(CHANNEL_READ, nbytes=1000) is False
+    assert plan.hits == 1
+    assert plan.fired == 0
+
+
+def test_pickle_resets_live_state():
+    plan = FaultPlan([FaultSpec(point=SPILL_WRITE)], seed=3)
+    with pytest.raises(OSError):
+        plan.fire(SPILL_WRITE)
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone.seed == 3
+    assert clone.faults == plan.faults
+    # The clone re-arms: fault state is per-process.
+    with pytest.raises(OSError):
+        clone.fire(SPILL_WRITE)
+
+
+def test_plan_dict_round_trip_and_file_loading(tmp_path):
+    plan = FaultPlan([FaultSpec(point=SPILL_WRITE, mode="delay", delay_seconds=0.0)], seed=11)
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone.seed == 11 and clone.faults == plan.faults
+    path = tmp_path / "faults.json"
+    path.write_text(json.dumps(plan.to_dict()))
+    loaded = load_fault_file(str(path))
+    assert loaded.faults == plan.faults
+    with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+        FaultPlan.from_dict({"seed": 1, "chaos": True})
+
+
+# ---------------------------------------------------------------------------
+# The process-global injector
+# ---------------------------------------------------------------------------
+
+
+def test_global_fire_is_inert_without_a_plan():
+    assert fault.active() is None
+    for point in FAULT_POINTS:
+        assert fault.fire(point, nbytes=123) is False
+
+
+def test_install_fire_clear():
+    plan = FaultPlan([FaultSpec(point=SPILL_WRITE)])
+    fault.install(plan)
+    with pytest.raises(OSError):
+        fault.fire(SPILL_WRITE)
+    fault.clear()
+    assert fault.fire(SPILL_WRITE) is False
+    assert plan.hits == 1
+
+
+def test_install_from_environ():
+    plan = FaultPlan([FaultSpec(point=CLUSTER_HEARTBEAT, mode="drop")], seed=5)
+    environ = {ENV_FAULTS: json.dumps(plan.to_dict())}
+    installed = fault.install_from_environ(environ)
+    assert installed is not None and fault.active() is installed
+    assert installed.seed == 5
+    assert fault.install_from_environ({}) is None

@@ -1,0 +1,115 @@
+"""RetryPolicy math and the shared retry_call loop (no real sleeping)."""
+
+import random
+
+import pytest
+
+from repro.resilience.retry import RetryPolicy, retry_call
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(base_seconds=0.1, max_seconds=0.8, multiplier=2.0, jitter=0.0)
+    delays = [policy.backoff_seconds(n) for n in range(5)]
+    assert delays == [0.1, 0.2, 0.4, 0.8, 0.8]
+
+
+def test_jitter_stays_within_band_and_is_seeded():
+    policy = RetryPolicy(base_seconds=1.0, max_seconds=1.0, jitter=0.5)
+    draws = [policy.backoff_seconds(0, random.Random(13)) for _ in range(10)]
+    assert all(0.5 <= delay <= 1.5 for delay in draws)
+    assert policy.backoff_seconds(0, random.Random(13)) == draws[0]
+
+
+def test_allows_retry_bounds_count_and_deadline():
+    policy = RetryPolicy(max_retries=2, deadline_seconds=10.0)
+    assert policy.allows_retry(0, 1.0)
+    assert policy.allows_retry(1, 1.0)
+    assert not policy.allows_retry(2, 1.0)  # count exhausted
+    assert not policy.allows_retry(0, 10.0)  # would start past the deadline
+
+
+def test_none_retries_means_deadline_only():
+    policy = RetryPolicy(max_retries=None, deadline_seconds=5.0)
+    assert policy.allows_retry(1000, 4.9)
+    assert not policy.allows_retry(0, 5.0)
+
+
+def test_retry_call_recovers_and_spaces_attempts():
+    attempts = []
+    sleeps = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise OSError("transient")
+        return "done"
+
+    policy = RetryPolicy(max_retries=5, base_seconds=0.1, jitter=0.0)
+    result = retry_call(
+        flaky, policy, sleep=sleeps.append, monotonic=lambda: 0.0
+    )
+    assert result == "done"
+    assert len(attempts) == 3
+    assert sleeps == [0.1, 0.2]
+
+
+def test_retry_call_reraises_when_exhausted():
+    policy = RetryPolicy(max_retries=2, base_seconds=0.0, jitter=0.0)
+    calls = []
+
+    def always_fails():
+        calls.append(1)
+        raise OSError("still down")
+
+    with pytest.raises(OSError, match="still down"):
+        retry_call(always_fails, policy, sleep=lambda _s: None, monotonic=lambda: 0.0)
+    assert len(calls) == 3  # first attempt + 2 retries
+
+
+def test_retry_call_predicate_filters_errors():
+    def fails_typed():
+        raise ValueError("not retryable by predicate")
+
+    policy = RetryPolicy(max_retries=5, base_seconds=0.0)
+    with pytest.raises(ValueError):
+        retry_call(
+            fails_typed,
+            policy,
+            retryable=lambda error: isinstance(error, OSError),
+            sleep=lambda _s: None,
+        )
+
+
+def test_retry_call_refuses_past_deadline():
+    clock = iter([0.0, 100.0, 200.0])
+    policy = RetryPolicy(max_retries=None, base_seconds=0.0, deadline_seconds=1.0)
+    calls = []
+
+    def always_fails():
+        calls.append(1)
+        raise OSError("down")
+
+    with pytest.raises(OSError):
+        retry_call(
+            always_fails, policy, sleep=lambda _s: None, monotonic=lambda: next(clock)
+        )
+    assert len(calls) == 1  # the deadline refused any retry
+
+
+def test_on_retry_observes_each_backoff():
+    seen = []
+
+    def flaky():
+        if len(seen) < 2:
+            raise OSError("flap")
+        return 1
+
+    policy = RetryPolicy(max_retries=5, base_seconds=0.25, jitter=0.0)
+    retry_call(
+        flaky,
+        policy,
+        sleep=lambda _s: None,
+        monotonic=lambda: 0.0,
+        on_retry=lambda n, exc, delay: seen.append((n, delay)),
+    )
+    assert seen == [(0, 0.25), (1, 0.5)]

@@ -1,0 +1,116 @@
+"""The retry-then-degrade ladder, tested directly against a real tracer."""
+
+import pytest
+
+from repro.api.config import ResilienceConfig
+from repro.obs.tracer import Tracer
+from repro.resilience.supervisor import Supervisor
+from repro.runtime.executor import ExecutionError
+
+
+def fast(**overrides):
+    """A ladder whose backoff is effectively instant (unit-test speed)."""
+    overrides.setdefault("max_retries", 2)
+    overrides.setdefault("retry_base_seconds", 0.0)
+    overrides.setdefault("retry_jitter", 0.0)
+    return ResilienceConfig(**overrides)
+
+
+def test_retry_then_success_counts_and_traces():
+    tracer = Tracer()
+    supervisor = Supervisor(fast(max_retries=3), tracer)
+    attempts = []
+
+    def attempt():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise ExecutionError("worker died")
+        return "ok"
+
+    assert supervisor.run("region:0", attempt) == "ok"
+    assert supervisor.runs_retried == 2
+    assert supervisor.degraded_runs == 0
+    retry_spans = [span for span in tracer.spans if span.name == "resilience:retry"]
+    assert len(retry_spans) == 2
+    assert retry_spans[0].attributes["target"] == "region:0"
+    assert "worker died" in retry_spans[0].attributes["error"]
+
+
+def test_exhausted_retries_degrade():
+    tracer = Tracer()
+    supervisor = Supervisor(fast(max_retries=1, degrade=True), tracer)
+
+    def attempt():
+        raise ExecutionError("permanently broken")
+
+    assert supervisor.run("region:1", attempt, degrade=lambda: "fallback") == "fallback"
+    assert supervisor.runs_retried == 1
+    assert supervisor.degraded_runs == 1
+    degrade_spans = [span for span in tracer.spans if span.name == "resilience:degrade"]
+    assert len(degrade_spans) == 1
+    assert degrade_spans[0].attributes["retries"] == 1
+
+
+def test_no_degrade_reraises_the_typed_error():
+    supervisor = Supervisor(fast(max_retries=1, degrade=False))
+    with pytest.raises(ExecutionError, match="permanently broken"):
+        supervisor.run(
+            "region:2",
+            lambda: (_ for _ in ()).throw(ExecutionError("permanently broken")),
+            degrade=lambda: "never reached",
+        )
+
+
+def test_missing_degrade_callable_reraises_even_when_enabled():
+    supervisor = Supervisor(fast(max_retries=0, degrade=True))
+    with pytest.raises(OSError):
+        supervisor.run("region:3", lambda: (_ for _ in ()).throw(OSError("disk full")))
+
+
+def test_non_retryable_errors_propagate_immediately():
+    supervisor = Supervisor(fast(max_retries=5, degrade=True))
+    calls = []
+
+    def attempt():
+        calls.append(1)
+        raise ValueError("a bug, not an outage")
+
+    with pytest.raises(ValueError):
+        supervisor.run("region:4", attempt, degrade=lambda: "nope")
+    assert len(calls) == 1
+    assert supervisor.runs_retried == 0
+
+
+def test_deadline_refuses_retries_that_would_start_too_late():
+    # deadline 0.0 is unbounded; a tiny positive deadline with a large
+    # backoff means the very first retry is refused and the ladder moves
+    # straight to degradation — the "typed error within deadline" contract.
+    config = ResilienceConfig(
+        max_retries=100,
+        degrade=True,
+        retry_base_seconds=10.0,
+        retry_jitter=0.0,
+        deadline_seconds=0.001,
+    )
+    supervisor = Supervisor(config)
+    result = supervisor.run(
+        "region:5",
+        lambda: (_ for _ in ()).throw(ExecutionError("down")),
+        degrade=lambda: "degraded",
+    )
+    assert result == "degraded"
+    assert supervisor.runs_retried == 0
+
+
+def test_degrade_errors_are_terminal():
+    supervisor = Supervisor(fast(max_retries=0, degrade=True))
+
+    def broken_fallback():
+        raise ValueError("the interpreter itself failed")
+
+    with pytest.raises(ValueError, match="interpreter itself"):
+        supervisor.run(
+            "region:6",
+            lambda: (_ for _ in ()).throw(ExecutionError("down")),
+            degrade=broken_fallback,
+        )
