@@ -1,0 +1,155 @@
+"""EXP-OBS2 — the metrics plane's cost, hooked and unhooked.
+
+The telemetry registry follows the tracing plane's contract: a process that
+never installs a registry pays only for calls into ``NULL_REGISTRY``.  Two
+numbers:
+
+* *disabled overhead* — every ``counter_inc``/``histogram_observe`` site
+  degrades to one attribute load and one ``enabled`` check on the shared
+  null registry.  The per-hook cost is measured directly over many
+  iterations, multiplied by the hook count of a real instrumented run, and
+  divided by the per-run wall clock of the spawn-bound batch.  Asserted
+  < 2% — deterministically, without differencing two noisy wall clocks.
+* *enabled cost* — the per-hook cost with a live registry installed
+  (lock + dict lookup + float add), reported for scale.
+
+Run with ``--bench-json`` to persist the measurements (see conftest).
+"""
+
+import time
+
+from conftest import print_header
+
+from repro.api import Pash, PashConfig
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    MetricsRegistry,
+    counter_inc,
+    install,
+)
+from repro.runtime.executor import ExecutionEnvironment
+from repro.runtime.streams import VirtualFileSystem
+from repro.workloads import text
+
+WIDTH = 4
+LINES_PER_CHUNK = 300
+RUNS = 4
+SCRIPT = "cat in0.txt in1.txt in2.txt in3.txt | grep the | tr A-Z a-z > out.txt"
+NULL_HOOK_ITERATIONS = 200_000
+ENABLED_HOOK_ITERATIONS = 50_000
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _environment():
+    files = {f"in{i}.txt": text.text_lines(LINES_PER_CHUNK, seed=i) for i in range(4)}
+    return ExecutionEnvironment(filesystem=VirtualFileSystem(files))
+
+
+def _run_batch(compiled, runs):
+    environments = [_environment() for _ in range(runs)]
+    started = time.perf_counter()
+    results = [
+        compiled.execute(backend="parallel", environment=environment)
+        for environment in environments
+    ]
+    return time.perf_counter() - started, results
+
+
+def _null_hook_seconds():
+    """Seconds per hook against the default (null) registry."""
+    started = time.perf_counter()
+    for _ in range(NULL_HOOK_ITERATIONS):
+        counter_inc("pash_bench_total", 1, "bench", backend="parallel")
+    return (time.perf_counter() - started) / NULL_HOOK_ITERATIONS
+
+
+def _enabled_hook_seconds():
+    """Seconds per hook with a live registry installed."""
+    previous = install(MetricsRegistry())
+    try:
+        started = time.perf_counter()
+        for _ in range(ENABLED_HOOK_ITERATIONS):
+            counter_inc("pash_bench_total", 1, "bench", backend="parallel")
+        return (time.perf_counter() - started) / ENABLED_HOOK_ITERATIONS
+    finally:
+        install(previous)
+
+
+class _HookCounter:
+    """A registry stand-in that counts hook invocations instead of values."""
+
+    enabled = True
+
+    def __init__(self):
+        self.hooks = 0
+
+    def _count(self, *args, **kwargs):
+        self.hooks += 1
+        return NULL_INSTRUMENT
+
+    counter = gauge = histogram = _count
+
+
+def _count_hooks_per_run(compiled):
+    """Hooks one run actually fires, counted at the hook layer."""
+    counting = _HookCounter()
+    previous = install(counting)
+    try:
+        compiled.execute(backend="parallel", environment=_environment())
+    finally:
+        install(previous)
+    return max(1, counting.hooks)
+
+
+def _run_workloads():
+    compiled = Pash(PashConfig.paper_default(WIDTH)).compile(SCRIPT)
+    compiled.execute(backend="parallel", environment=_environment())  # warm pool
+    batch_seconds, results = _run_batch(compiled, RUNS)
+    hooks_per_run = _count_hooks_per_run(compiled)
+    return (
+        batch_seconds,
+        results,
+        hooks_per_run,
+        _null_hook_seconds(),
+        _enabled_hook_seconds(),
+    )
+
+
+def test_bench_metrics_disabled_overhead(benchmark, bench_record):
+    """Uninstalled metrics must cost < 2% of the spawn-bound per-run clock."""
+    batch_seconds, results, hooks_per_run, null_seconds, enabled_seconds = (
+        benchmark.pedantic(_run_workloads, rounds=1, iterations=1)
+    )
+
+    per_run_seconds = batch_seconds / RUNS
+    disabled_overhead = null_seconds * hooks_per_run / per_run_seconds
+    enabled_overhead = enabled_seconds * hooks_per_run / per_run_seconds
+
+    print_header("Observability — metrics overhead, spawn-bound batch")
+    print(f"{'path':<16}{'ns/hook':<10}{'hooks/run':<11}{'% of run'}")
+    print(
+        f"{'uninstalled':<16}{null_seconds * 1e9:<10.0f}{hooks_per_run:<11}"
+        f"{disabled_overhead * 100:.4f}"
+    )
+    print(
+        f"{'installed':<16}{enabled_seconds * 1e9:<10.0f}{hooks_per_run:<11}"
+        f"{enabled_overhead * 100:.4f}"
+    )
+
+    bench_record(
+        "metrics_overhead",
+        width=WIDTH,
+        runs=RUNS,
+        batch_seconds=round(batch_seconds, 4),
+        null_hook_nanoseconds=round(null_seconds * 1e9, 1),
+        enabled_hook_nanoseconds=round(enabled_seconds * 1e9, 1),
+        hooks_per_run=hooks_per_run,
+        disabled_overhead_fraction=round(disabled_overhead, 6),
+        enabled_overhead_fraction=round(enabled_overhead, 6),
+    )
+
+    assert len(results) == RUNS
+    assert hooks_per_run >= 1
+    # The acceptance bar: an uninstalled registry's hooks cost well under
+    # 2% of a run's wall clock.
+    assert disabled_overhead < MAX_DISABLED_OVERHEAD

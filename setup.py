@@ -48,6 +48,7 @@ if __name__ == "__main__":
                 "pash-worker=repro.cluster.worker:main",
                 "pash-serve=repro.service.daemon:main",
                 "pash-client=repro.service.client:main",
+                "pash-top=repro.service.top:main",
             ]
         },
         classifiers=[

@@ -38,7 +38,7 @@ from repro.api import CompiledScript, Pash, PashConfig
 from repro.backend.compiler import compile_script
 from repro.transform.pipeline import EagerMode, ParallelizationConfig, SplitMode
 
-__version__ = "0.10.0"
+__version__ = "0.11.0"
 
 __all__ = [
     "CompiledScript",

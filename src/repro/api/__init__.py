@@ -36,6 +36,7 @@ remain importable but are deprecation shims over this package.
 from repro.api.artifact import CompilationStats, CompiledScript
 from repro.api.config import (
     ClusterConfig,
+    ObsConfig,
     PashConfig,
     ResilienceConfig,
     StreamingConfig,
@@ -48,6 +49,7 @@ __all__ = [
     "CompilationStats",
     "CompiledScript",
     "EagerMode",
+    "ObsConfig",
     "Pash",
     "PashConfig",
     "ResilienceConfig",

@@ -224,6 +224,80 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """The continuous-telemetry knobs (one section of the config).
+
+    Controls *how much* observability a long-running process records, not
+    whether runs are correct — so, like :class:`ResilienceConfig`, the whole
+    section is excluded from the plan-cache digest: a sampled daemon and an
+    unsampled one compile identical graphs.  ``tracing`` itself stays a
+    top-level :class:`PashConfig` field; these knobs shape what an enabled
+    tracer keeps under sustained traffic (see ``docs/OBSERVABILITY.md``).
+    """
+
+    #: Fraction of jobs whose spans are recorded (1.0 = every job, the
+    #: per-run behaviour; the daemon consults a seeded
+    #: :class:`~repro.obs.sampler.TraceSampler`).
+    trace_sample_ratio: float = 1.0
+    #: Seed for the deterministic sampling sequence.
+    trace_sample_seed: int = 0
+    #: Tenants always traced regardless of the ratio (debugging one tenant
+    #: without paying for the rest).
+    sample_tenants: Tuple[str, ...] = ()
+    #: Ring-buffer cap on retained spans in a long-running tracer
+    #: (0 = unbounded, the one-shot default).
+    span_retention: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.trace_sample_ratio <= 1.0:
+            raise ValueError("ObsConfig.trace_sample_ratio must be in [0, 1]")
+        if self.span_retention < 0:
+            raise ValueError("ObsConfig.span_retention must be >= 0")
+
+    def sampler(self):
+        """The seeded :class:`~repro.obs.sampler.TraceSampler` this selects."""
+        from repro.obs.sampler import TraceSampler
+
+        return TraceSampler.from_config(self)
+
+    @classmethod
+    def from_cli_args(cls, arguments: Any) -> "ObsConfig":
+        """Build the section from ``--trace-sample``/``--sample-tenant``/
+        ``--span-retention`` (shared by ``pash-serve``)."""
+        ratio = getattr(arguments, "trace_sample", None)
+        retention = getattr(arguments, "span_retention", None)
+        tenants = tuple(getattr(arguments, "sample_tenant", None) or ())
+        return cls(
+            trace_sample_ratio=ratio if ratio is not None else 1.0,
+            trace_sample_seed=int(getattr(arguments, "trace_sample_seed", 0) or 0),
+            sample_tenants=tenants,
+            span_retention=retention if retention is not None else 0,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = {field.name: getattr(self, field.name) for field in dataclasses.fields(self)}
+        payload["sample_tenants"] = list(self.sample_tenants)
+        return payload
+
+    @classmethod
+    def coerce(cls, value: Any) -> "ObsConfig":
+        """Accept an :class:`ObsConfig` or its dict form."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            unknown = set(value) - {field.name for field in dataclasses.fields(cls)}
+            if unknown:
+                raise ValueError(
+                    f"unknown ObsConfig fields: {', '.join(sorted(unknown))}"
+                )
+            values = dict(value)
+            if "sample_tenants" in values:
+                values["sample_tenants"] = tuple(values["sample_tenants"])
+            return cls(**values)
+        raise TypeError(f"expected ObsConfig or mapping, got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
 class PashConfig:
     """One configuration object for the whole compile-and-run pipeline."""
 
@@ -290,6 +364,9 @@ class PashConfig:
     #: when off the span hooks cost one attribute check each.  See
     #: ``docs/OBSERVABILITY.md`` and the CLI's ``--trace``/``--metrics-json``.
     tracing: bool = False
+    #: Continuous-telemetry knobs for long-running processes (trace sampling,
+    #: span retention).  Runtime-only: excluded from the plan-cache digest.
+    obs: ObsConfig = ObsConfig()
 
     # -- emission (subsume EmitterOptions) -----------------------------------
     #: Directory in which the emitted script creates its FIFOs.
@@ -540,7 +617,7 @@ class PashConfig:
                 value = value.value
             elif isinstance(value, tuple):
                 value = list(value)
-            elif isinstance(value, (StreamingConfig, ClusterConfig, ResilienceConfig)):
+            elif isinstance(value, (StreamingConfig, ClusterConfig, ResilienceConfig, ObsConfig)):
                 value = value.to_dict()
             payload[field.name] = value
         return payload
@@ -566,4 +643,6 @@ class PashConfig:
             values["cluster"] = ClusterConfig.coerce(values["cluster"])
         if "resilience" in values:
             values["resilience"] = ResilienceConfig.coerce(values["resilience"])
+        if "obs" in values:
+            values["obs"] = ObsConfig.coerce(values["obs"])
         return cls(**values)

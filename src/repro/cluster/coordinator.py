@@ -78,6 +78,7 @@ from repro.engine.channels import (
     iter_encoded_chunks,
 )
 from repro.engine.metrics import EngineMetrics, NodeMetrics
+from repro.obs.metrics import counter_inc, gauge_set, record_engine_run
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.resilience import fault as fault_injection
 from repro.resilience.errors import wrap_capacity_error
@@ -737,6 +738,11 @@ class _GraphRun:
             # store, so re-running on another worker yields identical bytes.
             self.ready_remote.appendleft(node_id)
             self.metrics.requeued_tasks += 1
+            counter_inc(
+                "pash_cluster_workers_lost_total",
+                1,
+                "Cluster workers declared dead mid-run.",
+            )
 
     def _pump(self, deadline: float) -> None:
         """Process one inbox slice: results, frames, heartbeats, losses."""
@@ -752,9 +758,18 @@ class _GraphRun:
             else:
                 handle.last_seen = now
                 self._handle_message(handle, message)
+        lag = 0.0
         for handle in self.coordinator.workers:
-            if handle.alive and now - handle.last_seen > self.options.heartbeat_timeout:
+            if not handle.alive:
+                continue
+            lag = max(lag, now - handle.last_seen)
+            if now - handle.last_seen > self.options.heartbeat_timeout:
                 self._worker_lost(handle)
+        gauge_set(
+            "pash_cluster_heartbeat_lag_seconds",
+            lag,
+            "Worst-case seconds since any live cluster worker was heard from.",
+        )
         if time.monotonic() > deadline:
             raise ExecutionError(
                 f"cluster execution wedged: {len(self.inflight)} task(s) never "
@@ -882,6 +897,7 @@ class ClusterBackend(ExecutionBackend):
             coordinator.shutdown()
         elapsed = time.perf_counter() - started
         metrics.processes_spawned += coordinator.spawned
+        record_engine_run(metrics, backend="cluster")
         wrapped = self._wrap(result, elapsed, metrics)
         wrapped.spans = self.tracer.since(mark)
         return wrapped

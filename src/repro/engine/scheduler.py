@@ -59,6 +59,7 @@ from repro.engine.workers import (
     WorkerPlan,
     execute_plan,
 )
+from repro.obs.metrics import record_engine_run
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.resilience.fault import FaultPlan
 from repro.runtime.executor import (
@@ -332,6 +333,7 @@ class ParallelScheduler:
         self._deliver(graph, edge_values, result)
         result.edge_values.update(edge_values)
         metrics.elapsed_seconds = time.perf_counter() - started
+        record_engine_run(metrics, backend="parallel")
         return result, metrics
 
     # ------------------------------------------------------------------

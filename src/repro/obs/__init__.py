@@ -6,6 +6,14 @@ pickle-safe :class:`SpanRecord`\\ s that exporters turn into a Chrome
 ``trace_event`` JSON (Perfetto-loadable), a flat JSONL span log, or a merged
 machine-readable :class:`RunReport`.  Off by default and near-free when off:
 see ``docs/OBSERVABILITY.md``.
+
+The *continuous* half (new with the service tier): a process-wide
+:class:`MetricsRegistry` of counters/gauges/bounded histograms that every
+layer increments via the module hooks, exposed as Prometheus text
+(:func:`prometheus_text`, :class:`MetricsServer`), a JSONL
+:class:`EventLog`, and the live ``pash-top`` console.  :class:`TraceSampler`
+plus the tracer's ``max_spans`` ring buffer keep tracing viable forever in
+a daemon.
 """
 
 from repro.obs.export import (
@@ -15,7 +23,30 @@ from repro.obs.export import (
     export_jsonl,
     span_summary,
 )
+from repro.obs.expose import (
+    EVENT_SCHEMA,
+    NULL_EVENTS,
+    EventLog,
+    MetricsServer,
+    prometheus_text,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    active,
+    counter_inc,
+    gauge_set,
+    histogram_observe,
+    install,
+    record_engine_run,
+)
 from repro.obs.report import RUN_REPORT_SCHEMA, RunReport
+from repro.obs.sampler import TraceSampler
 from repro.obs.tracer import (
     NULL_TRACER,
     SpanRecord,
@@ -26,17 +57,36 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EVENT_SCHEMA",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "MetricsServer",
+    "NULL_EVENTS",
+    "NULL_REGISTRY",
     "NULL_TRACER",
     "RUN_REPORT_SCHEMA",
     "RunReport",
     "SpanRecord",
     "TraceContext",
+    "TraceSampler",
     "Tracer",
+    "active",
     "chrome_trace_document",
     "chrome_trace_events",
+    "counter_inc",
     "export_chrome_trace",
     "export_jsonl",
+    "gauge_set",
+    "histogram_observe",
+    "install",
     "new_span_id",
+    "prometheus_text",
+    "record_engine_run",
     "record_worker_span",
     "span_summary",
 ]

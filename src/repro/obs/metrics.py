@@ -1,0 +1,643 @@
+"""``MetricsRegistry`` — continuous counters, gauges, and histograms.
+
+The tracing plane (:mod:`repro.obs.tracer`) answers *"what happened inside
+one run?"*; this module answers the daemon-era question *"what is happening
+per second, right now, and how has it trended since start-up?"*.  A
+long-running ``pash-serve`` or cluster coordinator owns one process-wide
+:class:`MetricsRegistry`; every layer underneath it — scheduler, worker
+pool, plan cache, cluster coordinator, resilience supervisor — increments
+named instruments that Prometheus can scrape (:mod:`repro.obs.expose`) and
+``pash-top`` can render live.
+
+Design constraints, mirroring the tracer's:
+
+* **near-zero cost when off.**  Metrics default to disabled.  A disabled
+  registry's :meth:`MetricsRegistry.counter` / ``gauge`` / ``histogram``
+  return shared null singletons whose methods do nothing, and the
+  module-level convenience hooks (:func:`counter_inc` …) check one
+  ``enabled`` attribute and return — no allocation, no lock, no dict
+  lookup.  ``benchmarks/test_bench_metrics_overhead.py`` prices this.
+* **exact under contention.**  Python's ``+=`` on an attribute is *not*
+  atomic (the GIL can switch threads between the load and the store), so
+  every instrument child guards its state with its own lock.  The service
+  daemon's job counters hammer these from N executor threads; the
+  registry's correctness test does too.
+* **bounded memory.**  Histograms are fixed-bucket (Prometheus-style):
+  observing a million latencies costs the same few dozen integers as
+  observing ten.  Quantiles (p50/p95/p99) are estimated by linear
+  interpolation inside the owning bucket, so their relative error is
+  bounded by the bucket spacing — asserted against a sorted-list oracle in
+  ``tests/obs/test_metrics_registry.py``.
+
+Wiring idiom (the fault-injection plane's): the process-wide registry is
+reached through :func:`install` / :func:`active`.  ``pash-serve`` installs
+its (always-enabled) registry at start-up; every instrumented layer calls
+the module-level hooks, which no-op against the default
+:data:`NULL_REGISTRY` in ordinary one-shot CLI runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "active",
+    "counter_inc",
+    "gauge_set",
+    "histogram_observe",
+    "install",
+    "record_engine_run",
+]
+
+#: Prometheus metric- and label-name legality (no leading ``__`` for labels).
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram bucket upper bounds (seconds): geometric with ratio
+#: 1.25 from 1 ms to ~10 min.  The ~25% spacing bounds the quantile
+#: estimation error; 60-odd buckets keep a child at a few hundred bytes.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    round(0.001 * (1.25 ** exponent), 9) for exponent in range(60)
+)
+
+
+class MetricError(ValueError):
+    """A misused instrument: bad name, label mismatch, re-typed metric."""
+
+
+def _validate_labels(declared: Tuple[str, ...], given: Mapping[str, str]) -> Tuple[str, ...]:
+    """The label *values* in declared order; raises on any key mismatch."""
+    if set(given) != set(declared):
+        raise MetricError(
+            f"labels {sorted(given)} do not match declared {sorted(declared)}"
+        )
+    return tuple(str(given[name]) for name in declared)
+
+
+# ---------------------------------------------------------------------------
+# Instrument children — the lock-guarded leaves every increment lands on
+# ---------------------------------------------------------------------------
+
+
+class CounterChild:
+    """One (metric, labelset) monotonic counter.  Thread-safe and exact."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up; use a Gauge for decrements")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class GaugeChild:
+    """One (metric, labelset) gauge: set/inc/dec, or a collect-time callback."""
+
+    __slots__ = ("_lock", "_value", "_function")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._function: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        """Evaluate ``function`` at collect time instead of storing a value
+        (queue depths and pool sizes are owned elsewhere; polling them at
+        scrape time beats write-through hooks on every transition)."""
+        with self._lock:
+            self._function = function
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            function = self._function
+            if function is None:
+                return self._value
+        try:
+            return float(function())
+        except Exception:  # noqa: BLE001 - a scrape must never raise
+            return 0.0
+
+
+class HistogramChild:
+    """One (metric, labelset) fixed-bucket histogram with quantile estimates."""
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        #: One slot per finite bound plus the +Inf overflow slot.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; the exposition cumulates."""
+        with self._lock:
+            return list(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) by in-bucket interpolation.
+
+        The estimate is exact to within one bucket: the true value lies in
+        the same bucket, so the relative error is bounded by the bucket
+        spacing (~25% with :data:`DEFAULT_BUCKETS`).  Returns 0.0 when
+        nothing has been observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                upper = (
+                    self._bounds[index]
+                    if index < len(self._bounds)
+                    else math.inf
+                )
+                lower = self._bounds[index - 1] if index > 0 else 0.0
+                if math.isinf(upper):
+                    return lower  # overflow bucket: the bound is all we know
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+        return self._bounds[-1] if self._bounds else 0.0
+
+    def quantiles(self) -> Dict[str, float]:
+        """The dashboard trio: p50/p95/p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Instrument families — name + help + declared labels, children per labelset
+# ---------------------------------------------------------------------------
+
+
+class _Family:
+    """Shared family logic: child management keyed on label values."""
+
+    kind = "untyped"
+    _child_class: type = CounterChild
+
+    def __init__(self, name: str, help_text: str, label_names: Tuple[str, ...]) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def _make_child(self) -> Any:
+        return self._child_class()
+
+    def labels(self, **labels: str) -> Any:
+        """The child for one labelset (created on first use)."""
+        values = _validate_labels(self.label_names, labels)
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._make_child()
+                self._children[values] = child
+            return child
+
+    def _default_child(self) -> Any:
+        if self.label_names:
+            raise MetricError(
+                f"{self.name} declares labels {self.label_names}; call .labels()"
+            )
+        with self._lock:
+            child = self._children.get(())
+            if child is None:
+                child = self._make_child()
+                self._children[()] = child
+            return child
+
+    def children(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class Counter(_Family):
+    """A monotonically increasing family (``*_total`` by convention)."""
+
+    kind = "counter"
+    _child_class = CounterChild
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class Gauge(_Family):
+    """A family of values that can go up and down (or be polled)."""
+
+    kind = "gauge"
+    _child_class = GaugeChild
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        self._default_child().set_function(function)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class Histogram(_Family):
+    """A family of bounded-memory distributions (latency, sizes…)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise MetricError("a histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise MetricError("histogram bucket bounds must be strictly increasing")
+        self.buckets = bounds
+        super().__init__(name, help_text, label_names)
+
+    def _make_child(self) -> HistogramChild:
+        return HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self._default_child().quantile(q)
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+
+# ---------------------------------------------------------------------------
+# The disabled path — shared null singletons, mirroring NULL_TRACER
+# ---------------------------------------------------------------------------
+
+
+class _NullInstrument:
+    """One do-nothing handle standing in for every instrument type."""
+
+    __slots__ = ()
+    name = "null"
+    help = ""
+    label_names: Tuple[str, ...] = ()
+    kind = "untyped"
+    buckets: Tuple[float, ...] = ()
+
+    def labels(self, **labels: str) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def quantiles(self) -> Dict[str, float]:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def children(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        return []
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """Every instrument of one process (or one daemon), by name.
+
+    Registration is idempotent — asking for an existing name returns the
+    existing family, so independent layers can share ``pash_pool_…``
+    counters without coordination — but re-registering a name with a
+    different type or label declaration raises :class:`MetricError` (the
+    exposition would be ambiguous otherwise).
+
+    ``enabled=False`` turns every registration into the shared
+    :data:`NULL_INSTRUMENT` and every module-level hook into an attribute
+    check — the zero-allocation disabled path.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._families: "Dict[str, _Family]" = {}
+
+    # -- registration --------------------------------------------------------
+
+    def _register(
+        self, name: str, factory: Callable[[], _Family], kind: str, labels: Tuple[str, ...]
+    ) -> Any:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"illegal metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise MetricError(f"illegal label name {label!r} on {name}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != labels:
+                    raise MetricError(
+                        f"metric {name!r} already registered as {family.kind}"
+                        f"{family.label_names}; cannot re-register as {kind}{labels}"
+                    )
+                return family
+            family = factory()
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Iterable[str] = ()
+    ) -> Counter:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        label_names = tuple(labels)
+        return self._register(
+            name, lambda: Counter(name, help_text, label_names), "counter", label_names
+        )
+
+    def gauge(self, name: str, help_text: str = "", labels: Iterable[str] = ()) -> Gauge:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        label_names = tuple(labels)
+        return self._register(
+            name, lambda: Gauge(name, help_text, label_names), "gauge", label_names
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Iterable[str] = (),
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        label_names = tuple(labels)
+        return self._register(
+            name,
+            lambda: Histogram(name, help_text, label_names, buckets=buckets),
+            "histogram",
+            label_names,
+        )
+
+    # -- collection ----------------------------------------------------------
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able view of every instrument (the ``pash-top`` feed).
+
+        Histogram entries carry ``count``/``sum`` plus estimated
+        ``p50``/``p95``/``p99`` so consumers never need the raw buckets.
+        """
+        document: Dict[str, Any] = {}
+        for family in self.families():
+            values = []
+            for label_values, child in family.children():
+                entry: Dict[str, Any] = {
+                    "labels": dict(zip(family.label_names, label_values))
+                }
+                if family.kind == "histogram":
+                    entry["count"] = child.count
+                    entry["sum"] = child.sum
+                    entry.update(child.quantiles())
+                else:
+                    entry["value"] = child.value
+                values.append(entry)
+            document[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "values": values,
+            }
+        return document
+
+
+#: The shared disabled registry: default for every layer until a daemon
+#: installs a live one.  Mirrors :data:`repro.obs.tracer.NULL_TRACER`.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+# ---------------------------------------------------------------------------
+# The process-wide registry (the fault-injection plane's install idiom)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: MetricsRegistry = NULL_REGISTRY
+
+
+def install(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Make ``registry`` the process-wide registry; returns the previous one
+    (``None`` restores the disabled default)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+def active() -> MetricsRegistry:
+    """The process-wide registry (the disabled default until installed)."""
+    return _ACTIVE
+
+
+# -- hooks: what the instrumented layers actually call -----------------------
+#
+# Each hook is one global load + one attribute check when metrics are off.
+# When on, the registration is an idempotent dict lookup — fine at the
+# per-run / per-spawn / per-cache-op granularity every call site has.
+
+
+def counter_inc(
+    name: str, amount: float = 1.0, help_text: str = "", **labels: str
+) -> None:
+    registry = _ACTIVE
+    if not registry.enabled:
+        return
+    counter = registry.counter(name, help_text, labels=tuple(sorted(labels)))
+    if labels:
+        counter.labels(**labels).inc(amount)
+    else:
+        counter.inc(amount)
+
+
+def gauge_set(name: str, value: float, help_text: str = "", **labels: str) -> None:
+    registry = _ACTIVE
+    if not registry.enabled:
+        return
+    gauge = registry.gauge(name, help_text, labels=tuple(sorted(labels)))
+    if labels:
+        gauge.labels(**labels).set(value)
+    else:
+        gauge.set(value)
+
+
+def histogram_observe(
+    name: str, value: float, help_text: str = "", **labels: str
+) -> None:
+    registry = _ACTIVE
+    if not registry.enabled:
+        return
+    histogram = registry.histogram(name, help_text, labels=tuple(sorted(labels)))
+    if labels:
+        histogram.labels(**labels).observe(value)
+    else:
+        histogram.observe(value)
+
+
+def record_engine_run(metrics: Any, backend: str = "parallel") -> None:
+    """Flush one finished run's :class:`~repro.engine.metrics.EngineMetrics`
+    into the process registry (one call per run, from the scheduler and the
+    cluster backend).  A no-op against the disabled default registry."""
+    registry = _ACTIVE
+    if not registry.enabled:
+        return
+    counter_inc("pash_engine_runs_total", 1, "Engine runs completed.", backend=backend)
+    histogram_observe(
+        "pash_engine_run_seconds",
+        metrics.elapsed_seconds,
+        "Wall-clock duration of one engine run.",
+        backend=backend,
+    )
+    counter_inc(
+        "pash_engine_bytes_moved_total",
+        metrics.total_bytes_moved,
+        "Bytes that crossed engine channels.",
+        backend=backend,
+    )
+    if metrics.total_spilled_bytes:
+        counter_inc(
+            "pash_engine_spilled_bytes_total",
+            metrics.total_spilled_bytes,
+            "Bytes stream buffers spilled to disk.",
+            backend=backend,
+        )
+    if metrics.total_spill_events:
+        counter_inc(
+            "pash_engine_spill_events_total",
+            metrics.total_spill_events,
+            "Chunks routed through spill storage.",
+            backend=backend,
+        )
+    if metrics.remote_tasks:
+        counter_inc(
+            "pash_cluster_tasks_total",
+            metrics.remote_tasks,
+            "Nodes executed on remote cluster workers.",
+        )
+    if metrics.requeued_tasks:
+        counter_inc(
+            "pash_cluster_requeues_total",
+            metrics.requeued_tasks,
+            "Tasks re-dispatched after a cluster worker was lost.",
+        )

@@ -190,9 +190,17 @@ class Tracer:
     hot path is a single attribute check.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, max_spans: Optional[int] = None) -> None:
+        if max_spans is not None and max_spans < 1:
+            raise ValueError("Tracer max_spans must be >= 1 (or None for unbounded)")
         self.enabled = enabled
+        #: Ring-buffer retention: keep at most this many spans, evicting the
+        #: oldest (None = unbounded, the per-run default).  Long-running
+        #: daemons set this so ``--trace`` can stay on forever without
+        #: unbounded memory; :attr:`dropped_spans` counts the evictions.
+        self.max_spans = max_spans
         self.spans: List[SpanRecord] = []
+        self._evicted = 0
         self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------
@@ -219,6 +227,16 @@ class Tracer:
     def _append(self, record: SpanRecord) -> None:
         with self._lock:
             self.spans.append(record)
+            self._trim_locked()
+
+    def _trim_locked(self) -> None:
+        """Evict the oldest spans past :attr:`max_spans` (lock held)."""
+        if self.max_spans is None:
+            return
+        overflow = len(self.spans) - self.max_spans
+        if overflow > 0:
+            del self.spans[:overflow]
+            self._evicted += overflow
 
     def record(self, record: SpanRecord) -> None:
         """Absorb one externally-built span (e.g. from a worker report)."""
@@ -231,10 +249,12 @@ class Tracer:
             return
         with self._lock:
             self.spans.extend(records)
+            self._trim_locked()
 
     def clear(self) -> None:
         with self._lock:
             self.spans.clear()
+            self._evicted = 0
 
     # -- context handoff -----------------------------------------------------
 
@@ -253,12 +273,26 @@ class Tracer:
     # -- introspection -------------------------------------------------------
 
     def mark(self) -> int:
-        """Current span count; slice with :meth:`since` for per-run views."""
-        return len(self.spans)
+        """Current span count; slice with :meth:`since` for per-run views.
+
+        Marks count *lifetime* recordings, so they stay valid across
+        ring-buffer eviction: a :meth:`since` on an old mark simply returns
+        whatever of that window is still retained.
+        """
+        with self._lock:
+            return self._evicted + len(self.spans)
 
     def since(self, mark: int) -> List[SpanRecord]:
-        """Spans recorded after :meth:`mark` was taken."""
-        return list(self.spans[mark:])
+        """Spans recorded after :meth:`mark` was taken (still retained)."""
+        with self._lock:
+            start = max(0, mark - self._evicted)
+            return list(self.spans[start:])
+
+    @property
+    def dropped_spans(self) -> int:
+        """Spans evicted by the :attr:`max_spans` ring buffer (0 = none)."""
+        with self._lock:
+            return self._evicted
 
 
 #: The shared disabled tracer: ``tracer or NULL_TRACER`` keeps call sites

@@ -28,6 +28,7 @@ import random
 import time
 from typing import Any, Callable, Optional, Tuple
 
+from repro.obs.metrics import counter_inc
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -88,6 +89,11 @@ class Supervisor:
                 if self.policy.allows_retry(retries, elapsed + delay):
                     retries += 1
                     self.runs_retried += 1
+                    counter_inc(
+                        "pash_runs_retried_total",
+                        1,
+                        "Supervised run attempts retried after a fault.",
+                    )
                     with self.tracer.span(
                         "resilience:retry",
                         "resilience",
@@ -100,6 +106,11 @@ class Supervisor:
                     continue
                 if degrade is not None and self.resilience.degrade:
                     self.degraded_runs += 1
+                    counter_inc(
+                        "pash_degraded_runs_total",
+                        1,
+                        "Runs degraded to the interpreter after retries ran out.",
+                    )
                     with self.tracer.span(
                         "resilience:degrade",
                         "resilience",

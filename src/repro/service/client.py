@@ -5,8 +5,8 @@ every method is one connect/send/recv/close round trip, raises
 :class:`~repro.service.admission.ServiceBusy` on admission rejections and
 :class:`~repro.service.admission.ServiceError` on everything else, and
 never blocks past its timeout.  The CLI (``pash-client submit | status |
-result | cancel | stats | ping | shutdown``) maps those calls onto exit
-codes: 0 success, 1 job failed, 2 unreachable/usage, 3 rejected busy.
+result | cancel | stats | metrics | ping | shutdown``) maps those calls onto
+exit codes: 0 success, 1 job failed, 2 unreachable/usage, 3 rejected busy.
 """
 
 from __future__ import annotations
@@ -142,6 +142,15 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._request({"type": protocol.MSG_STATS})["stats"]
 
+    def metrics(self) -> Dict[str, Any]:
+        """The daemon's telemetry: ``{"exposition": <Prometheus text>,
+        "snapshot": <registry snapshot>}`` (protocol >= 3)."""
+        response = self._request({"type": protocol.MSG_METRICS})
+        return {
+            "exposition": response.get("exposition", ""),
+            "snapshot": response.get("snapshot", {}),
+        }
+
     def ping(self) -> Dict[str, Any]:
         return self._request({"type": protocol.MSG_PING})
 
@@ -209,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("job_id", type=int)
 
     commands.add_parser("stats", help="print daemon statistics as JSON")
+    metrics = commands.add_parser(
+        "metrics", help="print the daemon's Prometheus exposition"
+    )
+    metrics.add_argument(
+        "--json", action="store_true", help="print the registry snapshot as JSON"
+    )
     commands.add_parser("ping", help="check the daemon is alive")
     commands.add_parser("shutdown", help="ask the daemon to shut down")
     return parser
@@ -283,6 +298,13 @@ def main(argv: Optional[list] = None) -> int:
             return 0
         if arguments.command == "stats":
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if arguments.command == "metrics":
+            payload = client.metrics()
+            if arguments.json:
+                print(json.dumps(payload["snapshot"], indent=2, sort_keys=True))
+            else:
+                sys.stdout.write(payload["exposition"])
             return 0
         if arguments.command == "ping":
             pong = client.ping()

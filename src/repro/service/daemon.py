@@ -45,8 +45,12 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.api.config import PashConfig, StreamingConfig
 from repro.api.pash import Pash
+from repro.obs import metrics as obs_metrics
 from repro.obs.export import export_chrome_trace
+from repro.obs.expose import NULL_EVENTS, EventLog, MetricsServer, prometheus_text
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import RunReport
+from repro.obs.sampler import TraceSampler
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.resilience import fault as fault_injection
 from repro.resilience.supervisor import Supervisor
@@ -92,6 +96,12 @@ class ServiceOptions:
     config: PashConfig = field(default_factory=lambda: PashConfig(backend="jit"))
     #: Chrome-trace destination written at shutdown (enables tracing).
     trace_path: Optional[str] = None
+    #: Serve Prometheus text on this port (``--metrics-port``; None = off).
+    #: Binds the daemon's listen host, so the same loopback/--allow-remote
+    #: trust model applies to the scrape endpoint.
+    metrics_port: Optional[int] = None
+    #: JSONL telemetry event log (``--events``; None = off).
+    events_path: Optional[str] = None
 
 
 class PashServiceDaemon:
@@ -104,8 +114,51 @@ class PashServiceDaemon:
         self.config = self.options.config
         if tracer is None:
             tracing = self.config.tracing or bool(self.options.trace_path)
-            tracer = Tracer() if tracing else NULL_TRACER
+            retention = self.config.obs.span_retention or None
+            tracer = Tracer(max_spans=retention) if tracing else NULL_TRACER
         self.tracer = tracer
+        #: Per-job sampling decision: which jobs' spans the tracer records.
+        self.sampler = TraceSampler.from_config(self.config.obs)
+        #: Always-enabled: the job counters below must count whether or not
+        #: anything scrapes them.  ``--metrics-port`` only gates exposition.
+        self.metrics = MetricsRegistry()
+        self._jobs_completed = self.metrics.counter(
+            "pash_jobs_completed_total", "Jobs that finished successfully."
+        )
+        self._jobs_failed = self.metrics.counter(
+            "pash_jobs_failed_total", "Jobs that turned terminal with an error."
+        )
+        self._jobs_cancelled = self.metrics.counter(
+            "pash_jobs_cancelled_total", "Jobs cancelled before completion."
+        )
+        self._admissions = self.metrics.counter(
+            "pash_admissions_total", "Submissions that passed admission control."
+        )
+        self._rejections = self.metrics.counter(
+            "pash_rejections_total",
+            "Submissions refused by admission control, by reason.",
+            labels=("reason",),
+        )
+        self._job_seconds = self.metrics.histogram(
+            "pash_job_seconds",
+            "Per-tenant job wall-clock duration (queue to terminal).",
+            labels=("tenant",),
+        )
+        self.metrics.gauge(
+            "pash_queue_depth", "Jobs queued awaiting an executor."
+        ).set_function(lambda: self.run_queue.qsize())
+        self.metrics.gauge(
+            "pash_uptime_seconds", "Seconds since the daemon started serving."
+        ).set_function(
+            lambda: time.time() - self.started_at if self.started_at else 0.0
+        )
+        self.events = (
+            EventLog(self.options.events_path)
+            if self.options.events_path
+            else NULL_EVENTS
+        )
+        self.metrics_server: Optional[MetricsServer] = None
+        self._previous_registry: Optional[MetricsRegistry] = None
         self.admission = AdmissionController(
             queue_limit=self.options.queue_limit,
             tenant_quota=self.options.tenant_quota,
@@ -123,9 +176,6 @@ class PashServiceDaemon:
         self.pool: Optional[Any] = None
         self.address: Optional[Tuple[str, int]] = None
         self.started_at = 0.0
-        self.jobs_completed = 0
-        self.jobs_failed = 0
-        self.jobs_cancelled = 0
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._executors: list = []
@@ -145,6 +195,25 @@ class PashServiceDaemon:
             raise RuntimeError("daemon is not started")
         return f"{self.address[0]}:{self.address[1]}"
 
+    # -- job counters ---------------------------------------------------
+    #
+    # Backed by the registry's lock-guarded CounterChild: the old plain-int
+    # ``+= 1`` from N executor threads could lose increments (the GIL can
+    # switch between the load and the store).  The int-returning properties
+    # keep every existing reader working unchanged.
+
+    @property
+    def jobs_completed(self) -> int:
+        return int(self._jobs_completed.value)
+
+    @property
+    def jobs_failed(self) -> int:
+        return int(self._jobs_failed.value)
+
+    @property
+    def jobs_cancelled(self) -> int:
+        return int(self._jobs_cancelled.value)
+
     def start(self) -> None:
         """Bind the socket, warm the pool, and start serving."""
         host, port = protocol.resolve_address(self.options.listen)
@@ -159,6 +228,30 @@ class PashServiceDaemon:
         self._listener.settimeout(0.25)
         self.address = self._listener.getsockname()[:2]
         self.started_at = time.time()
+        # Every instrumented layer underneath (pool, plan cache, scheduler,
+        # supervisor, cluster) reports into this daemon's registry for the
+        # daemon's lifetime; shutdown restores whatever was installed before.
+        self._previous_registry = obs_metrics.install(self.metrics)
+        if self.options.metrics_port is not None:
+            server = MetricsServer(
+                self.metrics,
+                host=host,
+                port=self.options.metrics_port,
+                allow_remote=self.options.allow_remote,
+            )
+            try:
+                server.start()
+            except (ValueError, OSError) as exc:
+                self._listener.close()
+                obs_metrics.install(self._previous_registry)
+                raise ServiceError(f"cannot serve metrics: {exc}") from exc
+            self.metrics_server = server
+        self.events.emit(
+            "daemon-started",
+            endpoint=self.endpoint,
+            executors=self.options.executors,
+            pid=os.getpid(),
+        )
         scheduler = self.config.scheduler_options()
         if getattr(scheduler, "use_pool", True):
             from repro.engine.pool import WorkerPool
@@ -215,7 +308,11 @@ class PashServiceDaemon:
             if job.cancel():
                 job.error = "daemon shutting down"
                 job.error_code = protocol.ERR_SHUTTING_DOWN
-                self.jobs_cancelled += 1
+                self._jobs_cancelled.inc()
+                self.events.emit(
+                    "job-cancelled", job_id=job.job_id, tenant=job.tenant,
+                    reason="shutdown",
+                )
             self._release(job)
         deadline = time.time() + self.options.shutdown_grace_seconds
         for thread in self._executors:
@@ -226,12 +323,27 @@ class PashServiceDaemon:
                     "daemon shut down before the job finished",
                     code=protocol.ERR_SHUTTING_DOWN,
                 ):
-                    self.jobs_failed += 1
+                    self._jobs_failed.inc()
                 self._release(job)
         if self.pool is not None:
             self.pool.shutdown()
         if self.options.trace_path and self.tracer.enabled:
             export_chrome_trace(self.tracer.spans, self.options.trace_path)
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+            self.metrics_server = None
+        self.events.emit(
+            "daemon-stopped",
+            jobs_completed=self.jobs_completed,
+            jobs_failed=self.jobs_failed,
+            jobs_cancelled=self.jobs_cancelled,
+        )
+        self.events.close()
+        # Restore only if we are still the installed registry — a daemon
+        # started after us (tests run several) owns the slot now.
+        if obs_metrics.active() is self.metrics:
+            obs_metrics.install(self._previous_registry)
+        self._previous_registry = None
         self._stopped.set()
 
     # ------------------------------------------------------------------
@@ -296,6 +408,12 @@ class PashServiceDaemon:
                 return self._handle_cancel(message), False
             if kind == protocol.MSG_STATS:
                 return {"type": protocol.MSG_STATS_REPLY, "stats": self.stats()}, False
+            if kind == protocol.MSG_METRICS:
+                return {
+                    "type": protocol.MSG_METRICS_REPLY,
+                    "exposition": prometheus_text(self.metrics),
+                    "snapshot": self.metrics.snapshot(),
+                }, False
             if kind == protocol.MSG_PING:
                 from repro import __version__
 
@@ -350,7 +468,13 @@ class PashServiceDaemon:
         # Validate before admission: a malformed request must not claim a
         # quota slot or enqueue a job it then answers bad-request for.
         timeout = self._validated_timeout(message.get("timeout"))
-        self.admission.admit(tenant)
+        try:
+            self.admission.admit(tenant)
+        except ServiceBusy as busy:
+            self._rejections.labels(reason=busy.code).inc()
+            self.events.emit("job-rejected", tenant=tenant, reason=busy.code)
+            raise
+        self._admissions.inc()
         job = self.jobs.create(
             tenant=tenant,
             script=script,
@@ -358,6 +482,9 @@ class PashServiceDaemon:
             config=config,
             files=files,
             stdin=stdin,
+        )
+        self.events.emit(
+            "job-admitted", job_id=job.job_id, tenant=tenant, backend=backend
         )
         self.run_queue.put(job)
         if message.get("wait", True):
@@ -431,7 +558,11 @@ class PashServiceDaemon:
     def _handle_cancel(self, message: Dict[str, Any]) -> Dict[str, Any]:
         job = self._find_job(message)
         if job.cancel():
-            self.jobs_cancelled += 1
+            self._jobs_cancelled.inc()
+            self.events.emit(
+                "job-cancelled", job_id=job.job_id, tenant=job.tenant,
+                reason="client",
+            )
             self._release(job)
         return {"type": protocol.MSG_JOB, "job": job.payload()}
 
@@ -458,18 +589,27 @@ class PashServiceDaemon:
             self._release(job)
             return
         started = time.perf_counter()
+        # The sampler decides per job whether spans are recorded; a skipped
+        # job runs against the shared null tracer (one attribute check per
+        # would-be span) but still counts in every metric below.
+        tracer = (
+            self.tracer
+            if self.tracer.enabled and self.sampler.should_sample(job.tenant)
+            else NULL_TRACER
+        )
         spill_dir: Optional[str] = None
+        status = "completed"
         try:
             try:
                 config, spill_dir = self._job_spill_directory(job)
-                with self.tracer.span(
+                with tracer.span(
                     "service:job",
                     "service",
                     job_id=job.job_id,
                     tenant=job.tenant,
                     backend=job.backend,
                 ):
-                    result, compiled = self._execute_supervised(job, config)
+                    result, compiled = self._execute_supervised(job, config, tracer)
                 report = RunReport.from_run(result, compiled).to_dict()
             finally:
                 # Before the job turns terminal: a waiter that observes
@@ -485,17 +625,29 @@ class PashServiceDaemon:
                 report=report,
                 elapsed_seconds=time.perf_counter() - started,
             ):
-                self.jobs_completed += 1
+                self._jobs_completed.inc()
         except (ExecutionError, ExpansionError, OSError, ValueError, KeyError) as exc:
             # OSError covers the resilience tier's typed failures (injected
             # faults, ResourceExhausted) escaping a no-degrade ladder: the
             # tenant gets a clean execution error, never an internal one.
+            status = "failed"
             if job.fail(str(exc) or type(exc).__name__, code=protocol.ERR_EXECUTION):
-                self.jobs_failed += 1
+                self._jobs_failed.inc()
         except Exception as exc:  # noqa: BLE001 - a tenant bug must not kill the daemon
+            status = "failed"
             if job.fail(f"{type(exc).__name__}: {exc}", code=protocol.ERR_INTERNAL):
-                self.jobs_failed += 1
+                self._jobs_failed.inc()
         finally:
+            elapsed = time.perf_counter() - started
+            self._job_seconds.labels(tenant=job.tenant).observe(elapsed)
+            self.events.emit(
+                "job-finished",
+                job_id=job.job_id,
+                tenant=job.tenant,
+                backend=job.backend,
+                status=status,
+                elapsed_seconds=round(elapsed, 6),
+            )
             self._release(job)
 
     def _job_spill_directory(self, job: Job) -> Tuple[PashConfig, Optional[str]]:
@@ -525,7 +677,9 @@ class PashServiceDaemon:
             filesystem=VirtualFileSystem(job.files), stdin=list(job.stdin)
         )
 
-    def _execute_supervised(self, job: Job, config: PashConfig):
+    def _execute_supervised(
+        self, job: Job, config: PashConfig, tracer: Optional[Tracer] = None
+    ):
         """Run the job under the config's retry-then-degrade ladder.
 
         Each attempt (and the degraded run) gets a *fresh* execution
@@ -537,17 +691,20 @@ class PashServiceDaemon:
         retry-then-succeed happen at all).
         """
         resilience = config.resilience
+        tracer = tracer if tracer is not None else self.tracer
 
         def attempt():
-            return self._execute(job, config, self._fresh_environment(job))
+            return self._execute(job, config, self._fresh_environment(job), tracer)
 
         if not resilience.active or job.backend == "interpreter":
             return attempt()
 
         def degrade():
-            return self._execute_degraded(job, config, self._fresh_environment(job))
+            return self._execute_degraded(
+                job, config, self._fresh_environment(job), tracer
+            )
 
-        supervisor = Supervisor(resilience, self.tracer)
+        supervisor = Supervisor(resilience, tracer)
         plan = resilience.fault_plan()
         previous_plan = fault_injection.active()
         if plan is not None:
@@ -559,10 +716,21 @@ class PashServiceDaemon:
                 fault_injection.install(previous_plan)
         result.metrics.runs_retried += supervisor.runs_retried
         result.metrics.degraded_runs += supervisor.degraded_runs
+        if supervisor.degraded_runs:
+            self.events.emit(
+                "job-degraded",
+                job_id=job.job_id,
+                tenant=job.tenant,
+                retries=supervisor.runs_retried,
+            )
         return result, compiled
 
     def _execute_degraded(
-        self, job: Job, config: PashConfig, environment: ExecutionEnvironment
+        self,
+        job: Job,
+        config: PashConfig,
+        environment: ExecutionEnvironment,
+        tracer: Optional[Tracer] = None,
     ):
         """The ladder's last rung: the job on the sequential interpreter.
 
@@ -570,6 +738,7 @@ class PashServiceDaemon:
         contract; JIT jobs keep the driver (control flow still needs a
         shell) but force its inner backend to the interpreter.
         """
+        tracer = tracer if tracer is not None else self.tracer
         if job.backend == "jit":
             from repro.jit.driver import JitDriver
 
@@ -577,30 +746,37 @@ class PashServiceDaemon:
                 config=config,
                 environment=environment,
                 cache=self.plan_cache,
-                tracer=self.tracer,
+                tracer=tracer,
                 inner_backend="interpreter",
             )
             return driver.run(job.script), None
-        compiled = Pash(config, tracer=self.tracer).compile(job.script)
+        compiled = Pash(config, tracer=tracer).compile(job.script)
         result = compiled.execute(backend="interpreter", environment=environment)
         return result, compiled
 
-    def _execute(self, job: Job, config: PashConfig, environment: ExecutionEnvironment):
+    def _execute(
+        self,
+        job: Job,
+        config: PashConfig,
+        environment: ExecutionEnvironment,
+        tracer: Optional[Tracer] = None,
+    ):
         """Run one job on its backend, sharing the daemon's pool and cache."""
+        tracer = tracer if tracer is not None else self.tracer
         fault_injection.fire(fault_injection.SERVICE_EXECUTOR)
         if job.backend == "jit":
             from repro.jit.driver import JitDriver
 
             options: Dict[str, Any] = {
                 "cache": self.plan_cache,
-                "tracer": self.tracer,
+                "tracer": tracer,
                 "inner_backend": config.jit_inner_backend,
             }
             if self.pool is not None and config.jit_inner_backend == "parallel":
                 options["pool"] = self.pool
             driver = JitDriver(config=config, environment=environment, **options)
             return driver.run(job.script), None
-        compiled = Pash(config, tracer=self.tracer).compile(job.script)
+        compiled = Pash(config, tracer=tracer).compile(job.script)
         options = {}
         if job.backend == "parallel" and self.pool is not None:
             options["pool"] = self.pool
@@ -613,9 +789,15 @@ class PashServiceDaemon:
     # Introspection
     # ------------------------------------------------------------------
 
+    #: Version of the :meth:`stats` payload shape.  2 added ``schema``
+    #: itself, an always-present ``pool`` key (None when poolless), and the
+    #: ``sampler``/``trace`` sections.
+    STATS_SCHEMA = 2
+
     def stats(self) -> Dict[str, Any]:
         """The STATS payload: admission, queue, cache, and pool counters."""
         snapshot: Dict[str, Any] = {
+            "schema": self.STATS_SCHEMA,
             "endpoint": self.endpoint if self.address else None,
             "uptime_seconds": time.time() - self.started_at if self.started_at else 0.0,
             "executors": len(self._executors),
@@ -629,9 +811,18 @@ class PashServiceDaemon:
             "plan_cache": dict(
                 self.plan_cache.stats.to_dict(), entries=len(self.plan_cache)
             ),
+            "pool": self.pool.stats() if self.pool is not None else None,
+            "sampler": {
+                "ratio": self.sampler.ratio,
+                "sampled": self.sampler.sampled,
+                "skipped": self.sampler.skipped,
+            },
+            "trace": {
+                "enabled": self.tracer.enabled,
+                "spans": len(self.tracer.spans),
+                "dropped_spans": self.tracer.dropped_spans,
+            },
         }
-        if self.pool is not None:
-            snapshot["pool"] = self.pool.stats()
         return snapshot
 
 
@@ -683,6 +874,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, help="write a Chrome trace of every job at shutdown"
     )
     parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus text on this port (binds the --listen host; "
+        "0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE.jsonl",
+        help="append schema-stable JSONL telemetry events (admissions, "
+        "rejections, job outcomes, lifecycle)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="record spans for this fraction of jobs (default 1.0; "
+        "deterministic under --trace-sample-seed)",
+    )
+    parser.add_argument(
+        "--trace-sample-seed", type=int, default=0, help="sampling sequence seed"
+    )
+    parser.add_argument(
+        "--sample-tenant",
+        action="append",
+        default=None,
+        metavar="TENANT",
+        help="always trace this tenant regardless of --trace-sample "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--span-retention",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N spans in memory, evicting the oldest "
+        "(0 = unbounded)",
+    )
+    parser.add_argument(
         "--max-retries",
         type=int,
         default=None,
@@ -706,7 +939,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list] = None) -> int:
     arguments = build_parser().parse_args(argv)
-    from repro.api.config import ResilienceConfig
+    from repro.api.config import ObsConfig, ResilienceConfig
 
     config = PashConfig.paper_default(
         arguments.width,
@@ -716,6 +949,7 @@ def main(argv: Optional[list] = None) -> int:
         tracing=bool(arguments.trace),
         streaming=StreamingConfig(spill_directory=arguments.spill_dir),
         resilience=ResilienceConfig.from_cli_args(arguments),
+        obs=ObsConfig.from_cli_args(arguments),
     )
     options = ServiceOptions(
         listen=arguments.listen,
@@ -728,6 +962,8 @@ def main(argv: Optional[list] = None) -> int:
         max_wait_seconds=arguments.max_wait_seconds,
         config=config,
         trace_path=arguments.trace,
+        metrics_port=arguments.metrics_port,
+        events_path=arguments.events,
     )
     daemon = PashServiceDaemon(options)
     try:
@@ -741,6 +977,13 @@ def main(argv: Optional[list] = None) -> int:
         file=sys.stderr,
         flush=True,
     )
+    if daemon.metrics_server is not None:
+        print(
+            f"pash-serve: metrics on http://{daemon.address[0]}:"
+            f"{daemon.metrics_server.port}/metrics",
+            file=sys.stderr,
+            flush=True,
+        )
     daemon.serve_forever()
     print("pash-serve: shut down cleanly", file=sys.stderr)
     return 0

@@ -65,7 +65,9 @@ __all__ = [
 
 #: Bumped on any incompatible message-shape change; reported by PING.
 #: Version 2: the frame body switched from pickle to JSON.
-SERVICE_PROTOCOL_VERSION = 2
+#: Version 3: added the ``metrics`` request (Prometheus exposition +
+#: registry snapshot) and a versioned ``schema`` field in STATS payloads.
+SERVICE_PROTOCOL_VERSION = 3
 
 # -- request types -----------------------------------------------------------
 MSG_SUBMIT = "submit"
@@ -73,6 +75,7 @@ MSG_STATUS = "status"
 MSG_RESULT = "result"
 MSG_CANCEL = "cancel"
 MSG_STATS = "stats"
+MSG_METRICS = "metrics"
 MSG_PING = "ping"
 MSG_SHUTDOWN = "shutdown"
 
@@ -80,6 +83,7 @@ MSG_SHUTDOWN = "shutdown"
 MSG_JOB = "job"
 MSG_ERROR = "error"
 MSG_STATS_REPLY = "stats-reply"
+MSG_METRICS_REPLY = "metrics-reply"
 MSG_PONG = "pong"
 MSG_OK = "ok"
 

@@ -1,0 +1,80 @@
+"""The tracer's ring-buffer span retention (``max_spans``) and its
+interaction with the ``mark``/``since`` per-run slicing the JIT driver and
+service daemon rely on."""
+
+import pytest
+
+from repro.obs.tracer import SpanRecord, Tracer
+
+
+def _span(name):
+    return SpanRecord(name=name, category="test", span_id=name)
+
+
+class TestRetention:
+    def test_oldest_spans_evicted(self):
+        tracer = Tracer(max_spans=3)
+        for index in range(5):
+            tracer.record(_span(f"s{index}"))
+        assert [span.name for span in tracer.spans] == ["s2", "s3", "s4"]
+        assert tracer.dropped_spans == 2
+
+    def test_unbounded_by_default(self):
+        tracer = Tracer()
+        for index in range(100):
+            tracer.record(_span(f"s{index}"))
+        assert len(tracer.spans) == 100
+        assert tracer.dropped_spans == 0
+
+    def test_extend_trims_too(self):
+        tracer = Tracer(max_spans=2)
+        tracer.extend([_span("a"), _span("b"), _span("c")])
+        assert [span.name for span in tracer.spans] == ["b", "c"]
+        assert tracer.dropped_spans == 1
+
+    def test_invalid_max_spans_raises(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_clear_resets_eviction_count(self):
+        tracer = Tracer(max_spans=1)
+        tracer.record(_span("a"))
+        tracer.record(_span("b"))
+        assert tracer.dropped_spans == 1
+        tracer.clear()
+        assert tracer.dropped_spans == 0
+        assert tracer.spans == []
+
+
+class TestMarksAcrossEviction:
+    def test_marks_count_lifetime_recordings(self):
+        tracer = Tracer(max_spans=3)
+        tracer.record(_span("old"))
+        mark = tracer.mark()
+        for index in range(3):
+            tracer.record(_span(f"new{index}"))
+        # "old" was evicted, but the mark still slices exactly the spans
+        # recorded after it was taken.
+        assert [span.name for span in tracer.since(mark)] == [
+            "new0",
+            "new1",
+            "new2",
+        ]
+
+    def test_since_returns_retained_window_when_mark_predates_eviction(self):
+        tracer = Tracer(max_spans=2)
+        mark = tracer.mark()
+        for index in range(4):
+            tracer.record(_span(f"s{index}"))
+        # Two of the four post-mark spans were evicted; since() returns
+        # what is still retained rather than raising or mis-slicing.
+        assert [span.name for span in tracer.since(mark)] == ["s2", "s3"]
+
+    def test_live_span_recording_respects_the_ring(self):
+        tracer = Tracer(max_spans=2)
+        for index in range(4):
+            with tracer.span(f"live{index}", "test"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped_spans == 2
+        assert [span.name for span in tracer.spans] == ["live2", "live3"]

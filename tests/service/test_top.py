@@ -1,0 +1,139 @@
+"""``pash-top``: the pure frame renderer, the per-tenant rate math, and
+the ``--once`` CLI mode against a live daemon."""
+
+import pytest
+
+from repro.service import top
+
+SCRIPT = "cat data.txt | sort | uniq"
+FILES = {"data.txt": ["b", "a", "b", "c"]}
+
+
+def _stats(**overrides):
+    stats = {
+        "schema": 2,
+        "endpoint": "127.0.0.1:7070",
+        "uptime_seconds": 3723.0,  # 1:02:03
+        "executors": 4,
+        "queue_depth": 2,
+        "jobs": {"completed": 10, "failed": 1, "cancelled": 0},
+        "plan_cache": {
+            "hits": 6,
+            "misses": 2,
+            "negative_hits": 0,
+            "entries": 2,
+            "disk_hits": 1,
+        },
+        "pool": {
+            "workers": 8,
+            "idle": 6,
+            "busy": 2,
+            "processes_spawned": 8,
+            "tasks_reused": 40,
+            "workers_replaced": 1,
+        },
+        "sampler": {"ratio": 0.5, "sampled": 5, "skipped": 5},
+        "trace": {"enabled": True, "spans": 12, "dropped_spans": 0},
+    }
+    stats.update(overrides)
+    return stats
+
+
+def _snapshot(counts):
+    return {
+        "pash_job_seconds": {
+            "kind": "histogram",
+            "values": [
+                {
+                    "labels": {"tenant": tenant},
+                    "count": count,
+                    "sum": count * 0.05,
+                    "p50": 0.04,
+                    "p95": 0.09,
+                    "p99": 1.5,
+                }
+                for tenant, count in counts.items()
+            ],
+        }
+    }
+
+
+class TestRenderFrame:
+    def test_header_and_counters(self):
+        frame = top.render_frame(_stats(), _snapshot({"t0": 7, "t1": 3}))
+        assert "pash-top — 127.0.0.1:7070" in frame
+        assert "up 1:02:03" in frame
+        assert "queue depth 2   executors 4" in frame
+        assert "jobs: 10 done / 1 failed / 0 cancelled" in frame
+        assert "plan cache: 6 hits, 2 misses (75% hit rate" in frame
+        assert "pool: 8 workers (6 idle / 2 busy), 8 spawned" in frame
+        assert "tracing: ratio 0.5 (5 sampled / 5 skipped), 12 spans" in frame
+
+    def test_tenant_table_sorted_by_jobs(self):
+        frame = top.render_frame(_stats(), _snapshot({"small": 1, "big": 9}))
+        assert frame.index("big") < frame.index("small")
+        assert "40.0ms" in frame  # p50 formatted as milliseconds
+        assert "1.50s" in frame  # p99 formatted as seconds
+
+    def test_empty_snapshot_renders_placeholder(self):
+        frame = top.render_frame(_stats(), {})
+        assert "(no jobs observed yet)" in frame
+
+    def test_poolless_stats_omit_pool_line(self):
+        frame = top.render_frame(_stats(pool=None), _snapshot({"t0": 1}))
+        assert "pool:" not in frame
+
+    def test_no_ansi_in_the_pure_frame(self):
+        frame = top.render_frame(_stats(), _snapshot({"t0": 1}))
+        assert "\x1b" not in frame
+
+
+class TestTenantRows:
+    def test_rate_from_count_delta(self):
+        previous = _snapshot({"t0": 10})
+        current = _snapshot({"t0": 16})
+        rows = top.tenant_rows(current, previous, interval=2.0)
+        assert rows == [
+            {"tenant": "t0", "jobs": 16, "rate": 3.0, "p50": 0.04, "p99": 1.5}
+        ]
+
+    def test_first_frame_rate_is_total_over_interval(self):
+        rows = top.tenant_rows(_snapshot({"t0": 4}), None, interval=2.0)
+        assert rows[0]["rate"] == pytest.approx(2.0)
+
+    def test_new_tenant_between_frames(self):
+        rows = top.tenant_rows(
+            _snapshot({"t0": 4, "fresh": 2}), _snapshot({"t0": 4}), interval=1.0
+        )
+        by_tenant = {row["tenant"]: row for row in rows}
+        assert by_tenant["t0"]["rate"] == 0.0
+        assert by_tenant["fresh"]["rate"] == 2.0
+
+    def test_counter_reset_clamps_to_zero(self):
+        rows = top.tenant_rows(
+            _snapshot({"t0": 1}), _snapshot({"t0": 5}), interval=1.0
+        )
+        assert rows[0]["rate"] == 0.0
+
+
+class TestCli:
+    def test_once_against_live_daemon(
+        self, make_daemon, client_for, run_with_deadline, capsys
+    ):
+        daemon = make_daemon(executors=1)
+        client = client_for(daemon)
+        run_with_deadline(lambda: client.submit(SCRIPT, tenant="ops", files=FILES))
+        code = run_with_deadline(
+            lambda: top.main(["--connect", daemon.endpoint, "--once"])
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"pash-top — {daemon.endpoint}" in out
+        assert "jobs: 1 done" in out
+        assert "ops" in out
+        assert "\x1b" not in out  # --once never clears the screen
+
+    def test_unreachable_daemon_exits_2(self, capsys):
+        code = top.main(["--connect", "127.0.0.1:1", "--once"])
+        assert code == 2
+        assert "pash-top:" in capsys.readouterr().err

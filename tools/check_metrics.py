@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file produced by ``repro.obs``.
+
+Checks, in order:
+
+1. every non-comment line parses as ``name[{labels}] value`` with a legal
+   metric name, legal label names, and a float-parseable value;
+2. every sample's base family has a ``# TYPE`` line *before* its first
+   sample, and the type is one of ``counter``/``gauge``/``histogram``
+   (``_bucket``/``_sum``/``_count`` suffixes resolve to their histogram);
+3. ``# HELP``/``# TYPE`` appear at most once per family, and no duplicate
+   sample (same name + labelset) appears;
+4. counter sample values are non-negative and counter names end in
+   ``_total``;
+5. every histogram labelset has a ``le="+Inf"`` bucket, its bucket counts
+   are cumulative (non-decreasing in ``le`` order), the ``+Inf`` count
+   equals the labelset's ``_count``, and ``_sum``/``_count`` exist;
+6. given a *second* file (an earlier scrape), every counter present in
+   both is monotonic: its value never decreased.
+
+Usable as a CLI (``python tools/check_metrics.py scrape.txt [earlier.txt]``;
+exit 0 = valid) and as a module (``from check_metrics import lint_text``),
+which the test suite and CI both do.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\d+)?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class MetricsError(ValueError):
+    """The exposition is structurally invalid; ``str()`` says why."""
+
+
+#: One parsed sample: (family, sample name, labels-without-le, le, value).
+Sample = Tuple[str, str, Tuple[Tuple[str, str], ...], Optional[str], float]
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage
+
+
+def _base_family(name: str, types: Dict[str, str]) -> str:
+    """Resolve a sample name to its family (histogram suffixes collapse)."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def parse_text(text: str) -> Tuple[Dict[str, str], List[Sample]]:
+    """(family -> type, samples); raises :class:`MetricsError` on bad syntax."""
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    samples: List[Sample] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise MetricsError(f"line {line_number}: malformed TYPE line")
+            _, _, name, kind = parts
+            if not _NAME_RE.match(name):
+                raise MetricsError(f"line {line_number}: illegal name {name!r}")
+            if kind not in _VALID_TYPES:
+                raise MetricsError(f"line {line_number}: unknown type {kind!r}")
+            if name in types:
+                raise MetricsError(f"line {line_number}: duplicate TYPE for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise MetricsError(f"line {line_number}: malformed HELP line")
+            name = parts[2]
+            if name in helps:
+                raise MetricsError(f"line {line_number}: duplicate HELP for {name}")
+            helps[name] = parts[3] if len(parts) == 4 else ""
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise MetricsError(f"line {line_number}: unparseable sample {line!r}")
+        name = match.group("name")
+        label_text = match.group("labels")
+        labels: List[Tuple[str, str]] = []
+        le: Optional[str] = None
+        if label_text:
+            consumed = _LABEL_PAIR_RE.findall(label_text)
+            stripped = _LABEL_PAIR_RE.sub("", label_text).replace(",", "").strip()
+            if stripped:
+                raise MetricsError(
+                    f"line {line_number}: unparseable labels {label_text!r}"
+                )
+            for key, value in consumed:
+                if not _LABEL_RE.match(key) or key.startswith("__"):
+                    raise MetricsError(
+                        f"line {line_number}: illegal label name {key!r}"
+                    )
+                if key == "le":
+                    le = value
+                else:
+                    labels.append((key, value))
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise MetricsError(
+                f"line {line_number}: unparseable value {match.group('value')!r}"
+            ) from None
+        family = _base_family(name, types)
+        if family not in types:
+            raise MetricsError(
+                f"line {line_number}: sample {name!r} has no preceding TYPE line"
+            )
+        samples.append((family, name, tuple(sorted(labels)), le, value))
+    return types, samples
+
+
+def lint_text(text: str) -> Tuple[Dict[str, str], List[Sample]]:
+    """Full structural lint; returns the parse so callers can assert more."""
+    types, samples = parse_text(text)
+    seen = set()
+    for family, name, labels, le, value in samples:
+        key = (name, labels, le)
+        if key in seen:
+            raise MetricsError(f"duplicate sample {name}{dict(labels)} le={le}")
+        seen.add(key)
+        kind = types[family]
+        if kind == "counter":
+            if not name.endswith("_total"):
+                raise MetricsError(f"counter {name!r} does not end in _total")
+            if value < 0:
+                raise MetricsError(f"counter {name} has negative value {value}")
+        if kind == "histogram":
+            if name == family:
+                raise MetricsError(
+                    f"histogram {family} has a bare sample; expected "
+                    "_bucket/_sum/_count"
+                )
+            if name.endswith("_bucket") and le is None:
+                raise MetricsError(f"{name} bucket sample is missing its le label")
+    # Per-(histogram, labelset): cumulative buckets, +Inf present, counts agree.
+    buckets: Dict[Tuple[str, Tuple], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, Tuple], float] = {}
+    sums: Dict[Tuple[str, Tuple], float] = {}
+    for family, name, labels, le, value in samples:
+        if types[family] != "histogram":
+            continue
+        key = (family, labels)
+        if name.endswith("_bucket"):
+            buckets.setdefault(key, []).append((_parse_value(le or "+Inf"), value))
+        elif name.endswith("_count"):
+            counts[key] = value
+        elif name.endswith("_sum"):
+            sums[key] = value
+    for key, series in buckets.items():
+        family, labels = key
+        series.sort(key=lambda pair: pair[0])
+        bounds = [bound for bound, _ in series]
+        if not bounds or bounds[-1] != float("inf"):
+            raise MetricsError(
+                f'histogram {family}{dict(labels)} has no le="+Inf" bucket'
+            )
+        cumulative = [count for _, count in series]
+        if any(b < a for a, b in zip(cumulative, cumulative[1:])):
+            raise MetricsError(
+                f"histogram {family}{dict(labels)} buckets are not cumulative"
+            )
+        if key not in counts or key not in sums:
+            raise MetricsError(
+                f"histogram {family}{dict(labels)} is missing _sum or _count"
+            )
+        if cumulative[-1] != counts[key]:
+            raise MetricsError(
+                f"histogram {family}{dict(labels)}: +Inf bucket "
+                f"{cumulative[-1]} != _count {counts[key]}"
+            )
+    return types, samples
+
+
+def check_monotonic(earlier_text: str, later_text: str) -> int:
+    """Counters present in both scrapes must never decrease.
+
+    Returns the number of counter series compared; raises
+    :class:`MetricsError` on any regression.
+    """
+    earlier_types, earlier_samples = lint_text(earlier_text)
+    later_types, later_samples = lint_text(later_text)
+    earlier_values = {
+        (name, labels, le): value
+        for family, name, labels, le, value in earlier_samples
+        if earlier_types[family] == "counter"
+    }
+    compared = 0
+    for family, name, labels, le, value in later_samples:
+        if later_types[family] != "counter":
+            continue
+        key = (name, labels, le)
+        if key not in earlier_values:
+            continue
+        compared += 1
+        if value < earlier_values[key]:
+            raise MetricsError(
+                f"counter {name}{dict(labels)} went backwards: "
+                f"{earlier_values[key]} -> {value}"
+            )
+    return compared
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or len(argv) > 2:
+        print(
+            "usage: check_metrics.py SCRAPE.txt [EARLIER_SCRAPE.txt]",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with open(argv[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+        types, samples = lint_text(text)
+        if len(argv) == 2:
+            with open(argv[1], "r", encoding="utf-8") as handle:
+                earlier = handle.read()
+            compared = check_monotonic(earlier, text)
+            print(f"check_metrics: {compared} counter series monotonic")
+    except OSError as exc:
+        print(f"check_metrics: cannot read input: {exc}", file=sys.stderr)
+        return 2
+    except MetricsError as exc:
+        print(f"check_metrics: INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"check_metrics: OK — {len(types)} families, {len(samples)} samples"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
